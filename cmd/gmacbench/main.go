@@ -1,0 +1,145 @@
+// Command gmacbench regenerates the tables and figures of the paper's
+// evaluation (Section 5) on the simulated testbed.
+//
+// Usage:
+//
+//	gmacbench [-small] <experiment>...
+//
+// where experiment is one of: fig2, table2, porting, fig7, fig8, fig10,
+// fig9, fig11, fig12, ablations, all. The -small flag runs the unit-test scale (fast
+// smoke run); the default is evaluation scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	small := flag.Bool("small", false, "run at unit-test scale (fast smoke run)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gmacbench [-small] <fig2|table2|porting|fig7|fig8|fig10|fig9|fig11|fig12|ablations|all>...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	want := map[string]bool{}
+	for _, a := range args {
+		if a == "all" {
+			for _, k := range []string{"fig2", "table2", "porting", "fig7", "fig8", "fig10", "fig9", "fig11", "fig12", "ablations"} {
+				want[k] = true
+			}
+			continue
+		}
+		want[strings.ToLower(a)] = true
+	}
+	if err := run(want, *small); err != nil {
+		fmt.Fprintln(os.Stderr, "gmacbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(want map[string]bool, small bool) error {
+	known := map[string]bool{
+		"fig2": true, "table2": true, "porting": true, "fig7": true,
+		"fig8": true, "fig10": true, "fig9": true, "fig11": true,
+		"fig12": true, "ablations": true,
+	}
+	for k := range want {
+		if !known[k] {
+			return fmt.Errorf("unknown experiment %q", k)
+		}
+	}
+
+	if want["fig2"] {
+		fmt.Println(figures.Fig2())
+		fmt.Println(figures.Fig2Plot().Render())
+	}
+	if want["table2"] {
+		fmt.Println(figures.Table2())
+	}
+	if want["porting"] {
+		rows, err := figures.Porting()
+		if err != nil {
+			return err
+		}
+		fmt.Println(figures.PortingTable(rows))
+	}
+	if want["fig7"] || want["fig8"] || want["fig10"] {
+		runs, err := figures.RunEvaluation(small)
+		if err != nil {
+			return err
+		}
+		if want["fig7"] {
+			fmt.Println(figures.Fig7(runs))
+		}
+		if want["fig8"] {
+			fmt.Println(figures.Fig8(runs))
+		}
+		if want["fig10"] {
+			fmt.Println(figures.Fig10(runs))
+		}
+	}
+	if want["fig9"] {
+		sizes, blocks := figures.Fig9Sizes, figures.Fig9Blocks
+		if small {
+			sizes, blocks = []int64{16, 24}, []int64{4 << 10, 64 << 10}
+		}
+		rows, err := figures.Fig9Rows(sizes, blocks)
+		if err != nil {
+			return err
+		}
+		fmt.Println(figures.Fig9TableFrom(rows, blocks))
+		fmt.Println(figures.Fig9PlotFrom(rows, blocks).Render())
+	}
+	if want["fig11"] {
+		n := int64(8 << 20)
+		blocks := figures.Fig11Blocks
+		if small {
+			n, blocks = 128<<10, []int64{4 << 10, 64 << 10, 512 << 10}
+		}
+		rows, err := figures.Fig11(n, blocks)
+		if err != nil {
+			return err
+		}
+		fmt.Println(figures.Fig11Table(rows))
+		fmt.Println(figures.Fig11Plot(rows).Render())
+	}
+	if want["fig12"] {
+		var bench = figures.Fig12DefaultBench()
+		blocks, sizes := figures.Fig12Blocks, figures.Fig12RollingSizes
+		if small {
+			bench.Points = 16 << 10
+			bench.Sets = 2
+			blocks = []int64{16 << 10, 64 << 10, 256 << 10}
+		}
+		rows, err := figures.Fig12(bench, blocks, sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Println(figures.Fig12Table(rows))
+		fmt.Println(figures.Fig12Plot(rows).Render())
+	}
+	if want["ablations"] {
+		for _, ab := range []func() (*figures.Table, error){
+			figures.AblationAnnotations,
+			figures.AblationPeerDMA,
+			figures.AblationVirtualMemory,
+		} {
+			tab, err := ab()
+			if err != nil {
+				return err
+			}
+			fmt.Println(tab)
+		}
+	}
+	return nil
+}

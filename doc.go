@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "An Asymmetric
+// Distributed Shared Memory Model for Heterogeneous Parallel Systems"
+// (Gelado et al., ASPLOS 2010) — the GMAC runtime — together with the
+// simulated heterogeneous machine it runs on and the full evaluation of
+// the paper's Section 5.
+//
+// The public entry points are:
+//
+//   - package gmac: the ADSM runtime (Table 1 API, coherence protocols,
+//     interposed I/O and bulk memory operations);
+//   - package machine: the simulated testbed (CPU + MMU + PCIe +
+//     accelerator + disk on one virtual clock);
+//   - cmd/gmacbench: regenerates every table and figure of the paper.
+//
+// The root package holds the benchmark harness (bench_test.go): one
+// testing.B benchmark per paper table/figure, reporting the measured
+// virtual-time metrics alongside the real cost of running the simulation.
+package repro

@@ -1,0 +1,54 @@
+// Stencil3d: the Figure 9 application as a standalone program — an
+// iterative 7-point wave propagator where the CPU injects a localised
+// source every time step and the volume is periodically written to disk,
+// all through one shared pointer.
+//
+// The example runs the same computation under lazy-update and
+// rolling-update and prints why rolling wins: the source injection faults
+// in one block instead of the whole volume.
+//
+//	go run ./examples/stencil3d
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/gmac"
+	"repro/internal/workloads"
+)
+
+func main() {
+	bench := &workloads.Stencil3D{N: 96, Iters: 24, OutEvery: 24, SourceElems: 32}
+
+	fmt.Printf("3D stencil, %d^3 volume, %d time steps, disk output every %d steps\n\n",
+		bench.N, bench.Iters, bench.OutEvery)
+
+	type cfg struct {
+		label string
+		opt   workloads.Options
+	}
+	configs := []cfg{
+		{"lazy-update", workloads.Options{Protocol: gmac.LazyUpdate}},
+		{"rolling-update (256KB blocks)", workloads.Options{Protocol: gmac.RollingUpdate, BlockSize: 256 << 10}},
+		{"rolling-update (4KB blocks)", workloads.Options{Protocol: gmac.RollingUpdate, BlockSize: 4 << 10}},
+	}
+	var base float64
+	for i, c := range configs {
+		rep, err := workloads.RunGMAC(bench, c.opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			base = rep.Checksum
+		} else if rep.Checksum != base {
+			log.Fatalf("%s computed a different volume (checksum %v vs %v)",
+				c.label, rep.Checksum, base)
+		}
+		fmt.Printf("%-32s %10v  fetched %6d KB  faults %5d\n",
+			c.label, rep.Time, rep.GMAC.BytesD2H>>10, rep.GMAC.Faults)
+	}
+
+	fmt.Println("\nrolling-update fetches only the source block per step; lazy-update")
+	fmt.Println("pulls the whole volume back before every injection (Figure 9).")
+}

@@ -1,0 +1,241 @@
+// Package gmac is a Go reproduction of GMAC (Global Memory for
+// ACcelerators), the user-level ADSM runtime of Gelado et al., "An
+// Asymmetric Distributed Shared Memory Model for Heterogeneous Parallel
+// Systems" (ASPLOS 2010).
+//
+// GMAC maintains a shared logical address space between the CPU and an
+// accelerator: a pointer returned by Alloc is valid in host code and in
+// accelerator kernels alike. The CPU may transparently read and write
+// objects hosted in accelerator memory — the runtime moves data under a
+// release-consistency model whose release point is the kernel invocation
+// (Call) and whose acquire point is the kernel return (Sync). The
+// accelerator itself performs no coherence work, which is the asymmetry
+// that keeps accelerators simple.
+//
+// A minimal session mirrors Table 1 of the paper:
+//
+//	m := machine.PaperTestbed()
+//	ctx, _ := gmac.NewContext(m, gmac.Config{Protocol: gmac.RollingUpdate})
+//	ctx.RegisterKernel(&gmac.Kernel{Name: "scale", Run: ..., Cost: ...})
+//	p, _ := ctx.Alloc(n * 4)        // adsmAlloc
+//	v, _ := ctx.Float32s(p, n)      // CPU-side view of shared memory
+//	v.Fill(1.0)                     // CPU writes, faults handled underneath
+//	ctx.Call("scale", uint64(p), n) // adsmCall: release
+//	ctx.Sync()                      // adsmSync: acquire
+//	sum := v.At(0)                  // CPU reads accelerator-produced data
+//	ctx.Free(p)                     // adsmFree
+package gmac
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/machine"
+)
+
+// Ptr is a shared-memory pointer, valid on both the CPU and the
+// accelerator (for objects from Alloc) or on the CPU only (SafeAlloc).
+type Ptr = mem.Addr
+
+// Kernel describes an accelerator kernel: a name, a body operating on
+// device memory, and an optional roofline cost model.
+type Kernel = accel.Kernel
+
+// DeviceMemory is the accelerator's memory space, passed to kernel bodies.
+type DeviceMemory = mem.Space
+
+// Stats exposes the runtime's transfer and fault counters.
+type Stats = core.Stats
+
+// TraceLog is the bounded protocol event log enabled by EnableTrace.
+type TraceLog = trace.Log
+
+// TraceEvent is one recorded protocol event.
+type TraceEvent = trace.Event
+
+// Protocol selects a coherence protocol (Figure 6 of the paper).
+type Protocol = core.ProtocolKind
+
+// The three coherence protocols evaluated in Section 5.
+const (
+	BatchUpdate   = core.BatchUpdate
+	LazyUpdate    = core.LazyUpdate
+	RollingUpdate = core.RollingUpdate
+)
+
+// Config parameterises a Context.
+type Config struct {
+	// Protocol selects the coherence protocol. The zero value is
+	// BatchUpdate; most users want RollingUpdate.
+	Protocol Protocol
+	// BlockSize is the rolling-update block size (bytes, multiple of the
+	// machine page size). Defaults to 256 KiB, a good point in Figure 11.
+	BlockSize int64
+	// RollingDelta is the adaptive rolling-size increment per allocation
+	// (default 2, the paper's value).
+	RollingDelta int
+	// FixedRolling pins the rolling size instead of adapting it.
+	FixedRolling int
+}
+
+// DefaultBlockSize is the rolling-update block size used when Config leaves
+// it zero.
+const DefaultBlockSize int64 = 256 << 10
+
+// Context is one application's GMAC session: the Table 1 API plus the
+// interposed I/O and bulk-memory entry points of Section 4.4.
+type Context struct {
+	m   *machine.Machine
+	mgr *core.Manager
+	dev *accel.Device
+}
+
+// NewContext builds a GMAC runtime on the given machine, bound to its
+// primary accelerator.
+func NewContext(m *machine.Machine, cfg Config) (*Context, error) {
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	if cfg.RollingDelta == 0 {
+		cfg.RollingDelta = 2
+	}
+	mgr, err := core.NewManager(core.Config{
+		Protocol:     cfg.Protocol,
+		BlockSize:    cfg.BlockSize,
+		RollingDelta: cfg.RollingDelta,
+		FixedRolling: cfg.FixedRolling,
+		MallocCost:   2 * sim.Microsecond,
+		FreeCost:     1 * sim.Microsecond,
+		LaunchCost:   2 * sim.Microsecond,
+		TreeNodeCost: 30 * sim.Nanosecond,
+		MprotectCost: 300 * sim.Nanosecond,
+	}, m.Clock, m.Breakdown, m.MMU, m.VA, m.Device())
+	if err != nil {
+		return nil, err
+	}
+	return &Context{m: m, mgr: mgr, dev: m.Device()}, nil
+}
+
+// Machine returns the underlying simulated machine.
+func (c *Context) Machine() *machine.Machine { return c.m }
+
+// Stats returns the runtime's activity counters.
+func (c *Context) Stats() Stats { return c.mgr.Stats() }
+
+// Protocol returns the active coherence protocol.
+func (c *Context) Protocol() Protocol { return c.mgr.Protocol() }
+
+// Manager exposes the shared-memory manager for experiment harnesses.
+func (c *Context) Manager() *core.Manager { return c.mgr }
+
+// EnableTrace records every protocol action (faults, state transitions,
+// transfers, evictions, API events) with virtual timestamps, keeping the
+// most recent capacity events, and returns the log.
+func (c *Context) EnableTrace(capacity int) *TraceLog {
+	l := trace.New(capacity)
+	c.mgr.SetTracer(l)
+	return l
+}
+
+// RegisterKernel makes a kernel launchable through Call.
+func (c *Context) RegisterKernel(k *Kernel) { c.dev.Register(k) }
+
+// Alloc implements adsmAlloc: it allocates size bytes of shared memory and
+// returns a pointer valid on both processors.
+func (c *Context) Alloc(size int64) (Ptr, error) { return c.mgr.Alloc(size) }
+
+// AllocFor allocates shared memory assigned to the given kernels (§3.3's
+// elaborated allocation API): calls to other kernels leave the object
+// untouched on the host — no flush, no invalidation — so the CPU works on
+// it undisturbed while unrelated kernels run.
+func (c *Context) AllocFor(size int64, kernels ...string) (Ptr, error) {
+	return c.mgr.AllocFor(size, kernels...)
+}
+
+// SafeAlloc implements adsmSafeAlloc: the fallback for address-range
+// conflicts (§4.2). The returned pointer is valid only on the CPU; pass
+// Safe(p) to kernels.
+func (c *Context) SafeAlloc(size int64) (Ptr, error) { return c.mgr.SafeAlloc(size) }
+
+// Safe implements adsmSafe: it translates a CPU pointer into the
+// accelerator address of the same shared byte.
+func (c *Context) Safe(p Ptr) (Ptr, error) { return c.mgr.Translate(p) }
+
+// Free implements adsmFree.
+func (c *Context) Free(p Ptr) error { return c.mgr.Free(p) }
+
+// Call implements adsmCall: it releases shared objects (per the active
+// protocol) and launches the kernel asynchronously.
+func (c *Context) Call(kernel string, args ...uint64) error {
+	return c.mgr.Invoke(kernel, args...)
+}
+
+// CallAnnotated is Call with a kernel write-set annotation (§4.3): only
+// the objects listed in writes are invalidated on the host, so shared data
+// the kernel merely reads stays CPU-valid across the call and costs no
+// transfer to read afterwards. The annotation is what the paper suggests
+// interprocedural pointer analysis or the programmer should supply.
+func (c *Context) CallAnnotated(kernel string, writes []Ptr, args ...uint64) error {
+	return c.mgr.InvokeAnnotated(kernel, writes, args...)
+}
+
+// Sync implements adsmSync: it blocks until the accelerator finishes and
+// re-acquires shared objects for the CPU.
+func (c *Context) Sync() error { return c.mgr.Sync() }
+
+// CallSync is Call followed by Sync, the common pattern.
+func (c *Context) CallSync(kernel string, args ...uint64) error {
+	if err := c.Call(kernel, args...); err != nil {
+		return err
+	}
+	return c.Sync()
+}
+
+// IsShared reports whether p points into a live shared object, as the
+// interposed libc entry points must decide (§4.4).
+func (c *Context) IsShared(p Ptr) bool { return c.mgr.IsShared(p) }
+
+// Memcpy copies between a host buffer and shared memory using the
+// interposed bulk path: data is moved with accelerator copies where the
+// current version lives on the device, avoiding page-fault storms.
+func (c *Context) MemcpyToShared(dst Ptr, src []byte) error {
+	c.m.CPUTouch(int64(len(src)))
+	return c.mgr.BulkWrite(dst, src)
+}
+
+// MemcpyFromShared copies shared memory into a host buffer.
+func (c *Context) MemcpyFromShared(dst []byte, src Ptr) error {
+	c.m.CPUTouch(int64(len(dst)))
+	return c.mgr.BulkRead(src, dst)
+}
+
+// MemcpyShared copies between two shared objects.
+func (c *Context) MemcpyShared(dst, src Ptr, n int64) error {
+	buf := make([]byte, n)
+	if err := c.mgr.BulkRead(src, buf); err != nil {
+		return err
+	}
+	return c.mgr.BulkWrite(dst, buf)
+}
+
+// Memset fills shared memory, using the accelerator's memset engine for
+// whole blocks.
+func (c *Context) Memset(p Ptr, b byte, n int64) error {
+	return c.mgr.BulkSet(p, b, n)
+}
+
+// HostWrite writes src to shared memory through the normal faulting CPU
+// path (a plain assignment in application code).
+func (c *Context) HostWrite(p Ptr, src []byte) error { return c.mgr.HostWrite(p, src) }
+
+// HostRead reads shared memory through the normal faulting CPU path.
+func (c *Context) HostRead(p Ptr, dst []byte) error { return c.mgr.HostRead(p, dst) }
+
+// String describes the context.
+func (c *Context) String() string {
+	return fmt.Sprintf("gmac.Context{%s on %s}", c.mgr.Protocol(), c.dev.Name())
+}

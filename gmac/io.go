@@ -1,0 +1,96 @@
+package gmac
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/osabs"
+)
+
+// This file implements the interposed I/O path of Section 4.4: read() and
+// write() calls whose buffer is a shared object are performed in
+// block-sized chunks through the normal faulting access path, so an
+// ongoing system call is never aborted by a mid-transfer page fault. The
+// programmer sees the illusion of peer DMA — shared pointers go straight
+// into I/O calls — while the implementation stages each chunk through
+// system memory, exactly like the paper's GMAC.
+
+// ioChunk returns the chunk size used for interposed I/O: the coherence
+// block size under rolling-update, or a fixed staging size otherwise.
+func (c *Context) ioChunk() int64 {
+	const staging = 256 << 10
+	return staging
+}
+
+// ReadFile reads up to n bytes from f into shared memory at p, returning
+// the number of bytes read. It is the interposed read(2).
+func (c *Context) ReadFile(f *osabs.File, p Ptr, n int64) (int64, error) {
+	if !c.IsShared(p) {
+		return 0, fmt.Errorf("gmac: ReadFile target %#x is not shared (use f.Read directly)", uint64(p))
+	}
+	chunk := c.ioChunk()
+	buf := make([]byte, chunk)
+	var total int64
+	for total < n {
+		want := chunk
+		if rem := n - total; rem < want {
+			want = rem
+		}
+		got, err := f.Read(buf[:want])
+		if got > 0 {
+			var werr error
+			if c.m.Config().PeerDMA {
+				// Hardware peer DMA: the chunk lands in accelerator
+				// memory without staging through the host copy.
+				werr = c.mgr.PeerWrite(p+Ptr(total), buf[:got])
+			} else {
+				werr = c.mgr.HostWrite(p+Ptr(total), buf[:got])
+			}
+			if werr != nil {
+				return total, werr
+			}
+			total += int64(got)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// WriteFile writes n bytes of shared memory at p into f, returning the
+// number of bytes written. It is the interposed write(2). Blocks whose
+// current version lives on the accelerator are fetched on demand by the
+// fault handler, so writing kernel output to disk needs no explicit copy.
+func (c *Context) WriteFile(f *osabs.File, p Ptr, n int64) (int64, error) {
+	if !c.IsShared(p) {
+		return 0, fmt.Errorf("gmac: WriteFile source %#x is not shared (use f.Write directly)", uint64(p))
+	}
+	chunk := c.ioChunk()
+	buf := make([]byte, chunk)
+	var total int64
+	for total < n {
+		want := chunk
+		if rem := n - total; rem < want {
+			want = rem
+		}
+		var rerr error
+		if c.m.Config().PeerDMA {
+			rerr = c.mgr.PeerRead(p+Ptr(total), buf[:want])
+		} else {
+			rerr = c.mgr.HostRead(p+Ptr(total), buf[:want])
+		}
+		if rerr != nil {
+			return total, rerr
+		}
+		wrote, err := f.Write(buf[:want])
+		total += int64(wrote)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

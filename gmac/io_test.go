@@ -1,0 +1,113 @@
+package gmac
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/machine"
+)
+
+// TestSection44BlockwiseIO exercises the exact failure scenario §4.4
+// describes: a read() whose destination spans many protected blocks under
+// a tiny rolling cache. Each chunk's page fault fires *between* chunk
+// transfers, never aborting an in-flight one — the block-wise interposition
+// that makes the call restart-free. The data must arrive intact even
+// though blocks are evicted (and re-protected) mid-"syscall".
+func TestSection44BlockwiseIO(t *testing.T) {
+	m := machine.SmallTestbed()
+	ctx, err := NewContext(m, Config{
+		Protocol:     RollingUpdate,
+		BlockSize:    4 << 10, // page-sized blocks: maximum fault pressure
+		FixedRolling: 1,       // evict on every second dirty block
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 256 << 10 // 64 blocks
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i*31 + i/253)
+	}
+	m.FS.CreateWith("in.dat", payload)
+
+	p, err := ctx.Alloc(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.FS.Open("in.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ctx.ReadFile(f, p, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != size {
+		t.Fatalf("read %d bytes", got)
+	}
+	st := ctx.Stats()
+	if st.Faults < 60 {
+		t.Fatalf("expected a write fault per block, got %d", st.Faults)
+	}
+	if st.Evictions < 60 {
+		t.Fatalf("expected evictions mid-I/O, got %d", st.Evictions)
+	}
+	// The whole payload survived the eviction storm.
+	back := make([]byte, size)
+	if err := ctx.HostRead(p, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, payload) {
+		t.Fatal("payload corrupted by mid-I/O evictions")
+	}
+	// And the accelerator sees it after the release point.
+	ctx.RegisterKernel(&Kernel{Name: "nop", Run: func(*DeviceMemory, []uint64) {}})
+	if err := ctx.CallSync("nop", uint64(p)); err != nil {
+		t.Fatal(err)
+	}
+	dv := make([]byte, size)
+	m.Device().Memory().Read(p, dv)
+	if !bytes.Equal(dv, payload) {
+		t.Fatal("device copy diverged after release")
+	}
+}
+
+// TestWriteFileFetchesFromDevice checks the §4.4 output path: writing a
+// shared object the accelerator produced pulls blocks on demand.
+func TestWriteFileFetchesFromDevice(t *testing.T) {
+	m := machine.SmallTestbed()
+	ctx, err := NewContext(m, Config{Protocol: RollingUpdate, BlockSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.RegisterKernel(&Kernel{
+		Name: "stamp",
+		Run: func(dev *DeviceMemory, args []uint64) {
+			p, n := Ptr(args[0]), int64(args[1])
+			buf := dev.Bytes(p, n)
+			for i := range buf {
+				buf[i] = byte(i % 251)
+			}
+		},
+	})
+	const size = 192 << 10
+	p, _ := ctx.Alloc(size)
+	if err := ctx.CallSync("stamp", uint64(p), size); err != nil {
+		t.Fatal(err)
+	}
+	base := ctx.Stats()
+	out := m.FS.Create("out.dat")
+	if _, err := ctx.WriteFile(out, p, size); err != nil {
+		t.Fatal(err)
+	}
+	d := ctx.Stats().Sub(base)
+	if d.BytesD2H != size {
+		t.Fatalf("WriteFile fetched %d bytes, want %d", d.BytesD2H, size)
+	}
+	data, _ := m.FS.Contents("out.dat")
+	for i := range data {
+		if data[i] != byte(i%251) {
+			t.Fatalf("output byte %d corrupted", i)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package gmac
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hostmmu"
+	"repro/internal/sim"
+	"repro/machine"
+)
+
+// MultiContext is a GMAC session spanning every accelerator of a machine —
+// the multi-accelerator configuration of §4.2. Each shared object lives in
+// exactly one accelerator's memory; kernel calls are routed to the device
+// hosting their data (the data-centric placement ADSM enables), and the
+// host MMU dispatches faults to the owning device's manager.
+//
+// Identity mapping can genuinely fail in this configuration (two devices
+// report overlapping physical windows), so Alloc transparently falls back
+// to SafeAlloc; pass Safe(p) to kernels when Identity(p) reports false, or
+// build the machine with VirtualMemory devices to make every allocation
+// identity-mapped.
+type MultiContext struct {
+	m    *machine.Machine
+	mgrs []*core.Manager
+	next int // round-robin placement cursor
+}
+
+// NewMultiContext builds one manager per device and installs a fault
+// dispatcher routing each page fault to the manager owning the address.
+func NewMultiContext(m *machine.Machine, cfg Config) (*MultiContext, error) {
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	if cfg.RollingDelta == 0 {
+		cfg.RollingDelta = 2
+	}
+	mc := &MultiContext{m: m}
+	for _, dev := range m.Devices {
+		mgr, err := core.NewManager(core.Config{
+			Protocol:     cfg.Protocol,
+			BlockSize:    cfg.BlockSize,
+			RollingDelta: cfg.RollingDelta,
+			FixedRolling: cfg.FixedRolling,
+			MallocCost:   2 * sim.Microsecond,
+			FreeCost:     1 * sim.Microsecond,
+			LaunchCost:   2 * sim.Microsecond,
+			TreeNodeCost: 30 * sim.Nanosecond,
+			MprotectCost: 300 * sim.Nanosecond,
+		}, m.Clock, m.Breakdown, m.MMU, m.VA, dev)
+		if err != nil {
+			return nil, err
+		}
+		mc.mgrs = append(mc.mgrs, mgr)
+	}
+	// Each NewManager installed itself as the MMU handler; replace with a
+	// dispatcher that routes by owning object.
+	m.MMU.SetHandler(func(f hostmmu.Fault) error {
+		for _, mgr := range mc.mgrs {
+			if mgr.IsShared(f.Addr) {
+				return mgr.HandleFault(f)
+			}
+		}
+		return fmt.Errorf("gmac: fault at %#x outside every shared object", uint64(f.Addr))
+	})
+	return mc, nil
+}
+
+// Devices returns the number of managed accelerators.
+func (mc *MultiContext) Devices() int { return len(mc.mgrs) }
+
+// Manager exposes one device's shared-memory manager.
+func (mc *MultiContext) Manager(dev int) *core.Manager { return mc.mgrs[dev] }
+
+// RegisterKernelAll registers the kernel on every device, so calls can be
+// routed by data placement.
+func (mc *MultiContext) RegisterKernelAll(mk func() *Kernel) {
+	for _, mgr := range mc.mgrs {
+		mgr.Device().Register(mk())
+	}
+}
+
+// AllocOn allocates a shared object hosted by the given device, falling
+// back to SafeAlloc on an identity-mapping conflict.
+func (mc *MultiContext) AllocOn(dev int, size int64) (Ptr, error) {
+	if dev < 0 || dev >= len(mc.mgrs) {
+		return 0, fmt.Errorf("gmac: no device %d", dev)
+	}
+	p, err := mc.mgrs[dev].Alloc(size)
+	if err == nil {
+		return p, nil
+	}
+	if errors.Is(err, core.ErrAddrConflict) {
+		return mc.mgrs[dev].SafeAlloc(size)
+	}
+	return 0, err
+}
+
+// Alloc places the object round-robin across devices.
+func (mc *MultiContext) Alloc(size int64) (Ptr, error) {
+	dev := mc.next % len(mc.mgrs)
+	mc.next++
+	return mc.AllocOn(dev, size)
+}
+
+// owner returns the manager hosting p, or nil.
+func (mc *MultiContext) owner(p Ptr) *core.Manager {
+	for _, mgr := range mc.mgrs {
+		if mgr.IsShared(p) {
+			return mgr
+		}
+	}
+	return nil
+}
+
+// Owner returns the index of the device hosting p, or -1.
+func (mc *MultiContext) Owner(p Ptr) int {
+	for i, mgr := range mc.mgrs {
+		if mgr.IsShared(p) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Identity reports whether p is valid on its accelerator as-is.
+func (mc *MultiContext) Identity(p Ptr) bool {
+	mgr := mc.owner(p)
+	if mgr == nil {
+		return false
+	}
+	dv, err := mgr.Translate(p)
+	return err == nil && dv == p
+}
+
+// Safe translates a host pointer to its accelerator address.
+func (mc *MultiContext) Safe(p Ptr) (Ptr, error) {
+	mgr := mc.owner(p)
+	if mgr == nil {
+		return 0, fmt.Errorf("gmac: %#x is not shared", uint64(p))
+	}
+	return mgr.Translate(p)
+}
+
+// Free releases a shared object wherever it lives.
+func (mc *MultiContext) Free(p Ptr) error {
+	mgr := mc.owner(p)
+	if mgr == nil {
+		return fmt.Errorf("gmac: free of unshared %#x", uint64(p))
+	}
+	return mgr.Free(p)
+}
+
+// HostWrite writes shared memory through the owning device's manager.
+func (mc *MultiContext) HostWrite(p Ptr, src []byte) error {
+	mgr := mc.owner(p)
+	if mgr == nil {
+		return fmt.Errorf("gmac: write to unshared %#x", uint64(p))
+	}
+	return mgr.HostWrite(p, src)
+}
+
+// HostRead reads shared memory through the owning device's manager.
+func (mc *MultiContext) HostRead(p Ptr, dst []byte) error {
+	mgr := mc.owner(p)
+	if mgr == nil {
+		return fmt.Errorf("gmac: read from unshared %#x", uint64(p))
+	}
+	return mgr.HostRead(p, dst)
+}
+
+// Call routes the kernel to the device hosting its first shared pointer
+// argument (data-affinity placement) and performs that device's release
+// actions. All shared pointer arguments must live on the same device: ADSM
+// kernels can only reach their own accelerator's memory.
+func (mc *MultiContext) Call(kernel string, args ...uint64) error {
+	var target *core.Manager
+	for _, a := range args {
+		mgr := mc.owner(Ptr(a))
+		if mgr == nil {
+			continue // scalar argument
+		}
+		if target == nil {
+			target = mgr
+		} else if target != mgr {
+			return fmt.Errorf("gmac: kernel %s arguments span devices %s and %s",
+				kernel, target.Device().Name(), mgr.Device().Name())
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("gmac: kernel %s has no shared-object argument to route by", kernel)
+	}
+	// Translate safe pointers for the device.
+	devArgs := make([]uint64, len(args))
+	for i, a := range args {
+		if mgr := mc.owner(Ptr(a)); mgr == target {
+			dv, err := mgr.Translate(Ptr(a))
+			if err != nil {
+				return err
+			}
+			devArgs[i] = uint64(dv)
+			continue
+		}
+		devArgs[i] = a
+	}
+	return target.Invoke(kernel, devArgs...)
+}
+
+// Sync waits for every device and runs each manager's acquire actions.
+func (mc *MultiContext) Sync() error {
+	for _, mgr := range mc.mgrs {
+		if err := mgr.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CallSync is Call followed by a full Sync.
+func (mc *MultiContext) CallSync(kernel string, args ...uint64) error {
+	if err := mc.Call(kernel, args...); err != nil {
+		return err
+	}
+	return mc.Sync()
+}
+
+// Stats aggregates all managers' counters.
+func (mc *MultiContext) Stats() Stats {
+	var total Stats
+	zero := Stats{}
+	for _, mgr := range mc.mgrs {
+		s := mgr.Stats()
+		total = addStats(total, s.Sub(zero))
+	}
+	return total
+}
+
+func addStats(a, b Stats) Stats {
+	a.BytesH2D += b.BytesH2D
+	a.BytesD2H += b.BytesD2H
+	a.TransfersH2D += b.TransfersH2D
+	a.TransfersD2H += b.TransfersD2H
+	a.Faults += b.Faults
+	a.ReadFaults += b.ReadFaults
+	a.WriteFaults += b.WriteFaults
+	a.Evictions += b.Evictions
+	a.H2DWait += b.H2DWait
+	a.D2HWait += b.D2HWait
+	a.H2DDrain += b.H2DDrain
+	a.SearchTime += b.SearchTime
+	a.PeerBytesIn += b.PeerBytesIn
+	a.PeerBytesOut += b.PeerBytesOut
+	a.Allocs += b.Allocs
+	a.Frees += b.Frees
+	a.Invokes += b.Invokes
+	a.Syncs += b.Syncs
+	return a
+}

@@ -1,0 +1,166 @@
+package gmac
+
+import (
+	"math"
+	"testing"
+
+	"repro/machine"
+)
+
+func newMulti(t *testing.T, vm bool) *MultiContext {
+	t.Helper()
+	m := machine.DualGPUTestbed(vm)
+	mc, err := NewMultiContext(m, Config{Protocol: RollingUpdate, BlockSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.RegisterKernelAll(func() *Kernel {
+		return &Kernel{
+			Name: "scale",
+			Run: func(dev *DeviceMemory, args []uint64) {
+				p, n := Ptr(args[0]), int64(args[1])
+				f := math.Float32frombits(uint32(args[2]))
+				for i := int64(0); i < n; i++ {
+					dev.SetFloat32(p+Ptr(i*4), f*dev.Float32(p+Ptr(i*4)))
+				}
+			},
+			Cost: func(args []uint64) (float64, int64) {
+				n := int64(args[1])
+				return float64(n), 8 * n
+			},
+		}
+	})
+	return mc
+}
+
+func TestMultiContextPlacementAndRouting(t *testing.T) {
+	mc := newMulti(t, false)
+	if mc.Devices() != 2 {
+		t.Fatalf("devices = %d", mc.Devices())
+	}
+	// Round-robin placement alternates devices.
+	a, err := mc.Alloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mc.Alloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Owner(a) == mc.Owner(b) {
+		t.Fatalf("round-robin placed both objects on device %d", mc.Owner(a))
+	}
+	// Device 0's object is identity-mapped; device 1's window overlaps, so
+	// it fell back to SafeAlloc.
+	if !mc.Identity(a) {
+		t.Fatal("first object should be identity-mapped")
+	}
+	if mc.Identity(b) {
+		t.Fatal("second object should have required SafeAlloc (overlapping windows)")
+	}
+
+	// Write, compute, read on both — calls are routed by data placement
+	// and safe pointers are translated automatically.
+	const n = 1024
+	init := make([]byte, n*4)
+	for i := 0; i < n; i++ {
+		v := math.Float32bits(2)
+		init[i*4] = byte(v)
+		init[i*4+1] = byte(v >> 8)
+		init[i*4+2] = byte(v >> 16)
+		init[i*4+3] = byte(v >> 24)
+	}
+	for _, p := range []Ptr{a, b} {
+		if err := mc.HostWrite(p, init); err != nil {
+			t.Fatal(err)
+		}
+		if err := mc.CallSync("scale", uint64(p), n, uint64(math.Float32bits(3))); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 4)
+		if err := mc.HostRead(p, got); err != nil {
+			t.Fatal(err)
+		}
+		v := math.Float32frombits(uint32(got[0]) | uint32(got[1])<<8 | uint32(got[2])<<16 | uint32(got[3])<<24)
+		if v != 6 {
+			t.Fatalf("object on device %d: got %v, want 6", mc.Owner(p), v)
+		}
+	}
+	// Kernels ran on distinct devices.
+	if mc.Manager(0).Device().Stats().Launches == 0 || mc.Manager(1).Device().Stats().Launches == 0 {
+		t.Fatal("calls were not routed to both devices")
+	}
+	st := mc.Stats()
+	if st.Allocs != 2 || st.Invokes != 2 {
+		t.Fatalf("aggregate stats: %+v", st)
+	}
+	for _, p := range []Ptr{a, b} {
+		if err := mc.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMultiContextVirtualMemoryRemovesConflicts(t *testing.T) {
+	mc := newMulti(t, true)
+	for i := 0; i < 6; i++ {
+		p, err := mc.Alloc(512 << 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mc.Identity(p) {
+			t.Fatalf("allocation %d not identity-mapped despite device MMUs", i)
+		}
+	}
+}
+
+func TestMultiContextCrossDeviceCallRejected(t *testing.T) {
+	mc := newMulti(t, true)
+	a, _ := mc.AllocOn(0, 4096)
+	b, _ := mc.AllocOn(1, 4096)
+	if err := mc.Call("scale", uint64(a), uint64(b), 0); err == nil {
+		t.Fatal("cross-device kernel call accepted")
+	}
+	if err := mc.Call("scale", 7, 8); err == nil {
+		t.Fatal("call with no shared argument accepted")
+	}
+}
+
+func TestMultiContextFaultDispatch(t *testing.T) {
+	// Faults on either device's objects resolve through the right manager.
+	mc := newMulti(t, true)
+	a, _ := mc.AllocOn(0, 64<<10)
+	b, _ := mc.AllocOn(1, 64<<10)
+	if err := mc.HostWrite(a, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.HostWrite(b, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Manager(0).Stats().WriteFaults != 1 || mc.Manager(1).Stats().WriteFaults != 1 {
+		t.Fatalf("fault dispatch wrong: %d/%d",
+			mc.Manager(0).Stats().WriteFaults, mc.Manager(1).Stats().WriteFaults)
+	}
+}
+
+func TestMultiContextErrors(t *testing.T) {
+	mc := newMulti(t, false)
+	if _, err := mc.AllocOn(5, 4096); err == nil {
+		t.Fatal("bad device index accepted")
+	}
+	if err := mc.Free(0x1); err == nil {
+		t.Fatal("free of unshared accepted")
+	}
+	if err := mc.HostRead(0x1, make([]byte, 1)); err == nil {
+		t.Fatal("read of unshared accepted")
+	}
+	if err := mc.HostWrite(0x1, []byte{1}); err == nil {
+		t.Fatal("write of unshared accepted")
+	}
+	if _, err := mc.Safe(0x1); err == nil {
+		t.Fatal("safe of unshared accepted")
+	}
+	if mc.Owner(0x1) != -1 || mc.Identity(0x1) {
+		t.Fatal("unshared pointer misclassified")
+	}
+}

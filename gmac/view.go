@@ -1,0 +1,187 @@
+package gmac
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/hostmmu"
+)
+
+// Float32View is a typed CPU-side window onto a shared float32 array. Every
+// access goes through the host MMU, so protection faults fire exactly where
+// a compiled load or store would fault in the real GMAC: the first read of
+// Invalid data and the first write to ReadOnly data.
+//
+// Element accessors (At/Set) fault per touched block, like scalar code;
+// bulk accessors (CopyIn/CopyOut/Fill) also use the faulting path — use the
+// Context's Memcpy*/Memset interposition to take the accelerator-copy
+// shortcut instead.
+type Float32View struct {
+	ctx  *Context
+	addr Ptr
+	n    int64
+}
+
+// Float32s returns a view of n float32 elements starting at p. The range
+// must lie inside one shared object.
+func (c *Context) Float32s(p Ptr, n int64) (Float32View, error) {
+	if n < 0 {
+		return Float32View{}, fmt.Errorf("gmac: negative view length %d", n)
+	}
+	obj := c.mgr.ObjectAt(p)
+	if obj == nil {
+		return Float32View{}, fmt.Errorf("gmac: %#x is not shared memory", uint64(p))
+	}
+	if p+Ptr(n*4) > obj.Addr()+Ptr(obj.Size()) {
+		return Float32View{}, fmt.Errorf("gmac: view of %d float32s at %#x exceeds object", n, uint64(p))
+	}
+	return Float32View{ctx: c, addr: p, n: n}, nil
+}
+
+// Len returns the number of elements in the view.
+func (v Float32View) Len() int64 { return v.n }
+
+// Ptr returns the shared address of the view's first element.
+func (v Float32View) Ptr() Ptr { return v.addr }
+
+func (v Float32View) elemAddr(i int64) Ptr {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("gmac: index %d out of range [0,%d)", i, v.n))
+	}
+	return v.addr + Ptr(i*4)
+}
+
+// At returns element i, faulting the containing block in if necessary.
+func (v Float32View) At(i int64) float32 {
+	b, err := v.ctx.mgr.HostBytes(v.elemAddr(i), 4, hostmmu.AccessRead)
+	if err != nil {
+		panic(fmt.Sprintf("gmac: read of shared element failed: %v", err))
+	}
+	return math.Float32frombits(binary.LittleEndian.Uint32(b))
+}
+
+// Set stores x into element i, faulting as necessary. A four-byte aligned
+// store never crosses a block boundary, so the single-block HostBytes write
+// path is safe here.
+func (v Float32View) Set(i int64, x float32) {
+	b, err := v.ctx.mgr.HostBytes(v.elemAddr(i), 4, hostmmu.AccessWrite)
+	if err != nil {
+		panic(fmt.Sprintf("gmac: write of shared element failed: %v", err))
+	}
+	binary.LittleEndian.PutUint32(b, math.Float32bits(x))
+}
+
+// CopyIn stores src into the view starting at element off, charging the
+// CPU's streaming bandwidth for the touched bytes.
+func (v Float32View) CopyIn(off int64, src []float32) error {
+	if off < 0 || off+int64(len(src)) > v.n {
+		return fmt.Errorf("gmac: CopyIn [%d,+%d) out of range [0,%d)", off, len(src), v.n)
+	}
+	buf := make([]byte, len(src)*4)
+	for i, x := range src {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(x))
+	}
+	if err := v.ctx.mgr.HostWrite(v.addr+Ptr(off*4), buf); err != nil {
+		return err
+	}
+	v.ctx.m.CPUTouch(int64(len(src)) * 4)
+	return nil
+}
+
+// CopyOut loads elements [off, off+len(dst)) into dst.
+func (v Float32View) CopyOut(off int64, dst []float32) error {
+	if off < 0 || off+int64(len(dst)) > v.n {
+		return fmt.Errorf("gmac: CopyOut [%d,+%d) out of range [0,%d)", off, len(dst), v.n)
+	}
+	b, err := v.ctx.mgr.HostBytes(v.addr+Ptr(off*4), int64(len(dst))*4, hostmmu.AccessRead)
+	if err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	v.ctx.m.CPUTouch(int64(len(dst)) * 4)
+	return nil
+}
+
+// Fill sets every element to x.
+func (v Float32View) Fill(x float32) error {
+	buf := make([]byte, v.n*4)
+	bits := math.Float32bits(x)
+	for i := int64(0); i < v.n; i++ {
+		binary.LittleEndian.PutUint32(buf[i*4:], bits)
+	}
+	if err := v.ctx.mgr.HostWrite(v.addr, buf); err != nil {
+		return err
+	}
+	v.ctx.m.CPUTouch(v.n * 4)
+	return nil
+}
+
+// Sum reduces the view on the CPU (reads fault blocks in as needed) and
+// charges the scan to the CPU breakdown slice.
+func (v Float32View) Sum() (float64, error) {
+	b, err := v.ctx.mgr.HostBytes(v.addr, v.n*4, hostmmu.AccessRead)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for i := int64(0); i < v.n; i++ {
+		s += float64(math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:])))
+	}
+	v.ctx.m.CPUTouch(v.n * 4)
+	return s, nil
+}
+
+// Uint32View is a typed CPU-side window onto a shared uint32 array.
+type Uint32View struct {
+	ctx  *Context
+	addr Ptr
+	n    int64
+}
+
+// Uint32s returns a view of n uint32 elements starting at p.
+func (c *Context) Uint32s(p Ptr, n int64) (Uint32View, error) {
+	if n < 0 {
+		return Uint32View{}, fmt.Errorf("gmac: negative view length %d", n)
+	}
+	obj := c.mgr.ObjectAt(p)
+	if obj == nil {
+		return Uint32View{}, fmt.Errorf("gmac: %#x is not shared memory", uint64(p))
+	}
+	if p+Ptr(n*4) > obj.Addr()+Ptr(obj.Size()) {
+		return Uint32View{}, fmt.Errorf("gmac: view of %d uint32s at %#x exceeds object", n, uint64(p))
+	}
+	return Uint32View{ctx: c, addr: p, n: n}, nil
+}
+
+// Len returns the number of elements in the view.
+func (v Uint32View) Len() int64 { return v.n }
+
+// Ptr returns the shared address of the view's first element.
+func (v Uint32View) Ptr() Ptr { return v.addr }
+
+// At returns element i.
+func (v Uint32View) At(i int64) uint32 {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("gmac: index %d out of range [0,%d)", i, v.n))
+	}
+	b, err := v.ctx.mgr.HostBytes(v.addr+Ptr(i*4), 4, hostmmu.AccessRead)
+	if err != nil {
+		panic(fmt.Sprintf("gmac: read of shared element failed: %v", err))
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// Set stores x into element i.
+func (v Uint32View) Set(i int64, x uint32) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("gmac: index %d out of range [0,%d)", i, v.n))
+	}
+	b, err := v.ctx.mgr.HostBytes(v.addr+Ptr(i*4), 4, hostmmu.AccessWrite)
+	if err != nil {
+		panic(fmt.Sprintf("gmac: write of shared element failed: %v", err))
+	}
+	binary.LittleEndian.PutUint32(b, x)
+}

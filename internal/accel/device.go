@@ -1,0 +1,255 @@
+// Package accel simulates the accelerator of the reference architecture
+// (Figure 1): a throughput-oriented device with its own on-board memory,
+// reachable from the host only through DMA transfers over an interconnect
+// link. Kernels are real Go functions registered per device; they execute
+// against device memory (so results are genuine) while their virtual
+// execution time comes from a calibrated roofline cost model (compute
+// throughput vs on-board memory bandwidth).
+//
+// The device performs no coherence actions whatsoever — the asymmetry at
+// the heart of ADSM. Everything here is driven by host-side calls.
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/interconnect"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Config describes a device's hardware parameters.
+type Config struct {
+	Name string
+	// MemBase/MemSize locate the device's physical memory window. GMAC
+	// mirrors host mappings at these addresses, so the base should sit
+	// away from typical host program sections.
+	MemBase mem.Addr
+	MemSize int64
+	// AllocAlign is the allocation granularity of the on-board allocator
+	// (cudaMalloc returns 256-byte aligned pointers on the paper's GPUs).
+	AllocAlign int64
+	// GFLOPS is the peak single-precision compute throughput.
+	GFLOPS float64
+	// MemLink models the on-board GDDR interface.
+	MemLink *interconnect.Link
+	// H2D and D2H model the two directions of the host interconnect.
+	H2D, D2H *interconnect.Link
+	// LaunchOverhead is the host-side cost of dispatching one kernel.
+	LaunchOverhead sim.Time
+	// AllocOverhead is the host-side cost of one device malloc/free.
+	AllocOverhead sim.Time
+	// VirtualMemory equips the device with an MMU translating host-chosen
+	// virtual addresses (the architectural support §4.2 calls for).
+	VirtualMemory bool
+}
+
+// Device is one simulated accelerator.
+type Device struct {
+	cfg    Config
+	clock  *sim.Clock
+	memory *mem.Space
+	alloc  *mem.Allocator
+	dmaH2D *sim.Resource
+	dmaD2H *sim.Resource
+	engine *sim.Resource
+	kern   map[string]*Kernel
+	pt     *pageTable
+	stats  Stats
+	// pending tracks the last enqueued operation of the default stream so
+	// kernels launch after in-flight DMAs and vice versa, matching CUDA's
+	// default-stream ordering.
+	pending sim.Completion
+}
+
+// Stats counts device activity.
+type Stats struct {
+	BytesH2D, BytesD2H   int64
+	CopiesH2D, CopiesD2H int64
+	Launches             int64
+	Allocs, Frees        int64
+	KernelTime           sim.Time
+}
+
+// New creates a device bound to the host virtual clock.
+func New(cfg Config, clock *sim.Clock) *Device {
+	if cfg.MemSize <= 0 {
+		panic(fmt.Sprintf("accel: device %q has no memory", cfg.Name))
+	}
+	if cfg.AllocAlign == 0 {
+		cfg.AllocAlign = 256
+	}
+	d := &Device{
+		cfg:    cfg,
+		clock:  clock,
+		memory: mem.NewSpace(cfg.Name+" GDDR", cfg.MemBase, cfg.MemSize),
+		alloc:  mem.NewAllocator(cfg.MemBase, cfg.MemSize, cfg.AllocAlign),
+		dmaH2D: sim.NewResource(cfg.Name+" DMA H2D", clock),
+		dmaD2H: sim.NewResource(cfg.Name+" DMA D2H", clock),
+		engine: sim.NewResource(cfg.Name+" SMs", clock),
+		kern:   make(map[string]*Kernel),
+	}
+	if cfg.VirtualMemory {
+		d.pt = &pageTable{}
+		d.memory.SetTranslator(d.pt.translate)
+	}
+	return d
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.cfg.Name }
+
+// Config returns the device's hardware parameters.
+func (d *Device) Config() Config { return d.cfg }
+
+// Memory exposes the raw device memory space. Kernels and DMA use it; host
+// application code must not (that is the point of the paper).
+func (d *Device) Memory() *mem.Space { return d.memory }
+
+// Stats returns a copy of the activity counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the activity counters (between experiment runs).
+func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// Malloc allocates device memory, charging the host-side overhead.
+func (d *Device) Malloc(size int64) (mem.Addr, error) {
+	d.clock.Advance(d.cfg.AllocOverhead)
+	addr, err := d.alloc.Alloc(size)
+	if err != nil {
+		return 0, fmt.Errorf("accel %s: %w", d.cfg.Name, err)
+	}
+	d.stats.Allocs++
+	return addr, nil
+}
+
+// Free releases device memory.
+func (d *Device) Free(addr mem.Addr) error {
+	d.clock.Advance(d.cfg.AllocOverhead)
+	if err := d.alloc.Free(addr); err != nil {
+		return fmt.Errorf("accel %s: %w", d.cfg.Name, err)
+	}
+	d.stats.Frees++
+	return nil
+}
+
+// AllocSize returns the rounded size of the live allocation at addr (0 if
+// none). The shared-memory manager uses it for bookkeeping checks.
+func (d *Device) AllocSize(addr mem.Addr) int64 { return d.alloc.SizeOf(addr) }
+
+// LiveAllocs returns the number of live device allocations.
+func (d *Device) LiveAllocs() int { return d.alloc.Live() }
+
+// MemcpyH2DAsync copies src into device memory at dst without blocking the
+// host. Data moves immediately (the simulation is sequential), but the
+// virtual completion time respects DMA queueing and link bandwidth.
+func (d *Device) MemcpyH2DAsync(dst mem.Addr, src []byte) sim.Completion {
+	d.memory.Write(dst, src)
+	dur := d.cfg.H2D.TransferTime(int64(len(src)))
+	done := d.dmaH2D.SubmitNow(dur)
+	d.stats.BytesH2D += int64(len(src))
+	d.stats.CopiesH2D++
+	d.pending = sim.MaxCompletion(d.pending, done)
+	return done
+}
+
+// MemcpyH2D is the synchronous variant: the host stalls until the copy
+// completes.
+func (d *Device) MemcpyH2D(dst mem.Addr, src []byte) sim.Time {
+	done := d.MemcpyH2DAsync(dst, src)
+	return done.Wait(d.clock)
+}
+
+// MemcpyD2HAsync copies device memory at src into dst without blocking.
+func (d *Device) MemcpyD2HAsync(dst []byte, src mem.Addr) sim.Completion {
+	d.memory.Read(src, dst)
+	dur := d.cfg.D2H.TransferTime(int64(len(dst)))
+	done := d.dmaD2H.SubmitNow(dur)
+	d.stats.BytesD2H += int64(len(dst))
+	d.stats.CopiesD2H++
+	d.pending = sim.MaxCompletion(d.pending, done)
+	return done
+}
+
+// MemcpyD2H is the synchronous variant of MemcpyD2HAsync.
+func (d *Device) MemcpyD2H(dst []byte, src mem.Addr) sim.Time {
+	done := d.MemcpyD2HAsync(dst, src)
+	return done.Wait(d.clock)
+}
+
+// MemcpyD2D copies within device memory (cudaMemcpyDeviceToDevice).
+func (d *Device) MemcpyD2D(dst, src mem.Addr, n int64) sim.Completion {
+	buf := make([]byte, n)
+	d.memory.Read(src, buf)
+	d.memory.Write(dst, buf)
+	dur := d.cfg.MemLink.TransferTime(2 * n) // read + write of on-board memory
+	done := d.engine.SubmitNow(dur)
+	d.pending = sim.MaxCompletion(d.pending, done)
+	return done
+}
+
+// Memset fills device memory (cudaMemset) asynchronously.
+func (d *Device) Memset(dst mem.Addr, b byte, n int64) sim.Completion {
+	d.memory.Memset(dst, b, n)
+	dur := d.cfg.MemLink.TransferTime(n)
+	done := d.engine.SubmitNow(dur)
+	d.pending = sim.MaxCompletion(d.pending, done)
+	return done
+}
+
+// Register adds a kernel to the device's registry. Registering two kernels
+// with the same name panics: it is a programming error in the workload.
+func (d *Device) Register(k *Kernel) {
+	if k.Name == "" || k.Run == nil {
+		panic("accel: kernel needs a name and a body")
+	}
+	if _, dup := d.kern[k.Name]; dup {
+		panic(fmt.Sprintf("accel: kernel %q registered twice", k.Name))
+	}
+	d.kern[k.Name] = k
+}
+
+// Kernels returns the number of registered kernels.
+func (d *Device) Kernels() int { return len(d.kern) }
+
+// Lookup returns the registered kernel with the given name.
+func (d *Device) Lookup(name string) (*Kernel, bool) {
+	k, ok := d.kern[name]
+	return k, ok
+}
+
+// Launch dispatches a kernel asynchronously. The kernel body runs now (so
+// device memory is up to date for any subsequent host copies), while its
+// virtual completion accounts for queueing behind earlier work in the
+// default stream. The host is charged only the launch overhead.
+func (d *Device) Launch(name string, args ...uint64) (sim.Completion, error) {
+	k, ok := d.kern[name]
+	if !ok {
+		return sim.Completion{}, fmt.Errorf("accel %s: unknown kernel %q", d.cfg.Name, name)
+	}
+	d.clock.Advance(d.cfg.LaunchOverhead)
+	k.Run(d.memory, args)
+	dur := k.cost(d, args)
+	done := d.engine.Submit(sim.MaxCompletion(d.pending, sim.Completion{At: d.clock.Now()}).At, dur)
+	d.stats.Launches++
+	d.stats.KernelTime += dur
+	d.pending = sim.MaxCompletion(d.pending, done)
+	return done, nil
+}
+
+// H2DFreeAt reports when the host-to-device DMA engine becomes idle. The
+// rolling-update protocol waits on it before submitting an eviction (queue
+// depth one, as the paper's §5.2 describes).
+func (d *Device) H2DFreeAt() sim.Time { return d.dmaH2D.FreeAt() }
+
+// D2HFreeAt reports when the device-to-host DMA engine becomes idle.
+func (d *Device) D2HFreeAt() sim.Time { return d.dmaD2H.FreeAt() }
+
+// Synchronize blocks the host until all enqueued device work completes and
+// returns the stall time (cudaThreadSynchronize).
+func (d *Device) Synchronize() sim.Time {
+	return d.pending.Wait(d.clock)
+}
+
+// Pending returns the completion of the last enqueued operation.
+func (d *Device) Pending() sim.Completion { return d.pending }

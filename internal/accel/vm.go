@@ -1,0 +1,97 @@
+package accel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// pageTable is the device MMU the paper identifies as the missing piece
+// for robust multi-accelerator ADSM (§4.2, §7): it maps host-chosen
+// virtual addresses onto physically contiguous device allocations, so
+// adsmAlloc can always hand out one pointer valid on both processors.
+type pageTable struct {
+	entries []vmEntry // sorted by va
+}
+
+type vmEntry struct {
+	va   mem.Addr
+	phys mem.Addr
+	size int64
+}
+
+// translate implements mem.Translator over the mapped ranges.
+func (pt *pageTable) translate(addr mem.Addr, n int64) (mem.Addr, bool) {
+	i := sort.Search(len(pt.entries), func(i int) bool { return pt.entries[i].va > addr })
+	if i == 0 {
+		return 0, false
+	}
+	e := pt.entries[i-1]
+	if addr+mem.Addr(n) > e.va+mem.Addr(e.size) {
+		return 0, false
+	}
+	return e.phys + (addr - e.va), true
+}
+
+func (pt *pageTable) insert(va, phys mem.Addr, size int64) error {
+	i := sort.Search(len(pt.entries), func(i int) bool { return pt.entries[i].va > va })
+	if i > 0 {
+		prev := pt.entries[i-1]
+		if va < prev.va+mem.Addr(prev.size) {
+			return fmt.Errorf("accel: VA mapping %#x overlaps existing", uint64(va))
+		}
+	}
+	if i < len(pt.entries) && va+mem.Addr(size) > pt.entries[i].va {
+		return fmt.Errorf("accel: VA mapping %#x overlaps existing", uint64(va))
+	}
+	pt.entries = append(pt.entries, vmEntry{})
+	copy(pt.entries[i+1:], pt.entries[i:])
+	pt.entries[i] = vmEntry{va: va, phys: phys, size: size}
+	return nil
+}
+
+func (pt *pageTable) remove(va mem.Addr) (mem.Addr, bool) {
+	for i, e := range pt.entries {
+		if e.va == va {
+			pt.entries = append(pt.entries[:i], pt.entries[i+1:]...)
+			return e.phys, true
+		}
+	}
+	return 0, false
+}
+
+// HasVirtualMemory reports whether the device translates virtual
+// addresses (Config.VirtualMemory).
+func (d *Device) HasVirtualMemory() bool { return d.pt != nil }
+
+// MapVA installs a device virtual mapping of [va, va+size) onto the
+// physically contiguous allocation at phys. Only available on devices
+// built with VirtualMemory.
+func (d *Device) MapVA(va, phys mem.Addr, size int64) error {
+	if d.pt == nil {
+		return fmt.Errorf("accel %s: device has no virtual memory", d.cfg.Name)
+	}
+	return d.pt.insert(va, phys, size)
+}
+
+// UnmapVA removes the mapping installed at va and returns its physical
+// base (for the caller to free).
+func (d *Device) UnmapVA(va mem.Addr) (mem.Addr, error) {
+	if d.pt == nil {
+		return 0, fmt.Errorf("accel %s: device has no virtual memory", d.cfg.Name)
+	}
+	phys, ok := d.pt.remove(va)
+	if !ok {
+		return 0, fmt.Errorf("accel %s: no VA mapping at %#x", d.cfg.Name, uint64(va))
+	}
+	return phys, nil
+}
+
+// VAMappings reports the number of live virtual mappings.
+func (d *Device) VAMappings() int {
+	if d.pt == nil {
+		return 0
+	}
+	return len(d.pt.entries)
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"repro/internal/hostmmu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// This file implements the bulk-memory entry points behind GMAC's library
+// interposition of memcpy and memset (Section 4.4 of the paper): instead
+// of taking a page fault per touched block, bulk operations on shared
+// objects consult the block states directly and use accelerator-specific
+// copies for data whose current version lives in device memory.
+
+// BulkRead copies [addr, addr+len(dst)) of a shared object into dst,
+// taking each block from wherever its current version lives: host memory
+// for ReadOnly/Dirty blocks, device memory (a DMA transfer) for Invalid
+// blocks. Block states are left untouched — bulk reads do not "warm" the
+// CPU copy, mirroring GMAC's overloaded memcpy which bypasses the fault
+// path entirely.
+func (m *Manager) BulkRead(addr mem.Addr, dst []byte) error {
+	o, err := m.boundsCheck(addr, int64(len(dst)))
+	if err != nil {
+		return err
+	}
+	if m.cfg.Protocol == BatchUpdate {
+		// Batch keeps the host copy authoritative between kernel calls.
+		o.mapping.Space.Read(addr, dst)
+		return nil
+	}
+	for len(dst) > 0 {
+		b := o.BlockAt(addr)
+		n := int64(b.addr) + b.size - int64(addr)
+		if n > int64(len(dst)) {
+			n = int64(len(dst))
+		}
+		if b.state == StateInvalid {
+			t0 := m.clock.Now()
+			m.dev.MemcpyD2H(dst[:n], o.devAddr+(addr-o.addr))
+			m.book(sim.CatCopy, m.clock.Now()-t0)
+			m.stats.BytesD2H += n
+			m.stats.TransfersD2H++
+			m.stats.D2HWait += m.clock.Now() - t0
+		} else {
+			o.mapping.Space.Read(addr, dst[:n])
+		}
+		addr += mem.Addr(n)
+		dst = dst[n:]
+	}
+	return nil
+}
+
+// BulkWrite copies src into [addr, addr+len(src)) of a shared object.
+// Fully covered blocks are written straight to device memory with a DMA
+// transfer and invalidated on the host; partially covered edge blocks go
+// through the normal faulting host path so their unwritten bytes merge
+// correctly.
+func (m *Manager) BulkWrite(addr mem.Addr, src []byte) error {
+	o, err := m.boundsCheck(addr, int64(len(src)))
+	if err != nil {
+		return err
+	}
+	if m.cfg.Protocol == BatchUpdate {
+		// The host copy is re-sent wholesale at the next invoke anyway.
+		o.mapping.Space.Write(addr, src)
+		return nil
+	}
+	for len(src) > 0 {
+		b := o.BlockAt(addr)
+		n := int64(b.addr) + b.size - int64(addr)
+		if n > int64(len(src)) {
+			n = int64(len(src))
+		}
+		if addr == b.addr && n == b.size {
+			// Whole block: device write + host invalidation.
+			t0 := m.clock.Now()
+			m.dev.MemcpyH2D(b.devAddr(), src[:n])
+			m.book(sim.CatCopy, m.clock.Now()-t0)
+			m.stats.BytesH2D += n
+			m.stats.TransfersH2D++
+			m.stats.H2DWait += m.clock.Now() - t0
+			if b.state == StateDirty && b.queued {
+				// Leave the rolling bookkeeping consistent: the block is
+				// no longer dirty on the host.
+				m.rolling.forgetBlock(b)
+			}
+			b.state = StateInvalid
+			m.setProt(b, hostmmu.ProtNone)
+		} else {
+			if err := m.HostWrite(addr, src[:n]); err != nil {
+				return err
+			}
+		}
+		addr += mem.Addr(n)
+		src = src[n:]
+	}
+	return nil
+}
+
+// BulkSet fills [addr, addr+n) of a shared object with b, using the
+// accelerator's memset engine for fully covered blocks.
+func (m *Manager) BulkSet(addr mem.Addr, val byte, n int64) error {
+	o, err := m.boundsCheck(addr, n)
+	if err != nil {
+		return err
+	}
+	if m.cfg.Protocol == BatchUpdate {
+		o.mapping.Space.Memset(addr, val, n)
+		return nil
+	}
+	for n > 0 {
+		b := o.BlockAt(addr)
+		chunk := int64(b.addr) + b.size - int64(addr)
+		if chunk > n {
+			chunk = n
+		}
+		if addr == b.addr && chunk == b.size {
+			m.dev.Memset(b.devAddr(), val, chunk)
+			if b.state == StateDirty && b.queued {
+				m.rolling.forgetBlock(b)
+			}
+			b.state = StateInvalid
+			m.setProt(b, hostmmu.ProtNone)
+		} else {
+			fill := make([]byte, chunk)
+			for i := range fill {
+				fill[i] = val
+			}
+			if err := m.HostWrite(addr, fill); err != nil {
+				return err
+			}
+		}
+		addr += mem.Addr(chunk)
+		n -= chunk
+	}
+	return nil
+}

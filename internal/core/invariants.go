@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hostmmu"
+	"repro/internal/mem"
+)
+
+// CheckInvariants verifies the manager's internal consistency. It is meant
+// for tests (the model-based oracle calls it after every operation) and is
+// the executable statement of the Figure 6 design:
+//
+//  1. Block state and page protection agree: Dirty blocks are read/write,
+//     ReadOnly blocks are read-only, Invalid blocks are inaccessible
+//     (except under batch-update, which never uses protection).
+//  2. Every Dirty block under rolling-update sits in the rolling cache,
+//     and the cache never exceeds its capacity.
+//  3. The block tree and the per-object block lists agree.
+//  4. Block coverage is exact: blocks tile their object with no gaps.
+func (m *Manager) CheckInvariants() error {
+	dirty := 0
+	var err error
+	m.eachObject(func(o *Object) {
+		if err != nil {
+			return
+		}
+		var off int64
+		for _, b := range o.blocks {
+			if int64(b.addr) != int64(o.addr)+off {
+				err = fmt.Errorf("core: block %#x misplaced in object %#x", uint64(b.addr), uint64(o.addr))
+				return
+			}
+			off += b.size
+			if got := m.blocks.lookup(b.addr); got != any(b) {
+				err = fmt.Errorf("core: block tree disagrees at %#x", uint64(b.addr))
+				return
+			}
+			if e := m.checkBlockProt(b); e != nil {
+				err = e
+				return
+			}
+			if b.state == StateDirty {
+				dirty++
+				if m.cfg.Protocol == RollingUpdate && !b.queued {
+					err = fmt.Errorf("core: dirty block %#x outside the rolling cache", uint64(b.addr))
+					return
+				}
+			} else if b.queued {
+				err = fmt.Errorf("core: non-dirty block %#x still queued", uint64(b.addr))
+				return
+			}
+		}
+		if off != o.size {
+			err = fmt.Errorf("core: blocks cover %d of %d bytes in object %#x", off, o.size, uint64(o.addr))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	m.blocks.takeVisits() // invariant walks must not skew search-cost stats
+	if m.cfg.Protocol == RollingUpdate {
+		if m.rolling.Len() != dirty {
+			return fmt.Errorf("core: rolling cache holds %d blocks but %d are dirty", m.rolling.Len(), dirty)
+		}
+		if m.rolling.Len() > m.rolling.Capacity() {
+			return fmt.Errorf("core: rolling cache %d over capacity %d", m.rolling.Len(), m.rolling.Capacity())
+		}
+	}
+	return nil
+}
+
+// checkBlockProt verifies the state <-> protection correspondence for
+// every page of the block.
+func (m *Manager) checkBlockProt(b *Block) error {
+	if m.cfg.Protocol == BatchUpdate {
+		return nil // batch never changes protection
+	}
+	want := hostmmu.ProtNone
+	switch b.state {
+	case StateReadOnly:
+		want = hostmmu.ProtRead
+	case StateDirty:
+		want = hostmmu.ProtReadWrite
+	}
+	ps := m.mmu.PageSize()
+	end := int64(b.addr) + b.size
+	for page := int64(b.addr) &^ (ps - 1); page < end; page += ps {
+		// Pages shared with a neighbouring block (short blocks inside one
+		// page) legitimately carry the more permissive neighbour's
+		// protection; only whole pages are checked strictly.
+		if page < int64(b.addr) || page+ps > end {
+			continue
+		}
+		got, ok := m.mmu.Protection(mem.Addr(page))
+		if !ok {
+			return fmt.Errorf("core: page %#x of live block unmapped", page)
+		}
+		if got != want {
+			return fmt.Errorf("core: block %#x state %v but page %#x protection %v",
+				uint64(b.addr), b.state, page, got)
+		}
+	}
+	return nil
+}

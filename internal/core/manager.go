@@ -1,0 +1,619 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/hostmmu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ProtocolKind selects one of the three coherence protocols of Figure 6.
+type ProtocolKind int
+
+// The coherence protocols evaluated in Section 5.1.
+const (
+	// BatchUpdate transfers every shared object in both directions at
+	// every call/return boundary — the naive write-invalidate protocol
+	// programmers tend to write first.
+	BatchUpdate ProtocolKind = iota
+	// LazyUpdate detects CPU accesses with memory protection hardware at
+	// object granularity and transfers only what is needed.
+	LazyUpdate
+	// RollingUpdate refines lazy-update with fixed-size blocks and a
+	// bounded rolling cache of dirty blocks that are eagerly and
+	// asynchronously flushed to the accelerator.
+	RollingUpdate
+)
+
+func (k ProtocolKind) String() string {
+	switch k {
+	case BatchUpdate:
+		return "batch-update"
+	case LazyUpdate:
+		return "lazy-update"
+	case RollingUpdate:
+		return "rolling-update"
+	default:
+		return fmt.Sprintf("ProtocolKind(%d)", int(k))
+	}
+}
+
+// ErrNotShared is returned for operations on addresses that are not part of
+// any shared object.
+var ErrNotShared = errors.New("core: address is not in a shared object")
+
+// ErrSpansObjects is returned when a single host access crosses the end of
+// a shared object.
+var ErrSpansObjects = errors.New("core: access crosses a shared object boundary")
+
+// ErrAddrConflict is returned by Alloc when the accelerator-chosen address
+// range is already occupied in the host address space: the §4.2 conflict
+// that requires the SafeAlloc fallback.
+var ErrAddrConflict = errors.New("core: shared address range conflicts with host mapping")
+
+// Config parameterises a Manager.
+type Config struct {
+	// Protocol selects the coherence protocol.
+	Protocol ProtocolKind
+	// BlockSize is the rolling-update block size in bytes. It must be a
+	// multiple of the host page size. Ignored by batch and lazy.
+	BlockSize int64
+	// RollingDelta is the adaptive rolling-size increment per allocation
+	// (paper default: 2 blocks). Ignored when FixedRolling > 0.
+	RollingDelta int
+	// FixedRolling pins the rolling size for the Figure 12 experiment.
+	FixedRolling int
+
+	// Host-side costs of the GMAC API entry points.
+	MallocCost, FreeCost, LaunchCost sim.Time
+	// TreeNodeCost is charged per tree node visited during the fault
+	// handler's block search (§5.2: the O(log2 n) overhead).
+	TreeNodeCost sim.Time
+	// MprotectCost is charged per protection change.
+	MprotectCost sim.Time
+}
+
+// Manager is the GMAC shared-memory manager: it owns the shared address
+// space, the object/block registry, and drives the coherence protocol from
+// the CPU side. One Manager manages one accelerator; package sched
+// composes several.
+type Manager struct {
+	cfg   Config
+	clock *sim.Clock
+	bd    *sim.Breakdown
+	mmu   *hostmmu.MMU
+	va    *mem.VASpace
+	dev   *accel.Device
+
+	protocol protocol
+	objects  *rbTree // Object intervals, host VA order
+	blocks   *rbTree // Block intervals: the fault handler's search tree
+	rolling  *rollingCache
+	stats    Stats
+	nobjects int
+	tracer   *trace.Log
+	// invokeKernel is the kernel currently being dispatched; protocols use
+	// it to honour §3.3 object-to-kernel bindings.
+	invokeKernel string
+}
+
+// NewManager wires a manager to the host MMU, the host virtual address
+// space, and one accelerator. It installs itself as the MMU fault handler.
+func NewManager(cfg Config, clock *sim.Clock, bd *sim.Breakdown,
+	mmu *hostmmu.MMU, va *mem.VASpace, dev *accel.Device) (*Manager, error) {
+
+	if cfg.Protocol == RollingUpdate {
+		if cfg.BlockSize <= 0 {
+			return nil, fmt.Errorf("core: rolling-update requires a block size")
+		}
+		if cfg.BlockSize%mmu.PageSize() != 0 {
+			return nil, fmt.Errorf("core: block size %d is not a multiple of the %d-byte page",
+				cfg.BlockSize, mmu.PageSize())
+		}
+	}
+	m := &Manager{
+		cfg:     cfg,
+		clock:   clock,
+		bd:      bd,
+		mmu:     mmu,
+		va:      va,
+		dev:     dev,
+		objects: &rbTree{},
+		blocks:  &rbTree{},
+		rolling: newRollingCache(cfg.FixedRolling, cfg.RollingDelta, cfg.FixedRolling > 0),
+	}
+	switch cfg.Protocol {
+	case BatchUpdate:
+		m.protocol = &batchProtocol{m}
+	case LazyUpdate:
+		m.protocol = &lazyProtocol{m}
+	case RollingUpdate:
+		m.protocol = &rollingProtocol{m}
+	default:
+		return nil, fmt.Errorf("core: unknown protocol %v", cfg.Protocol)
+	}
+	mmu.SetHandler(m.handleFault)
+	return m, nil
+}
+
+// Protocol returns the active protocol kind.
+func (m *Manager) Protocol() ProtocolKind { return m.cfg.Protocol }
+
+// Device returns the managed accelerator.
+func (m *Manager) Device() *accel.Device { return m.dev }
+
+// Stats returns a copy of the activity counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// RollingCapacity returns the current rolling size (0 for other protocols).
+func (m *Manager) RollingCapacity() int { return m.rolling.Capacity() }
+
+// RollingLen returns the number of blocks currently in the rolling cache.
+func (m *Manager) RollingLen() int { return m.rolling.Len() }
+
+// Objects returns the number of live shared objects.
+func (m *Manager) Objects() int { return m.nobjects }
+
+// SetTracer installs (or removes, with nil) an event log recording every
+// protocol action with virtual timestamps.
+func (m *Manager) SetTracer(l *trace.Log) { m.tracer = l }
+
+// emit records a trace event if tracing is enabled.
+func (m *Manager) emit(e trace.Event) {
+	if m.tracer != nil {
+		e.At = m.clock.Now()
+		m.tracer.Append(e)
+	}
+}
+
+// charge advances the CPU clock by d and books it under cat.
+func (m *Manager) charge(cat sim.Category, d sim.Time) {
+	m.clock.Advance(d)
+	if m.bd != nil {
+		m.bd.Add(cat, d)
+	}
+}
+
+// book records already-elapsed clock time under cat (for wrapped calls that
+// advanced the clock themselves).
+func (m *Manager) book(cat sim.Category, d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	if m.bd != nil {
+		m.bd.Add(cat, d)
+	}
+}
+
+// pageAlignedSize rounds size up to whole MMU pages.
+func (m *Manager) pageAlignedSize(size int64) int64 {
+	ps := m.mmu.PageSize()
+	return (size + ps - 1) / ps * ps
+}
+
+// Alloc implements adsmAlloc: it allocates accelerator memory and mirrors
+// the same address range in host memory, so a single pointer serves both
+// processors. If the range is already taken on the host it returns
+// ErrAddrConflict and the caller should use SafeAlloc.
+func (m *Manager) Alloc(size int64) (mem.Addr, error) {
+	m.charge(sim.CatMalloc, m.cfg.MallocCost)
+
+	t0 := m.clock.Now()
+	devAddr, err := m.dev.Malloc(size)
+	m.book(sim.CatCudaMalloc, m.clock.Now()-t0)
+	if err != nil {
+		return 0, err
+	}
+
+	if m.dev.HasVirtualMemory() {
+		// With a device MMU there is never an address conflict: the host
+		// picks any free virtual range and the device maps the same range
+		// onto its physical allocation (§4.2's "good solution").
+		mapping, err := m.va.MapAnywhere(m.pageAlignedSize(size))
+		if err != nil {
+			if freeErr := m.dev.Free(devAddr); freeErr != nil {
+				return 0, fmt.Errorf("core: %w (and device free failed: %v)", err, freeErr)
+			}
+			return 0, err
+		}
+		if err := m.dev.MapVA(mapping.Addr, devAddr, size); err != nil {
+			return 0, err
+		}
+		addr, err := m.finishAlloc(mapping.Addr, mapping.Addr, size, mapping, false)
+		if err != nil {
+			return 0, err
+		}
+		o := m.objectAt(addr)
+		o.vm = true
+		o.vmPhys = devAddr
+		return addr, nil
+	}
+
+	mapping, err := m.va.MapFixed(devAddr, m.pageAlignedSize(size))
+	if err != nil {
+		if freeErr := m.dev.Free(devAddr); freeErr != nil {
+			return 0, fmt.Errorf("core: %w (and device free failed: %v)", err, freeErr)
+		}
+		if errors.Is(err, mem.ErrAddrInUse) {
+			return 0, fmt.Errorf("%w: %v", ErrAddrConflict, err)
+		}
+		return 0, err
+	}
+	return m.finishAlloc(devAddr, devAddr, size, mapping, false)
+}
+
+// AllocFor implements the §3.3 "more elaborate scheme": the object is
+// assigned to the given kernels, so invocations of other kernels neither
+// flush nor invalidate it — the CPU keeps working on it undisturbed.
+func (m *Manager) AllocFor(size int64, kernels ...string) (mem.Addr, error) {
+	addr, err := m.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	if len(kernels) > 0 {
+		o := m.objectAt(addr)
+		o.kernels = make(map[string]bool, len(kernels))
+		for _, k := range kernels {
+			o.kernels[k] = true
+		}
+	}
+	return addr, nil
+}
+
+// SafeAlloc implements adsmSafeAlloc: the host mapping is placed wherever
+// the OS finds room, so the returned pointer is only valid on the CPU and
+// kernel arguments must be translated with Translate.
+func (m *Manager) SafeAlloc(size int64) (mem.Addr, error) {
+	m.charge(sim.CatMalloc, m.cfg.MallocCost)
+
+	t0 := m.clock.Now()
+	devAddr, err := m.dev.Malloc(size)
+	m.book(sim.CatCudaMalloc, m.clock.Now()-t0)
+	if err != nil {
+		return 0, err
+	}
+	mapping, err := m.va.MapAnywhere(m.pageAlignedSize(size))
+	if err != nil {
+		if freeErr := m.dev.Free(devAddr); freeErr != nil {
+			return 0, fmt.Errorf("core: %w (and device free failed: %v)", err, freeErr)
+		}
+		return 0, err
+	}
+	return m.finishAlloc(mapping.Addr, devAddr, size, mapping, true)
+}
+
+func (m *Manager) finishAlloc(addr, devAddr mem.Addr, size int64, mapping *mem.Mapping, safe bool) (mem.Addr, error) {
+	o := &Object{addr: addr, devAddr: devAddr, size: size, safe: safe, mapping: mapping}
+	blockSize := int64(0) // one block per object for batch/lazy
+	if m.cfg.Protocol == RollingUpdate {
+		blockSize = m.cfg.BlockSize
+	}
+	o.makeBlocks(blockSize)
+
+	if err := m.objects.insert(o.addr, o.size, o); err != nil {
+		return 0, err
+	}
+	for _, b := range o.blocks {
+		if err := m.blocks.insert(b.addr, b.size, b); err != nil {
+			return 0, err
+		}
+	}
+	m.mmu.Map(o.addr, m.pageAlignedSize(o.size), hostmmu.ProtReadWrite)
+	m.protocol.onAlloc(o)
+	m.rolling.onAlloc()
+	m.stats.Allocs++
+	m.nobjects++
+	m.emit(trace.Event{Kind: trace.EvAlloc, Addr: o.addr, Size: o.size})
+	return o.addr, nil
+}
+
+// Free implements adsmFree.
+func (m *Manager) Free(addr mem.Addr) error {
+	m.charge(sim.CatFree, m.cfg.FreeCost)
+	o := m.objectAt(addr)
+	if o == nil || o.addr != addr {
+		return fmt.Errorf("%w: free of %#x", ErrNotShared, uint64(addr))
+	}
+	m.rolling.forget(o)
+	m.objects.remove(o.addr)
+	for _, b := range o.blocks {
+		m.blocks.remove(b.addr)
+	}
+	m.mmu.Unmap(o.addr, m.pageAlignedSize(o.size))
+	if err := m.va.Unmap(o.addr); err != nil {
+		return err
+	}
+	t0 := m.clock.Now()
+	phys := o.devAddr
+	if o.vm {
+		phys = o.vmPhys
+		if _, err := m.dev.UnmapVA(o.addr); err != nil {
+			return err
+		}
+	}
+	err := m.dev.Free(phys)
+	m.book(sim.CatCudaFree, m.clock.Now()-t0)
+	m.stats.Frees++
+	m.nobjects--
+	m.emit(trace.Event{Kind: trace.EvFree, Addr: o.addr, Size: o.size})
+	return err
+}
+
+// objectAt returns the shared object containing addr, or nil.
+func (m *Manager) objectAt(addr mem.Addr) *Object {
+	v := m.objects.lookup(addr)
+	m.objects.takeVisits() // object lookups are not on the fault path
+	if v == nil {
+		return nil
+	}
+	return v.(*Object)
+}
+
+// IsShared reports whether addr falls inside a live shared object.
+func (m *Manager) IsShared(addr mem.Addr) bool { return m.objectAt(addr) != nil }
+
+// ObjectAt exposes the object lookup for the public API layer.
+func (m *Manager) ObjectAt(addr mem.Addr) *Object { return m.objectAt(addr) }
+
+// Translate implements adsmSafe: it maps a host pointer into the
+// accelerator address of the same byte, for passing to kernels.
+func (m *Manager) Translate(addr mem.Addr) (mem.Addr, error) {
+	o := m.objectAt(addr)
+	if o == nil {
+		return 0, fmt.Errorf("%w: translate %#x", ErrNotShared, uint64(addr))
+	}
+	return o.devAddr + (addr - o.addr), nil
+}
+
+// objectSet is a kernel invocation's write annotation: the objects the
+// kernel may modify. A nil set means "any object" — the conservative
+// default when no annotation is available (§4.3).
+type objectSet map[*Object]bool
+
+// contains reports whether o may be written under this annotation.
+func (s objectSet) contains(o *Object) bool {
+	if s == nil {
+		return true
+	}
+	return s[o]
+}
+
+// Invoke implements adsmCall: it runs the protocol's release actions
+// (flushing dirty data to the accelerator, invalidating host copies) and
+// dispatches the kernel. The kernel is ordered behind in-flight transfers
+// by the device's stream semantics.
+func (m *Manager) Invoke(kernel string, args ...uint64) error {
+	return m.invoke(kernel, nil, args)
+}
+
+// InvokeAnnotated is Invoke with a kernel write-set annotation (§4.3:
+// "programmers can annotate each kernel call with the objects that the
+// kernel will write to, then the objects can remain in read-only or dirty
+// state at accelerator kernel invocation"). Objects not listed keep their
+// host-valid state across the call, so reading them afterwards costs no
+// transfer. writes lists any address inside each written object.
+func (m *Manager) InvokeAnnotated(kernel string, writes []mem.Addr, args ...uint64) error {
+	set := make(objectSet, len(writes))
+	for _, addr := range writes {
+		o := m.objectAt(addr)
+		if o == nil {
+			return fmt.Errorf("%w: write annotation %#x", ErrNotShared, uint64(addr))
+		}
+		set[o] = true
+	}
+	return m.invoke(kernel, set, args)
+}
+
+func (m *Manager) invoke(kernel string, writes objectSet, args []uint64) error {
+	m.emit(trace.Event{Kind: trace.EvInvoke, Note: kernel})
+	m.invokeKernel = kernel
+	if err := m.protocol.onInvoke(writes); err != nil {
+		return err
+	}
+	// Record how much flushed data is still in flight: the kernel cannot
+	// start until the H2D queue drains, so this backlog is transfer time
+	// attributable to the host-to-device direction (Figure 11).
+	if drain := m.dev.H2DFreeAt() - m.clock.Now(); drain > 0 {
+		m.stats.H2DDrain += drain
+	}
+	m.charge(sim.CatLaunch, m.cfg.LaunchCost)
+	t0 := m.clock.Now()
+	_, err := m.dev.Launch(kernel, args...)
+	m.book(sim.CatCudaLaunch, m.clock.Now()-t0)
+	m.stats.Invokes++
+	return err
+}
+
+// Sync implements adsmSync: it stalls until the accelerator finishes, then
+// runs the protocol's acquire actions.
+func (m *Manager) Sync() error {
+	stall := m.dev.Synchronize()
+	m.book(sim.CatGPU, stall)
+	m.stats.Syncs++
+	m.emit(trace.Event{Kind: trace.EvSync})
+	return m.protocol.onReturn()
+}
+
+// HandleFault resolves a protection fault against this manager's objects.
+// Multi-accelerator front ends install a dispatcher as the MMU handler and
+// route each fault to the owning manager through this method.
+func (m *Manager) HandleFault(f hostmmu.Fault) error { return m.handleFault(f) }
+
+// handleFault is installed as the MMU fault handler: it locates the block
+// (charging the tree-search cost the paper analyses in §5.2) and lets the
+// protocol resolve the Figure 6 transition.
+func (m *Manager) handleFault(f hostmmu.Fault) error {
+	m.stats.Faults++
+	if f.Access == hostmmu.AccessWrite {
+		m.stats.WriteFaults++
+	} else {
+		m.stats.ReadFaults++
+	}
+	m.blocks.takeVisits()
+	v := m.blocks.lookup(f.Addr)
+	search := sim.Time(m.blocks.takeVisits()) * m.cfg.TreeNodeCost
+	m.stats.SearchTime += search
+	m.charge(sim.CatSignal, search)
+	if v == nil {
+		return fmt.Errorf("%w: fault at %#x", ErrNotShared, uint64(f.Addr))
+	}
+	b := v.(*Block)
+	m.emit(trace.Event{Kind: trace.EvFault, Addr: b.addr, Size: b.size,
+		Note: f.Access.String() + " in " + b.state.String()})
+	return m.protocol.onFault(b, f.Access)
+}
+
+// HostRead performs a CPU read of [addr, addr+len(dst)) through the MMU,
+// faulting and fetching as the protocol dictates, then copies the bytes.
+func (m *Manager) HostRead(addr mem.Addr, dst []byte) error {
+	o, err := m.boundsCheck(addr, int64(len(dst)))
+	if err != nil {
+		return err
+	}
+	if err := m.mmu.CheckRead(addr, int64(len(dst))); err != nil {
+		return err
+	}
+	o.mapping.Space.Read(addr, dst)
+	return nil
+}
+
+// HostWrite performs a CPU write of src to [addr, addr+len(src)) through
+// the MMU. Like real store instructions, it proceeds block by block:
+// each block's write fault is resolved (which may evict an earlier, already
+// written block) before that block's bytes land, never after. Resolving all
+// faults up front would let a rolling-cache eviction flush a block the CPU
+// has not written yet and then miss the write entirely.
+func (m *Manager) HostWrite(addr mem.Addr, src []byte) error {
+	o, err := m.boundsCheck(addr, int64(len(src)))
+	if err != nil {
+		return err
+	}
+	for len(src) > 0 {
+		n := int64(len(src))
+		if b := o.BlockAt(addr); b != nil {
+			if rem := int64(b.addr) + b.size - int64(addr); rem < n {
+				n = rem
+			}
+		}
+		if err := m.mmu.CheckWrite(addr, n); err != nil {
+			return err
+		}
+		o.mapping.Space.Write(addr, src[:n])
+		addr += mem.Addr(n)
+		src = src[n:]
+	}
+	return nil
+}
+
+// HostBytes returns the live host backing slice for [addr, addr+n) after
+// performing the MMU access check for the given access kind. The public
+// API's typed views use it for bulk element reads. For writes it is only
+// safe within a single coherence block: resolving a multi-block write walk
+// up front can evict an earlier block before the caller writes it — use
+// HostWrite for multi-block stores.
+func (m *Manager) HostBytes(addr mem.Addr, n int64, access hostmmu.Access) ([]byte, error) {
+	o, err := m.boundsCheck(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	if access == hostmmu.AccessWrite {
+		err = m.mmu.CheckWrite(addr, n)
+	} else {
+		err = m.mmu.CheckRead(addr, n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return o.mapping.Space.Bytes(addr, n), nil
+}
+
+func (m *Manager) boundsCheck(addr mem.Addr, n int64) (*Object, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("core: negative access size %d", n)
+	}
+	o := m.objectAt(addr)
+	if o == nil {
+		return nil, fmt.Errorf("%w: access at %#x", ErrNotShared, uint64(addr))
+	}
+	if addr+mem.Addr(n) > o.addr+mem.Addr(o.size) {
+		return nil, fmt.Errorf("%w: [%#x,+%d) beyond object end %#x",
+			ErrSpansObjects, uint64(addr), n, uint64(o.addr+mem.Addr(o.size)))
+	}
+	return o, nil
+}
+
+// --- transfer helpers used by the protocols ---
+
+// flushBlockEager transfers a dirty block to the accelerator without
+// blocking on the transfer itself, but waiting first for the DMA engine to
+// be free: §5.2 observes that "evictions must wait for the previous
+// transfer to finish before continuing". The wait is the eager-transfer
+// overlap cost plotted in Figure 11.
+func (m *Manager) flushBlockEager(b *Block) {
+	wait := m.dev.H2DFreeAt() - m.clock.Now()
+	if wait > 0 {
+		m.clock.Advance(wait)
+		m.stats.H2DWait += wait
+		m.book(sim.CatCopy, wait)
+	}
+	m.dev.MemcpyH2DAsync(b.devAddr(), b.hostBytes())
+	m.stats.BytesH2D += b.size
+	m.stats.TransfersH2D++
+	m.emit(trace.Event{Kind: trace.EvFlush, Addr: b.addr, Size: b.size, Note: "eager"})
+}
+
+// flushBlockSync transfers a dirty block to the accelerator and stalls the
+// CPU until it completes (batch-update's conservative behaviour).
+func (m *Manager) flushBlockSync(b *Block) {
+	t0 := m.clock.Now()
+	m.dev.MemcpyH2D(b.devAddr(), b.hostBytes())
+	d := m.clock.Now() - t0
+	m.stats.H2DWait += d
+	m.book(sim.CatCopy, d)
+	m.stats.BytesH2D += b.size
+	m.stats.TransfersH2D++
+	m.emit(trace.Event{Kind: trace.EvFlush, Addr: b.addr, Size: b.size, Note: "sync"})
+}
+
+// fetchBlockSync transfers a block from the accelerator to host memory,
+// stalling the CPU (the faulting access needs the data now).
+func (m *Manager) fetchBlockSync(b *Block) {
+	t0 := m.clock.Now()
+	m.dev.MemcpyD2H(b.hostBytes(), b.devAddr())
+	d := m.clock.Now() - t0
+	m.stats.D2HWait += d
+	m.book(sim.CatCopy, d)
+	m.stats.BytesD2H += b.size
+	m.stats.TransfersD2H++
+	m.emit(trace.Event{Kind: trace.EvFetch, Addr: b.addr, Size: b.size})
+}
+
+// setProt changes a block's protection, charging the mprotect cost.
+func (m *Manager) setProt(b *Block, prot hostmmu.Prot) {
+	m.charge(sim.CatSignal, m.cfg.MprotectCost)
+	if err := m.mmu.Mprotect(b.addr, b.size, prot); err != nil {
+		// Blocks are always mapped while their object lives; failure here
+		// is a manager bug, not a recoverable condition.
+		panic(fmt.Sprintf("core: mprotect of live block failed: %v", err))
+	}
+}
+
+// eachObject visits live objects in address order.
+func (m *Manager) eachObject(f func(o *Object)) {
+	m.objects.each(func(_ mem.Addr, _ int64, v any) { f(v.(*Object)) })
+}
+
+// eachInvokeObject visits the objects affected by the in-flight kernel
+// invocation: those bound to the kernel, or unbound (used by all kernels).
+func (m *Manager) eachInvokeObject(f func(o *Object)) {
+	kernel := m.invokeKernel
+	m.eachObject(func(o *Object) {
+		if o.UsedBy(kernel) {
+			f(o)
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// State is the coherence state of a shared memory block, as defined by the
+// Figure 6 state machine. The state is tracked from the CPU's perspective:
+// the accelerator never performs coherence actions.
+type State uint8
+
+// Block states.
+const (
+	// StateInvalid: the only valid copy is in accelerator memory; a CPU
+	// access must transfer the block back first.
+	StateInvalid State = iota
+	// StateReadOnly: CPU and accelerator hold identical copies; no
+	// transfer is needed before the next kernel invocation.
+	StateReadOnly
+	// StateDirty: the CPU copy is newer and must be transferred to the
+	// accelerator before the next kernel invocation.
+	StateDirty
+)
+
+func (s State) String() string {
+	switch s {
+	case StateInvalid:
+		return "Invalid"
+	case StateReadOnly:
+		return "ReadOnly"
+	case StateDirty:
+		return "Dirty"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Block is the unit of coherence bookkeeping. Under batch- and lazy-update
+// each object has exactly one block spanning it; under rolling-update
+// objects are divided into fixed-size blocks (the last one may be short).
+type Block struct {
+	obj   *Object
+	index int
+	addr  mem.Addr // host virtual address of the block start
+	size  int64
+	state State
+	// queued marks blocks currently held in the rolling cache.
+	queued bool
+}
+
+// Addr returns the block's host virtual address.
+func (b *Block) Addr() mem.Addr { return b.addr }
+
+// Size returns the block length in bytes.
+func (b *Block) Size() int64 { return b.size }
+
+// State returns the block's coherence state.
+func (b *Block) State() State { return b.state }
+
+// Object returns the shared object the block belongs to.
+func (b *Block) Object() *Object { return b.obj }
+
+// devAddr returns the accelerator address corresponding to the block start.
+func (b *Block) devAddr() mem.Addr {
+	return b.obj.devAddr + (b.addr - b.obj.addr)
+}
+
+// hostBytes returns the live host backing bytes of the block.
+func (b *Block) hostBytes() []byte {
+	return b.obj.mapping.Space.Bytes(b.addr, b.size)
+}
+
+// Object is one shared data structure allocated through adsmAlloc. It owns
+// a host mapping and a device allocation; in the common case both live at
+// the same numeric address (the shared-address-space trick of §4.2), while
+// SafeAlloc objects carry distinct addresses and require translation.
+type Object struct {
+	addr    mem.Addr // host virtual address
+	devAddr mem.Addr // accelerator address
+	size    int64
+	safe    bool // allocated via SafeAlloc (addr != devAddr possible)
+	// vmPhys is the physical device allocation backing a virtual-memory
+	// mapping (devices with an MMU, §4.2); zero when identity-mapped.
+	vmPhys  mem.Addr
+	vm      bool
+	mapping *mem.Mapping
+	blocks  []*Block
+	// kernels restricts which accelerator kernels use this object (§3.3's
+	// "more elaborate scheme"); nil means every kernel (the minimal API).
+	kernels map[string]bool
+}
+
+// Addr returns the object's host virtual address.
+func (o *Object) Addr() mem.Addr { return o.addr }
+
+// DevAddr returns the object's accelerator address.
+func (o *Object) DevAddr() mem.Addr { return o.devAddr }
+
+// Size returns the object's length in bytes.
+func (o *Object) Size() int64 { return o.size }
+
+// Safe reports whether the object was allocated through SafeAlloc.
+func (o *Object) Safe() bool { return o.safe }
+
+// UsedBy reports whether kernel operates on this object: true for every
+// kernel when the object carries no binding.
+func (o *Object) UsedBy(kernel string) bool {
+	if o.kernels == nil {
+		return true
+	}
+	return o.kernels[kernel]
+}
+
+// Kernels returns the number of kernels the object is bound to (0 = all).
+func (o *Object) Kernels() int { return len(o.kernels) }
+
+// Blocks returns the number of blocks composing the object.
+func (o *Object) Blocks() int { return len(o.blocks) }
+
+// BlockAt returns the block containing the given host address.
+func (o *Object) BlockAt(addr mem.Addr) *Block {
+	if len(o.blocks) == 0 {
+		return nil
+	}
+	blockSize := o.blocks[0].size
+	if addr < o.addr || addr >= o.addr+mem.Addr(o.size) {
+		return nil
+	}
+	i := int(int64(addr-o.addr) / blockSize)
+	if i >= len(o.blocks) {
+		i = len(o.blocks) - 1
+	}
+	b := o.blocks[i]
+	if addr < b.addr || addr >= b.addr+mem.Addr(b.size) {
+		return nil
+	}
+	return b
+}
+
+// makeBlocks divides the object into blocks of at most blockSize bytes.
+func (o *Object) makeBlocks(blockSize int64) {
+	if blockSize <= 0 || blockSize > o.size {
+		blockSize = o.size
+	}
+	n := (o.size + blockSize - 1) / blockSize
+	o.blocks = make([]*Block, 0, n)
+	for off := int64(0); off < o.size; off += blockSize {
+		size := blockSize
+		if off+size > o.size {
+			size = o.size - off
+		}
+		o.blocks = append(o.blocks, &Block{
+			obj:   o,
+			index: len(o.blocks),
+			addr:  o.addr + mem.Addr(off),
+			size:  size,
+		})
+	}
+}
+
+// countState returns how many blocks are in the given state.
+func (o *Object) countState(s State) int {
+	n := 0
+	for _, b := range o.blocks {
+		if b.state == s {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hostmmu"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// protocol is the internal coherence-protocol strategy. All methods run on
+// the CPU timeline; the accelerator performs no coherence actions.
+type protocol interface {
+	// onAlloc sets the initial state and protection of a new object.
+	onAlloc(o *Object)
+	// onFault resolves a protection fault on a block (Figure 6 edges).
+	onFault(b *Block, access hostmmu.Access) error
+	// onInvoke performs the release actions before a kernel launch.
+	// writes lists the objects the kernel may write; nil means "any"
+	// (the conservative default without annotations, §4.3). Objects the
+	// kernel provably does not write need not be invalidated on the host.
+	onInvoke(writes objectSet) error
+	// onReturn performs the acquire actions after kernel completion.
+	onReturn() error
+}
+
+// setProtObject changes the protection of a whole object with a single
+// mprotect call (one charge, covering all pages).
+func (m *Manager) setProtObject(o *Object, prot hostmmu.Prot) {
+	m.charge(sim.CatSignal, m.cfg.MprotectCost)
+	if err := m.mmu.Mprotect(o.addr, m.pageAlignedSize(o.size), prot); err != nil {
+		panic(fmt.Sprintf("core: mprotect of live object failed: %v", err))
+	}
+}
+
+// --- batch-update ---
+
+// batchProtocol is the pure write-invalidate protocol: every object crosses
+// the bus in both directions at every call/return boundary, with no access
+// detection at all. It mimics what programmers tend to write first
+// (Section 5.1 measures slowdowns of up to 65x for it).
+type batchProtocol struct{ m *Manager }
+
+func (p *batchProtocol) onAlloc(o *Object) {
+	for _, b := range o.blocks {
+		b.state = StateDirty
+	}
+	// Pages stay read/write: batch-update never takes faults.
+}
+
+func (p *batchProtocol) onFault(b *Block, access hostmmu.Access) error {
+	return fmt.Errorf("core: unexpected %v fault at %#x under batch-update",
+		access, uint64(b.addr))
+}
+
+func (p *batchProtocol) onInvoke(writes objectSet) error {
+	// Transfer every object the host owns to the accelerator, whether or
+	// not the CPU modified it, synchronously, then invalidate the host
+	// copies ("system memory gets invalidated on kernel calls"). Objects
+	// already invalidated by a preceding call in the same call/return
+	// window are not re-sent — re-sending would clobber in-flight kernel
+	// output.
+	p.m.eachInvokeObject(func(o *Object) {
+		for _, b := range o.blocks {
+			if b.state == StateDirty {
+				p.m.flushBlockSync(b)
+			}
+			// Non-written objects keep their Dirty state: batch-update has
+			// no access detection, so it cannot know whether the CPU will
+			// modify them and must conservatively re-send every call.
+			if writes.contains(o) {
+				b.state = StateInvalid
+			}
+		}
+	})
+	return nil
+}
+
+func (p *batchProtocol) onReturn() error {
+	// Transfer every object of the call's scope back and mark it dirty,
+	// implicitly invalidating the accelerator copy. Objects bound to other
+	// kernels never went to the device for this call, so fetching them
+	// would clobber the host's authoritative copy.
+	p.m.eachInvokeObject(func(o *Object) {
+		for _, b := range o.blocks {
+			p.m.fetchBlockSync(b)
+			b.state = StateDirty
+		}
+	})
+	return nil
+}
+
+// --- lazy-update ---
+
+// lazyProtocol detects CPU accesses with the memory protection hardware at
+// object granularity: only objects the CPU wrote travel to the
+// accelerator, and only objects the CPU touches travel back.
+type lazyProtocol struct{ m *Manager }
+
+func (p *lazyProtocol) onAlloc(o *Object) {
+	for _, b := range o.blocks {
+		b.state = StateReadOnly
+	}
+	p.m.setProtObject(o, hostmmu.ProtRead)
+}
+
+func (p *lazyProtocol) onFault(b *Block, access hostmmu.Access) error {
+	return resolveFault(p.m, b, access)
+}
+
+func (p *lazyProtocol) onInvoke(writes objectSet) error {
+	p.m.eachInvokeObject(func(o *Object) {
+		written := writes.contains(o)
+		for _, b := range o.blocks {
+			if b.state == StateDirty {
+				p.m.flushBlockEager(b)
+				b.state = StateReadOnly
+				if !written {
+					// Both copies now match; catch the next CPU write.
+					p.m.setProt(b, hostmmu.ProtRead)
+				}
+			}
+			if written {
+				b.state = StateInvalid
+			}
+		}
+		if written {
+			p.m.setProtObject(o, hostmmu.ProtNone)
+		}
+	})
+	return nil
+}
+
+func (p *lazyProtocol) onReturn() error {
+	// Nothing: objects stay invalid until the CPU actually touches them.
+	return nil
+}
+
+// --- rolling-update ---
+
+// rollingProtocol refines lazy-update with fixed-size blocks and a bounded
+// rolling cache of dirty blocks. Exceeding the rolling size evicts the
+// oldest dirty block, which is flushed eagerly (asynchronously) so data
+// transfers overlap with CPU computation.
+type rollingProtocol struct{ m *Manager }
+
+func (p *rollingProtocol) onAlloc(o *Object) {
+	for _, b := range o.blocks {
+		b.state = StateReadOnly
+	}
+	p.m.setProtObject(o, hostmmu.ProtRead)
+}
+
+func (p *rollingProtocol) onFault(b *Block, access hostmmu.Access) error {
+	if err := resolveFault(p.m, b, access); err != nil {
+		return err
+	}
+	if b.state == StateDirty {
+		if victim := p.m.rolling.push(b); victim != nil {
+			p.m.flushBlockEager(victim)
+			victim.state = StateReadOnly
+			p.m.setProt(victim, hostmmu.ProtRead)
+			p.m.stats.Evictions++
+			p.m.emit(trace.Event{Kind: trace.EvEvict, Addr: victim.addr, Size: victim.size})
+		}
+	}
+	return nil
+}
+
+func (p *rollingProtocol) onInvoke(writes objectSet) error {
+	// Flush the rolling cache (the remaining dirty blocks), then
+	// invalidate the objects the kernel may write. Out-of-scope dirty
+	// blocks (objects bound to other kernels, §3.3) are flushed too —
+	// flushing early is always safe and keeps the cache bookkeeping
+	// simple — but they are not invalidated below.
+	for _, b := range p.m.rolling.drain() {
+		if b.state == StateDirty {
+			p.m.flushBlockEager(b)
+			b.state = StateReadOnly // both copies identical until invalidated below
+			// Unless the sweep below will invalidate the object (it is in
+			// the call's §3.3 scope AND in the write annotation), the block
+			// survives the call as ReadOnly and must fault on the next CPU
+			// write.
+			if !(b.obj.UsedBy(p.m.invokeKernel) && writes.contains(b.obj)) {
+				p.m.setProt(b, hostmmu.ProtRead)
+			}
+		}
+	}
+	p.m.eachInvokeObject(func(o *Object) {
+		written := writes.contains(o)
+		for _, b := range o.blocks {
+			if b.state == StateDirty {
+				// A dirty block outside the rolling cache would be a
+				// bookkeeping bug; flush defensively.
+				p.m.flushBlockEager(b)
+				b.state = StateReadOnly
+				if !written {
+					p.m.setProt(b, hostmmu.ProtRead)
+				}
+			}
+			if written {
+				b.state = StateInvalid
+			}
+		}
+		if written {
+			p.m.setProtObject(o, hostmmu.ProtNone)
+		}
+	})
+	return nil
+}
+
+func (p *rollingProtocol) onReturn() error { return nil }
+
+// resolveFault implements the shared Figure 6(b) transitions for lazy- and
+// rolling-update: Invalid data is fetched from the accelerator; the block
+// lands in ReadOnly after a read fault or Dirty after a write fault.
+func resolveFault(m *Manager, b *Block, access hostmmu.Access) error {
+	before := b.state
+	defer func() {
+		if b.state != before {
+			m.emit(trace.Event{Kind: trace.EvTransition, Addr: b.addr, Size: b.size,
+				From: before.String(), To: b.state.String()})
+		}
+	}()
+	switch b.state {
+	case StateInvalid:
+		m.fetchBlockSync(b)
+		if access == hostmmu.AccessWrite {
+			b.state = StateDirty
+			m.setProt(b, hostmmu.ProtReadWrite)
+		} else {
+			b.state = StateReadOnly
+			m.setProt(b, hostmmu.ProtRead)
+		}
+		return nil
+	case StateReadOnly:
+		if access != hostmmu.AccessWrite {
+			return fmt.Errorf("core: read fault on ReadOnly block %#x", uint64(b.addr))
+		}
+		b.state = StateDirty
+		m.setProt(b, hostmmu.ProtReadWrite)
+		return nil
+	default: // StateDirty
+		return fmt.Errorf("core: %v fault on Dirty block %#x", access, uint64(b.addr))
+	}
+}

@@ -1,0 +1,416 @@
+// Package core implements the paper's primary contribution: the ADSM
+// shared-memory manager (Section 4), with its object registry, the three
+// memory coherence protocols of Figure 6 (batch-update, lazy-update,
+// rolling-update), the rolling cache with adaptive rolling size, and the
+// CPU-side fault handler. All coherence actions run on the host; the
+// accelerator stays passive (the asymmetry that gives ADSM its name).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// The paper (Section 5.2) keeps memory blocks in a balanced binary tree and
+// attributes the dominant small-block overhead to its O(log2 n) search on
+// every page fault. This file implements that structure as a red-black
+// interval tree keyed by block start address, with a visit counter so the
+// fault path can charge a per-node search cost.
+
+type rbColor bool
+
+const (
+	rbRed   rbColor = false
+	rbBlack rbColor = true
+)
+
+type rbNode struct {
+	addr                mem.Addr // interval start (key)
+	size                int64    // interval length
+	value               any      // *Block or *Object payload
+	color               rbColor
+	left, right, parent *rbNode
+}
+
+// rbTree is an interval tree over non-overlapping [addr, addr+size) ranges.
+type rbTree struct {
+	root   *rbNode
+	length int
+	// visited counts nodes touched by lookups since the last call to
+	// takeVisits; the manager converts it into virtual search time.
+	visited int64
+}
+
+// Len returns the number of stored intervals.
+func (t *rbTree) Len() int { return t.length }
+
+// takeVisits returns and resets the lookup visit counter.
+func (t *rbTree) takeVisits() int64 {
+	v := t.visited
+	t.visited = 0
+	return v
+}
+
+// insert adds the interval [addr, addr+size). It returns an error if the
+// interval overlaps an existing one: shared objects never overlap.
+func (t *rbTree) insert(addr mem.Addr, size int64, value any) error {
+	if size <= 0 {
+		return fmt.Errorf("core: invalid interval size %d", size)
+	}
+	var parent *rbNode
+	link := &t.root
+	for *link != nil {
+		parent = *link
+		if addr < parent.addr+mem.Addr(parent.size) && parent.addr < addr+mem.Addr(size) {
+			return fmt.Errorf("core: interval [%#x,+%d) overlaps [%#x,+%d)",
+				uint64(addr), size, uint64(parent.addr), parent.size)
+		}
+		if addr < parent.addr {
+			link = &parent.left
+		} else {
+			link = &parent.right
+		}
+	}
+	n := &rbNode{addr: addr, size: size, value: value, color: rbRed, parent: parent}
+	*link = n
+	t.length++
+	t.fixInsert(n)
+	return nil
+}
+
+// lookup returns the value of the interval containing addr, or nil.
+func (t *rbTree) lookup(addr mem.Addr) any {
+	n := t.root
+	for n != nil {
+		t.visited++
+		if addr < n.addr {
+			n = n.left
+		} else if addr >= n.addr+mem.Addr(n.size) {
+			n = n.right
+		} else {
+			return n.value
+		}
+	}
+	return nil
+}
+
+// remove deletes the interval that starts exactly at addr and returns its
+// value, or nil if no such interval exists.
+func (t *rbTree) remove(addr mem.Addr) any {
+	n := t.root
+	for n != nil {
+		if addr < n.addr {
+			n = n.left
+		} else if addr > n.addr {
+			n = n.right
+		} else {
+			break
+		}
+	}
+	if n == nil {
+		return nil
+	}
+	v := n.value
+	t.deleteNode(n)
+	t.length--
+	return v
+}
+
+// each visits every interval in address order.
+func (t *rbTree) each(f func(addr mem.Addr, size int64, value any)) {
+	var walk func(n *rbNode)
+	walk = func(n *rbNode) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		f(n.addr, n.size, n.value)
+		walk(n.right)
+	}
+	walk(t.root)
+}
+
+// --- red-black machinery ---
+
+func (t *rbTree) rotateLeft(x *rbNode) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *rbTree) rotateRight(x *rbNode) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *rbTree) fixInsert(z *rbNode) {
+	for z.parent != nil && z.parent.color == rbRed {
+		gp := z.parent.parent
+		if z.parent == gp.left {
+			uncle := gp.right
+			if uncle != nil && uncle.color == rbRed {
+				z.parent.color = rbBlack
+				uncle.color = rbBlack
+				gp.color = rbRed
+				z = gp
+				continue
+			}
+			if z == z.parent.right {
+				z = z.parent
+				t.rotateLeft(z)
+			}
+			z.parent.color = rbBlack
+			gp.color = rbRed
+			t.rotateRight(gp)
+		} else {
+			uncle := gp.left
+			if uncle != nil && uncle.color == rbRed {
+				z.parent.color = rbBlack
+				uncle.color = rbBlack
+				gp.color = rbRed
+				z = gp
+				continue
+			}
+			if z == z.parent.left {
+				z = z.parent
+				t.rotateRight(z)
+			}
+			z.parent.color = rbBlack
+			gp.color = rbRed
+			t.rotateLeft(gp)
+		}
+	}
+	t.root.color = rbBlack
+}
+
+func (t *rbTree) transplant(u, v *rbNode) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+func minimum(n *rbNode) *rbNode {
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+func (t *rbTree) deleteNode(z *rbNode) {
+	y := z
+	yColor := y.color
+	var x *rbNode
+	var xParent *rbNode
+	switch {
+	case z.left == nil:
+		x = z.right
+		xParent = z.parent
+		t.transplant(z, z.right)
+	case z.right == nil:
+		x = z.left
+		xParent = z.parent
+		t.transplant(z, z.left)
+	default:
+		y = minimum(z.right)
+		yColor = y.color
+		x = y.right
+		if y.parent == z {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.color = z.color
+	}
+	if yColor == rbBlack {
+		t.fixDelete(x, xParent)
+	}
+}
+
+func nodeColor(n *rbNode) rbColor {
+	if n == nil {
+		return rbBlack
+	}
+	return n.color
+}
+
+func (t *rbTree) fixDelete(x *rbNode, parent *rbNode) {
+	for x != t.root && nodeColor(x) == rbBlack {
+		if parent == nil {
+			break
+		}
+		if x == parent.left {
+			w := parent.right
+			if nodeColor(w) == rbRed {
+				w.color = rbBlack
+				parent.color = rbRed
+				t.rotateLeft(parent)
+				w = parent.right
+			}
+			if w == nil {
+				x = parent
+				parent = x.parent
+				continue
+			}
+			if nodeColor(w.left) == rbBlack && nodeColor(w.right) == rbBlack {
+				w.color = rbRed
+				x = parent
+				parent = x.parent
+			} else {
+				if nodeColor(w.right) == rbBlack {
+					if w.left != nil {
+						w.left.color = rbBlack
+					}
+					w.color = rbRed
+					t.rotateRight(w)
+					w = parent.right
+				}
+				w.color = parent.color
+				parent.color = rbBlack
+				if w.right != nil {
+					w.right.color = rbBlack
+				}
+				t.rotateLeft(parent)
+				x = t.root
+				parent = nil
+			}
+		} else {
+			w := parent.left
+			if nodeColor(w) == rbRed {
+				w.color = rbBlack
+				parent.color = rbRed
+				t.rotateRight(parent)
+				w = parent.left
+			}
+			if w == nil {
+				x = parent
+				parent = x.parent
+				continue
+			}
+			if nodeColor(w.right) == rbBlack && nodeColor(w.left) == rbBlack {
+				w.color = rbRed
+				x = parent
+				parent = x.parent
+			} else {
+				if nodeColor(w.left) == rbBlack {
+					if w.right != nil {
+						w.right.color = rbBlack
+					}
+					w.color = rbRed
+					t.rotateLeft(w)
+					w = parent.left
+				}
+				w.color = parent.color
+				parent.color = rbBlack
+				if w.left != nil {
+					w.left.color = rbBlack
+				}
+				t.rotateRight(parent)
+				x = t.root
+				parent = nil
+			}
+		}
+	}
+	if x != nil {
+		x.color = rbBlack
+	}
+}
+
+// checkInvariants verifies the red-black properties and key ordering.
+// Property tests call it after random insert/remove traffic.
+func (t *rbTree) checkInvariants() error {
+	if t.root != nil && t.root.color != rbBlack {
+		return fmt.Errorf("root is red")
+	}
+	count := 0
+	var prevEnd mem.Addr
+	first := true
+	var check func(n *rbNode) (blackHeight int, err error)
+	check = func(n *rbNode) (int, error) {
+		if n == nil {
+			return 1, nil
+		}
+		if n.color == rbRed {
+			if nodeColor(n.left) == rbRed || nodeColor(n.right) == rbRed {
+				return 0, fmt.Errorf("red node %#x has red child", uint64(n.addr))
+			}
+		}
+		if n.left != nil && n.left.parent != n {
+			return 0, fmt.Errorf("broken parent link at %#x", uint64(n.addr))
+		}
+		if n.right != nil && n.right.parent != n {
+			return 0, fmt.Errorf("broken parent link at %#x", uint64(n.addr))
+		}
+		lh, err := check(n.left)
+		if err != nil {
+			return 0, err
+		}
+		// In-order position: intervals strictly increasing, non-overlapping.
+		if !first && n.addr < prevEnd {
+			return 0, fmt.Errorf("interval [%#x,+%d) overlaps predecessor", uint64(n.addr), n.size)
+		}
+		first = false
+		prevEnd = n.addr + mem.Addr(n.size)
+		count++
+		rh, err := check(n.right)
+		if err != nil {
+			return 0, err
+		}
+		if lh != rh {
+			return 0, fmt.Errorf("black-height mismatch at %#x: %d vs %d", uint64(n.addr), lh, rh)
+		}
+		bh := lh
+		if n.color == rbBlack {
+			bh++
+		}
+		return bh, nil
+	}
+	if _, err := check(t.root); err != nil {
+		return err
+	}
+	if count != t.length {
+		return fmt.Errorf("length %d but %d nodes", t.length, count)
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestRBTreeInsertLookup(t *testing.T) {
+	tr := &rbTree{}
+	if err := tr.insert(0x1000, 0x100, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.insert(0x3000, 0x100, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.insert(0x2000, 0x100, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.lookup(0x1080); got != "a" {
+		t.Fatalf("lookup interior = %v", got)
+	}
+	if got := tr.lookup(0x10ff); got != "a" {
+		t.Fatalf("lookup last byte = %v", got)
+	}
+	if got := tr.lookup(0x1100); got != nil {
+		t.Fatalf("lookup one-past-end = %v", got)
+	}
+	if got := tr.lookup(0x2000); got != "c" {
+		t.Fatalf("lookup start = %v", got)
+	}
+	if got := tr.lookup(0x5000); got != nil {
+		t.Fatalf("lookup outside = %v", got)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBTreeRejectsOverlap(t *testing.T) {
+	tr := &rbTree{}
+	if err := tr.insert(0x1000, 0x1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		addr mem.Addr
+		size int64
+	}{
+		{0x1800, 0x100},  // inside
+		{0x0800, 0x1000}, // straddles start
+		{0x1fff, 0x10},   // straddles end
+		{0x1000, 0x1000}, // exact duplicate
+	} {
+		if err := tr.insert(c.addr, c.size, 2); err == nil {
+			t.Fatalf("insert [%#x,+%d) over existing interval succeeded", uint64(c.addr), c.size)
+		}
+	}
+	// Adjacent intervals are fine.
+	if err := tr.insert(0x2000, 0x100, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.insert(0x0f00, 0x100, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBTreeInsertInvalidSize(t *testing.T) {
+	tr := &rbTree{}
+	if err := tr.insert(0x1000, 0, 1); err == nil {
+		t.Fatal("zero-size interval accepted")
+	}
+}
+
+func TestRBTreeRemove(t *testing.T) {
+	tr := &rbTree{}
+	tr.insert(0x1000, 0x100, "a")
+	tr.insert(0x2000, 0x100, "b")
+	if got := tr.remove(0x1000); got != "a" {
+		t.Fatalf("remove = %v", got)
+	}
+	if got := tr.remove(0x1000); got != nil {
+		t.Fatalf("second remove = %v", got)
+	}
+	if got := tr.remove(0x2080); got != nil {
+		t.Fatalf("remove by interior address should fail, got %v", got)
+	}
+	if tr.lookup(0x1050) != nil {
+		t.Fatal("removed interval still found")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestRBTreeEachInOrder(t *testing.T) {
+	tr := &rbTree{}
+	addrs := []mem.Addr{0x5000, 0x1000, 0x3000, 0x2000, 0x4000}
+	for _, a := range addrs {
+		if err := tr.insert(a, 0x100, uint64(a)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []mem.Addr
+	tr.each(func(addr mem.Addr, size int64, value any) {
+		got = append(got, addr)
+		if value != uint64(addr) {
+			t.Fatalf("value mismatch at %#x", uint64(addr))
+		}
+	})
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("not in order: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("visited %d nodes", len(got))
+	}
+}
+
+func TestRBTreeVisitCounter(t *testing.T) {
+	tr := &rbTree{}
+	for i := 0; i < 1024; i++ {
+		if err := tr.insert(mem.Addr(i*0x1000), 0x1000, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.takeVisits()
+	tr.lookup(0x200500)
+	v := tr.takeVisits()
+	// A balanced tree of 1024 nodes has height <= 2*log2(1025) ~ 20.
+	if v < 1 || v > 21 {
+		t.Fatalf("lookup visited %d nodes, want O(log n)", v)
+	}
+	if tr.takeVisits() != 0 {
+		t.Fatal("takeVisits did not reset")
+	}
+}
+
+func TestRBTreeRandomisedInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &rbTree{}
+		live := make(map[mem.Addr]bool)
+		var addrs []mem.Addr
+		for op := 0; op < 300; op++ {
+			if len(addrs) == 0 || rng.Intn(3) != 0 {
+				slot := mem.Addr(rng.Intn(4096)) * 0x100
+				if live[slot] {
+					continue
+				}
+				if err := tr.insert(slot, 0x100, slot); err != nil {
+					return false
+				}
+				live[slot] = true
+				addrs = append(addrs, slot)
+			} else {
+				i := rng.Intn(len(addrs))
+				a := addrs[i]
+				if tr.remove(a) != a {
+					return false
+				}
+				delete(live, a)
+				addrs = append(addrs[:i], addrs[i+1:]...)
+			}
+			if tr.checkInvariants() != nil {
+				return false
+			}
+		}
+		// Lookup agrees with the live set.
+		for slot := mem.Addr(0); slot < 4096*0x100; slot += 0x100 {
+			got := tr.lookup(slot + 0x50)
+			if live[slot] && got != slot {
+				return false
+			}
+			if !live[slot] && got != nil {
+				return false
+			}
+		}
+		return tr.Len() == len(addrs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBTreeSequentialDeleteAll(t *testing.T) {
+	tr := &rbTree{}
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := tr.insert(mem.Addr(i*0x100), 0x100, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if got := tr.remove(mem.Addr(i * 0x100)); got != i {
+			t.Fatalf("remove %d returned %v", i, got)
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("after removing %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 0 || tr.root != nil {
+		t.Fatal("tree not empty after removing everything")
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+// rollingCache is the bounded FIFO of Dirty blocks at the heart of the
+// rolling-update protocol (§4.3). At most `capacity` blocks may be Dirty on
+// the CPU; pushing one more evicts the oldest, which the manager flushes
+// eagerly (and asynchronously) to accelerator memory.
+//
+// The capacity ("rolling size") adapts: every adsmAlloc grows it by a fixed
+// delta (default 2 blocks), so each allocated object can keep at least one
+// block dirty — the paper's heuristic for applications that touch all their
+// data structures concurrently. Experiments may pin it instead (Figure 12).
+type rollingCache struct {
+	queue    []*Block
+	capacity int
+	delta    int
+	fixed    bool // capacity pinned by the experiment, no adaptation
+}
+
+func newRollingCache(start, delta int, fixed bool) *rollingCache {
+	if delta <= 0 {
+		delta = 2
+	}
+	return &rollingCache{capacity: start, delta: delta, fixed: fixed}
+}
+
+// onAlloc grows the rolling size, unless it is pinned.
+func (rc *rollingCache) onAlloc() {
+	if !rc.fixed {
+		rc.capacity += rc.delta
+	}
+}
+
+// Capacity returns the current rolling size.
+func (rc *rollingCache) Capacity() int { return rc.capacity }
+
+// Len returns the number of queued dirty blocks.
+func (rc *rollingCache) Len() int { return len(rc.queue) }
+
+// push enqueues a newly dirty block and returns the block evicted to make
+// room, or nil if the cache has capacity. The caller flushes the victim.
+func (rc *rollingCache) push(b *Block) *Block {
+	if b.queued {
+		return nil
+	}
+	b.queued = true
+	rc.queue = append(rc.queue, b)
+	if len(rc.queue) <= rc.capacity {
+		return nil
+	}
+	victim := rc.queue[0]
+	rc.queue = rc.queue[1:]
+	victim.queued = false
+	return victim
+}
+
+// drain removes and returns all queued blocks (kernel invocation flush).
+func (rc *rollingCache) drain() []*Block {
+	out := rc.queue
+	rc.queue = nil
+	for _, b := range out {
+		b.queued = false
+	}
+	return out
+}
+
+// forgetBlock removes one block from the queue (bulk operations made it
+// invalid without an eviction).
+func (rc *rollingCache) forgetBlock(b *Block) {
+	if !b.queued {
+		return
+	}
+	for i, q := range rc.queue {
+		if q == b {
+			rc.queue = append(rc.queue[:i], rc.queue[i+1:]...)
+			break
+		}
+	}
+	b.queued = false
+}
+
+// forget removes any queued blocks belonging to obj (object being freed).
+func (rc *rollingCache) forget(obj *Object) {
+	kept := rc.queue[:0]
+	for _, b := range rc.queue {
+		if b.obj == obj {
+			b.queued = false
+			continue
+		}
+		kept = append(kept, b)
+	}
+	rc.queue = kept
+}

@@ -1,0 +1,61 @@
+package core
+
+import "repro/internal/sim"
+
+// Stats aggregates the manager's activity counters. Figures 8, 10, 11 and
+// 12 of the paper are computed from these.
+type Stats struct {
+	// Transfer volumes, as counted by the manager (Figure 8).
+	BytesH2D, BytesD2H         int64
+	TransfersH2D, TransfersD2H int64
+
+	// Fault activity (the "Signal" discussion around Figure 10).
+	Faults, ReadFaults, WriteFaults int64
+
+	// Rolling-update eviction traffic.
+	Evictions int64
+
+	// CPU stall time attributable to transfers in each direction
+	// (Figure 11 plots these as "CPU to GPU Time" / "GPU to CPU Time").
+	H2DWait, D2HWait sim.Time
+	// H2DDrain is flushed-but-in-flight transfer backlog observed at
+	// kernel invocations: the part of eager H2D traffic that did not
+	// overlap with CPU work and delays the kernel instead.
+	H2DDrain sim.Time
+
+	// SearchTime is the virtual time spent walking the block tree in the
+	// fault handler (the dominant small-block overhead in Figure 11).
+	SearchTime sim.Time
+
+	// Peer-DMA traffic: bytes moved directly between I/O devices and
+	// accelerator memory, bypassing system-memory staging.
+	PeerBytesIn, PeerBytesOut int64
+
+	// API call counts.
+	Allocs, Frees, Invokes, Syncs int64
+}
+
+// Sub returns the difference s - base, counter by counter. Experiment
+// harnesses use it to isolate one phase of a run.
+func (s Stats) Sub(base Stats) Stats {
+	return Stats{
+		BytesH2D:     s.BytesH2D - base.BytesH2D,
+		BytesD2H:     s.BytesD2H - base.BytesD2H,
+		TransfersH2D: s.TransfersH2D - base.TransfersH2D,
+		TransfersD2H: s.TransfersD2H - base.TransfersD2H,
+		Faults:       s.Faults - base.Faults,
+		ReadFaults:   s.ReadFaults - base.ReadFaults,
+		WriteFaults:  s.WriteFaults - base.WriteFaults,
+		Evictions:    s.Evictions - base.Evictions,
+		H2DWait:      s.H2DWait - base.H2DWait,
+		D2HWait:      s.D2HWait - base.D2HWait,
+		H2DDrain:     s.H2DDrain - base.H2DDrain,
+		SearchTime:   s.SearchTime - base.SearchTime,
+		PeerBytesIn:  s.PeerBytesIn - base.PeerBytesIn,
+		PeerBytesOut: s.PeerBytesOut - base.PeerBytesOut,
+		Allocs:       s.Allocs - base.Allocs,
+		Frees:        s.Frees - base.Frees,
+		Invokes:      s.Invokes - base.Invokes,
+		Syncs:        s.Syncs - base.Syncs,
+	}
+}

@@ -1,0 +1,81 @@
+package figures
+
+import (
+	"repro/internal/interconnect"
+)
+
+// NPBKernel models the memory intensity of one NASA Parallel Benchmark
+// kernel, estimated from execution traces as in Section 2.2: the paper
+// reports that bt sustains at most IPC 50 over PCIe and ua at most IPC 5,
+// which pins their bytes-per-instruction at the 800 MHz reference clock.
+type NPBKernel struct {
+	Name string
+	// BytesPerInstr is the average memory traffic per instruction.
+	BytesPerInstr float64
+}
+
+// NPBKernels returns the five benchmarks plotted in Figure 2.
+func NPBKernels() []NPBKernel {
+	return []NPBKernel{
+		{Name: "bt", BytesPerInstr: 0.15},
+		{Name: "ep", BytesPerInstr: 0.04},
+		{Name: "lu", BytesPerInstr: 0.45},
+		{Name: "mg", BytesPerInstr: 0.90},
+		{Name: "ua", BytesPerInstr: 1.50},
+	}
+}
+
+// Fig2Clock is the kernel clock frequency assumed by Figure 2.
+const Fig2Clock = 800e6
+
+// Fig2Links returns the interconnect ceilings drawn in Figure 2.
+func Fig2Links() []*interconnect.Link {
+	return []*interconnect.Link{
+		interconnect.PCIe2x16H2D(),
+		interconnect.QPI(),
+		interconnect.HyperTransport(),
+		interconnect.GTX295Memory(),
+	}
+}
+
+// Fig2 computes, for each NPB kernel and each interconnect, the bandwidth
+// demanded at IPC 1..100 and the maximum IPC the interconnect sustains —
+// the crossing points of Figure 2.
+func Fig2() *Table {
+	t := &Table{
+		Title:   "Figure 2: bandwidth requirements of NPB kernels (800 MHz clock): max sustainable IPC per interconnect",
+		Columns: []string{"benchmark", "B/instr", "BW@IPC10", "BW@IPC100"},
+		Notes: []string{
+			"bytes-per-instruction calibrated so bt tops out near IPC 50 and ua near IPC 5 on PCIe, as the paper reports",
+			"on-board GPU memory sustains far higher IPC than any CPU-accelerator link: kernels' working sets must live in accelerator memory",
+		},
+	}
+	links := Fig2Links()
+	for _, l := range links {
+		t.Columns = append(t.Columns, "maxIPC "+l.Name)
+	}
+	for _, k := range NPBKernels() {
+		row := []string{
+			k.Name,
+			f("%.2f", k.BytesPerInstr),
+			humanBps(interconnect.RequiredBps(10, Fig2Clock, k.BytesPerInstr)),
+			humanBps(interconnect.RequiredBps(100, Fig2Clock, k.BytesPerInstr)),
+		}
+		for _, l := range links {
+			row = append(row, f("%.1f", l.MaxIPC(k.BytesPerInstr, Fig2Clock)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func humanBps(bps float64) string {
+	switch {
+	case bps >= 1e9:
+		return f("%.1f GB/s", bps/1e9)
+	case bps >= 1e6:
+		return f("%.1f MB/s", bps/1e6)
+	default:
+		return f("%.0f B/s", bps)
+	}
+}

@@ -1,0 +1,67 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (Section 5) from the simulated testbed: one driver per
+// figure, each returning a printable result whose rows/series match what
+// the paper reports. EXPERIMENTS.md records paper-vs-measured values.
+package figures
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable grid of results.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carry caveats (modelling substitutions, known deviations).
+	Notes []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+func f(format string, args ...any) string { return fmt.Sprintf(format, args...) }

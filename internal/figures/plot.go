@@ -1,0 +1,219 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve of a figure.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Plot renders curves as ASCII art, the closest a terminal gets to the
+// paper's figures. Both axes may be logarithmic, matching the paper's
+// log-scale Figures 9, 11 and 12.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 16)
+	Series []Series
+}
+
+// markers label up to eight series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Render draws the plot.
+func (p *Plot) Render() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+	tx := func(v float64) float64 { return v }
+	ty := func(v float64) float64 { return v }
+	if p.LogX {
+		tx = math.Log10
+	}
+	if p.LogY {
+		ty = math.Log10
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsInf(x, 0) || math.IsInf(y, 0) || math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX > maxX || minY > maxY {
+		return fmt.Sprintf("== %s ==\n(no data)\n", p.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((tx(x) - minX) / (maxX - minX) * float64(w-1)))
+		return clamp(c, 0, w-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((ty(y) - minY) / (maxY - minY) * float64(h-1)))
+		return clamp(h-1-r, 0, h-1)
+	}
+	for si, s := range p.Series {
+		mk := markers[si%len(markers)]
+		// Sort points by x so line interpolation is sane.
+		idx := make([]int, len(s.X))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+		prevC, prevR := -1, -1
+		for _, i := range idx {
+			c, r := col(s.X[i]), row(s.Y[i])
+			if prevC >= 0 {
+				drawLine(grid, prevC, prevR, c, r, mk)
+			}
+			grid[r][c] = mk
+			prevC, prevR = c, r
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", p.Title)
+	yTop, yBot := p.axisValue(maxY, p.LogY), p.axisValue(minY, p.LogY)
+	label := p.YLabel
+	for r := 0; r < h; r++ {
+		prefix := strings.Repeat(" ", 12)
+		switch r {
+		case 0:
+			prefix = fmt.Sprintf("%11s ", humanAxis(yTop))
+		case h - 1:
+			prefix = fmt.Sprintf("%11s ", humanAxis(yBot))
+		case h / 2:
+			if len(label) <= 11 {
+				prefix = fmt.Sprintf("%11s ", label)
+			}
+		}
+		sb.WriteString(prefix)
+		sb.WriteByte('|')
+		sb.Write(grid[r])
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", 12))
+	sb.WriteByte('+')
+	sb.WriteString(strings.Repeat("-", w))
+	sb.WriteByte('\n')
+	left := humanAxis(p.axisValue(minX, p.LogX))
+	right := humanAxis(p.axisValue(maxX, p.LogX))
+	gap := w - len(left) - len(right) - len(p.XLabel)
+	if gap < 2 {
+		gap = 2
+	}
+	fmt.Fprintf(&sb, "%s%s%s%s%s\n", strings.Repeat(" ", 13), left,
+		strings.Repeat(" ", gap/2), p.XLabel, strings.Repeat(" ", gap-gap/2))
+	sb.WriteString(strings.Repeat(" ", 13+w-len(right)))
+	sb.WriteString(right)
+	sb.WriteByte('\n')
+	for i, s := range p.Series {
+		fmt.Fprintf(&sb, "  %c %s\n", markers[i%len(markers)], s.Label)
+	}
+	return sb.String()
+}
+
+func (p *Plot) axisValue(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+func humanAxis(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.3g G", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.3g M", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.3g k", v/1e3)
+	case av >= 1 || av == 0:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 1e-3:
+		return fmt.Sprintf("%.3g m", v*1e3)
+	default:
+		return fmt.Sprintf("%.3g u", v*1e6)
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// drawLine draws a Bresenham segment with a dim connector character,
+// leaving the endpoints to be stamped with the series marker.
+func drawLine(grid [][]byte, c0, r0, c1, r1 int, mk byte) {
+	dc, dr := abs(c1-c0), -abs(r1-r0)
+	sc, sr := 1, 1
+	if c0 > c1 {
+		sc = -1
+	}
+	if r0 > r1 {
+		sr = -1
+	}
+	err := dc + dr
+	c, r := c0, r0
+	for {
+		if grid[r][c] == ' ' {
+			grid[r][c] = '.'
+		}
+		if c == c1 && r == r1 {
+			break
+		}
+		e2 := 2 * err
+		if e2 >= dr {
+			err += dr
+			c += sc
+		}
+		if e2 <= dc {
+			err += dc
+			r += sr
+		}
+	}
+	_ = mk
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

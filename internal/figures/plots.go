@@ -1,0 +1,85 @@
+package figures
+
+import "repro/internal/interconnect"
+
+// Fig2Plot draws the bandwidth-requirement lines of Figure 2: one line per
+// NPB kernel plus one horizontal ceiling per interconnect, on log-log axes
+// like the paper.
+func Fig2Plot() *Plot {
+	p := &Plot{
+		Title:  "Figure 2: bandwidth required vs IPC (800 MHz kernels)",
+		XLabel: "IPC",
+		YLabel: "B/s",
+		LogY:   true,
+		Height: 18,
+	}
+	ipcs := []float64{1, 2, 5, 10, 20, 40, 60, 80, 100}
+	for _, k := range NPBKernels() {
+		s := Series{Label: k.Name}
+		for _, ipc := range ipcs {
+			s.X = append(s.X, ipc)
+			s.Y = append(s.Y, interconnect.RequiredBps(ipc, Fig2Clock, k.BytesPerInstr))
+		}
+		p.Series = append(p.Series, s)
+	}
+	for _, l := range Fig2Links() {
+		p.Series = append(p.Series, Series{
+			Label: l.Name + " ceiling",
+			X:     []float64{1, 100},
+			Y:     []float64{l.PeakBps, l.PeakBps},
+		})
+	}
+	return p
+}
+
+// Fig11Plot draws the per-direction transfer times of the vector-addition
+// sweep on log-log axes.
+func Fig11Plot(rows []Fig11Row) *Plot {
+	p := &Plot{
+		Title:  "Figure 11: vecadd transfer time vs block size",
+		XLabel: "block bytes",
+		YLabel: "seconds",
+		LogX:   true,
+		LogY:   true,
+		Height: 18,
+	}
+	h2d := Series{Label: "CPU->GPU time"}
+	d2h := Series{Label: "GPU->CPU time"}
+	for _, r := range rows {
+		h2d.X = append(h2d.X, float64(r.BlockSize))
+		h2d.Y = append(h2d.Y, r.CPUToGPU.Seconds())
+		d2h.X = append(d2h.X, float64(r.BlockSize))
+		d2h.Y = append(d2h.Y, r.GPUToCPU.Seconds())
+	}
+	p.Series = []Series{h2d, d2h}
+	return p
+}
+
+// Fig12Plot draws the tpacf execution times per pinned rolling size on
+// log-log axes, where the rolling-size cliffs are unmistakable.
+func Fig12Plot(rows []Fig12Row) *Plot {
+	p := &Plot{
+		Title:  "Figure 12: tpacf execution time vs block size",
+		XLabel: "block bytes",
+		YLabel: "seconds",
+		LogX:   true,
+		LogY:   true,
+		Height: 18,
+	}
+	bySize := map[int]*Series{}
+	var order []int
+	for _, r := range rows {
+		s, ok := bySize[r.RollingSize]
+		if !ok {
+			s = &Series{Label: f("tpacf-%d", r.RollingSize)}
+			bySize[r.RollingSize] = s
+			order = append(order, r.RollingSize)
+		}
+		s.X = append(s.X, float64(r.BlockSize))
+		s.Y = append(s.Y, r.Time.Seconds())
+	}
+	for _, rs := range order {
+		p.Series = append(p.Series, *bySize[rs])
+	}
+	return p
+}

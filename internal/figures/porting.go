@@ -1,0 +1,144 @@
+package figures
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"runtime"
+)
+
+// PortingRow measures the programming effort of one benchmark under both
+// models, by static analysis of this repository's own workload sources:
+// the body length of the baseline (RunCUDA) vs ADSM (RunGMAC) entry point,
+// and the number of explicit data-management call sites in each
+// (cudaMalloc/cudaMemcpy/staging-buffer management vs adsmAlloc/adsmFree).
+// This is the measurable analogue of the paper's porting observation: the
+// GMAC ports removed code and added none.
+type PortingRow struct {
+	Benchmark                string
+	CUDALines, GMACLines     int
+	CUDAMgmtOps, GMACMgmtOps int
+}
+
+// workloadFiles maps each benchmark to its source file.
+var workloadFiles = map[string]string{
+	"cp":        "cp.go",
+	"mri-q":     "mri.go",
+	"mri-fhd":   "mri.go",
+	"pns":       "pns.go",
+	"rpes":      "rpes.go",
+	"sad":       "sad.go",
+	"tpacf":     "tpacf.go",
+	"stencil3d": "stencil.go",
+	"vecadd":    "vecadd.go",
+}
+
+// cudaMgmtMethods are the explicit data-management entry points of the
+// baseline model (Figure 3's boilerplate).
+var cudaMgmtMethods = map[string]bool{
+	"Malloc": true, "MallocHost": true, "Free": true,
+	"MemcpyH2D": true, "MemcpyD2H": true,
+	"MemcpyH2DAsync": true, "MemcpyD2HAsync": true,
+}
+
+// gmacMgmtMethods are the data-management entry points that remain under
+// ADSM (Table 1: allocation and release only).
+var gmacMgmtMethods = map[string]bool{
+	"Alloc": true, "SafeAlloc": true, "Free": true,
+}
+
+// workloadsDir locates the workload sources relative to this file.
+func workloadsDir() (string, error) {
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		return "", fmt.Errorf("figures: cannot locate own source file")
+	}
+	return filepath.Join(filepath.Dir(self), "..", "workloads"), nil
+}
+
+// Porting analyses the workload sources and returns one row per benchmark.
+func Porting() ([]PortingRow, error) {
+	dir, err := workloadsDir()
+	if err != nil {
+		return nil, err
+	}
+	var rows []PortingRow
+	for _, name := range []string{"cp", "mri-fhd", "mri-q", "pns", "rpes", "sad", "tpacf"} {
+		row, err := analyse(filepath.Join(dir, workloadFiles[name]), name)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func analyse(path, benchmark string) (PortingRow, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return PortingRow{}, fmt.Errorf("figures: parse %s: %w", path, err)
+	}
+	row := PortingRow{Benchmark: benchmark}
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		switch fn.Name.Name {
+		case "RunCUDA":
+			row.CUDALines = fset.Position(fn.Body.End()).Line - fset.Position(fn.Body.Pos()).Line
+			row.CUDAMgmtOps = countCalls(fn.Body, "rt", cudaMgmtMethods)
+		case "RunGMAC":
+			row.GMACLines = fset.Position(fn.Body.End()).Line - fset.Position(fn.Body.Pos()).Line
+			row.GMACMgmtOps = countCalls(fn.Body, "ctx", gmacMgmtMethods)
+		}
+	}
+	if row.CUDALines == 0 || row.GMACLines == 0 {
+		return row, fmt.Errorf("figures: %s: missing RunCUDA/RunGMAC in %s", benchmark, path)
+	}
+	return row, nil
+}
+
+// countCalls counts call sites recv.Method(...) where Method is in the set.
+func countCalls(body *ast.BlockStmt, recv string, methods map[string]bool) int {
+	n := 0
+	ast.Inspect(body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok || ident.Name != recv {
+			return true
+		}
+		if methods[sel.Sel.Name] {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// PortingTable renders the analysis.
+func PortingTable(rows []PortingRow) *Table {
+	t := &Table{
+		Title: "Porting effort: baseline vs ADSM variants of each benchmark (static analysis of this repo's sources)",
+		Columns: []string{"benchmark", "CUDA lines", "GMAC lines",
+			"CUDA data-mgmt calls", "GMAC data-mgmt calls"},
+		Notes: []string{
+			"paper: porting Parboil to GMAC removed code in every benchmark and added none (under eight hours for the suite)",
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, f("%d", r.CUDALines), f("%d", r.GMACLines),
+			f("%d", r.CUDAMgmtOps), f("%d", r.GMACMgmtOps))
+	}
+	return t
+}

@@ -1,0 +1,254 @@
+// Package hostmmu simulates the host CPU's memory-protection hardware and
+// the POSIX signal path GMAC relies on: mprotect sets per-page permission
+// bits and any CPU access that violates them is delivered synchronously to
+// a registered fault handler, charged with a calibrated signal-delivery
+// cost (the "Signal" slice of Figure 10).
+//
+// The real GMAC catches SIGSEGV; in Go, installing a competing SIGSEGV
+// handler conflicts with the runtime, so accesses to shared objects flow
+// through accessor views (package gmac) which call CheckRead/CheckWrite
+// before touching backing memory. The fault points are identical: first
+// read of Invalid data, first write to ReadOnly data.
+package hostmmu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Prot is a page protection value, mirroring PROT_NONE / PROT_READ /
+// PROT_READ|PROT_WRITE.
+type Prot uint8
+
+// Page protection levels.
+const (
+	ProtNone Prot = iota
+	ProtRead
+	ProtReadWrite
+)
+
+func (p Prot) String() string {
+	switch p {
+	case ProtNone:
+		return "---"
+	case ProtRead:
+		return "r--"
+	case ProtReadWrite:
+		return "rw-"
+	default:
+		return fmt.Sprintf("Prot(%d)", uint8(p))
+	}
+}
+
+// Access distinguishes read faults from write faults.
+type Access uint8
+
+// Access kinds.
+const (
+	AccessRead Access = iota
+	AccessWrite
+)
+
+func (a Access) String() string {
+	if a == AccessWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// Fault describes one protection violation delivered to the handler.
+type Fault struct {
+	Addr   mem.Addr // faulting address (page-aligned down by the handler if desired)
+	Access Access
+}
+
+// FaultHandler resolves a protection violation. A handler that returns an
+// error aborts the access (the process would die with SIGSEGV); a handler
+// that returns nil must have upgraded the page permissions so the access
+// can be retried.
+type FaultHandler func(Fault) error
+
+// ErrSegfault is returned when an access violates protections and no
+// handler is installed, or the handler declines to resolve the fault.
+var ErrSegfault = errors.New("hostmmu: segmentation fault")
+
+// ErrUnmapped is returned when an access touches a page that was never
+// mapped through the MMU.
+var ErrUnmapped = errors.New("hostmmu: access to unmapped page")
+
+// ErrFaultLoop is returned when the handler keeps failing to make progress
+// on the same page.
+var ErrFaultLoop = errors.New("hostmmu: fault handler made no progress")
+
+// Stats counts MMU activity for the experiment reports.
+type Stats struct {
+	Faults      int64 // protection faults delivered
+	ReadFaults  int64
+	WriteFaults int64
+	Mprotects   int64
+	SignalTime  sim.Time // accumulated signal-delivery cost
+}
+
+// MMU is the software memory-protection unit. All times are charged to the
+// virtual clock; the breakdown receives the Signal category.
+type MMU struct {
+	pageSize   int64
+	pages      map[mem.Addr]Prot
+	handler    FaultHandler
+	clock      *sim.Clock
+	breakdown  *sim.Breakdown
+	signalCost sim.Time // cost of one fault delivery (kernel + user handler entry)
+	stats      Stats
+}
+
+// Config parameterises the MMU.
+type Config struct {
+	PageSize   int64    // must be a power of two
+	SignalCost sim.Time // per-fault delivery cost
+}
+
+// New returns an MMU with no pages mapped.
+func New(cfg Config, clock *sim.Clock, breakdown *sim.Breakdown) *MMU {
+	if cfg.PageSize <= 0 || cfg.PageSize&(cfg.PageSize-1) != 0 {
+		panic(fmt.Sprintf("hostmmu: page size %d is not a power of two", cfg.PageSize))
+	}
+	return &MMU{
+		pageSize:   cfg.PageSize,
+		pages:      make(map[mem.Addr]Prot),
+		clock:      clock,
+		breakdown:  breakdown,
+		signalCost: cfg.SignalCost,
+	}
+}
+
+// PageSize returns the MMU page size.
+func (m *MMU) PageSize() int64 { return m.pageSize }
+
+// SetHandler installs the fault handler (GMAC's signal handler).
+func (m *MMU) SetHandler(h FaultHandler) { m.handler = h }
+
+// Stats returns a copy of the accumulated counters.
+func (m *MMU) Stats() Stats { return m.stats }
+
+func (m *MMU) pageBase(addr mem.Addr) mem.Addr {
+	return addr &^ mem.Addr(m.pageSize-1)
+}
+
+// Map registers [addr, addr+size) with the given protection. Addr must be
+// page-aligned; size is rounded up to whole pages.
+func (m *MMU) Map(addr mem.Addr, size int64, prot Prot) {
+	if addr != m.pageBase(addr) {
+		panic(fmt.Sprintf("hostmmu: unaligned map at %#x", uint64(addr)))
+	}
+	for off := int64(0); off < size; off += m.pageSize {
+		m.pages[addr+mem.Addr(off)] = prot
+	}
+}
+
+// Unmap removes [addr, addr+size) from the page table.
+func (m *MMU) Unmap(addr mem.Addr, size int64) {
+	if addr != m.pageBase(addr) {
+		panic(fmt.Sprintf("hostmmu: unaligned unmap at %#x", uint64(addr)))
+	}
+	for off := int64(0); off < size; off += m.pageSize {
+		delete(m.pages, addr+mem.Addr(off))
+	}
+}
+
+// Mprotect changes the protection of [addr, addr+size). All pages in the
+// range must be mapped.
+func (m *MMU) Mprotect(addr mem.Addr, size int64, prot Prot) error {
+	base := m.pageBase(addr)
+	end := addr + mem.Addr(size)
+	for p := base; p < end; p += mem.Addr(m.pageSize) {
+		if _, ok := m.pages[p]; !ok {
+			return fmt.Errorf("%w: mprotect %#x", ErrUnmapped, uint64(p))
+		}
+	}
+	for p := base; p < end; p += mem.Addr(m.pageSize) {
+		m.pages[p] = prot
+	}
+	m.stats.Mprotects++
+	return nil
+}
+
+// Protection returns the protection of the page containing addr, and
+// whether that page is mapped.
+func (m *MMU) Protection(addr mem.Addr) (Prot, bool) {
+	p, ok := m.pages[m.pageBase(addr)]
+	return p, ok
+}
+
+// CheckRead walks the pages covering [addr, addr+size) and delivers a
+// read fault for every page that does not permit reads. It returns once
+// the whole range is readable.
+func (m *MMU) CheckRead(addr mem.Addr, size int64) error {
+	return m.check(addr, size, AccessRead)
+}
+
+// CheckWrite is CheckRead for write access.
+func (m *MMU) CheckWrite(addr mem.Addr, size int64) error {
+	return m.check(addr, size, AccessWrite)
+}
+
+func (m *MMU) allows(prot Prot, access Access) bool {
+	switch access {
+	case AccessRead:
+		return prot == ProtRead || prot == ProtReadWrite
+	default:
+		return prot == ProtReadWrite
+	}
+}
+
+func (m *MMU) check(addr mem.Addr, size int64, access Access) error {
+	if size < 0 {
+		return fmt.Errorf("hostmmu: negative access size %d", size)
+	}
+	end := addr + mem.Addr(size)
+	for page := m.pageBase(addr); page < end; page += mem.Addr(m.pageSize) {
+		// A real CPU re-executes the faulting instruction after the
+		// handler returns, so loop until the page permits the access; the
+		// handler must make progress or we report a fault loop.
+		for tries := 0; ; tries++ {
+			prot, ok := m.pages[page]
+			if !ok {
+				return fmt.Errorf("%w: %#x", ErrUnmapped, uint64(page))
+			}
+			if m.allows(prot, access) {
+				break
+			}
+			if tries >= 2 {
+				return fmt.Errorf("%w: page %#x stuck at %s for %s",
+					ErrFaultLoop, uint64(page), prot, access)
+			}
+			if err := m.deliver(Fault{Addr: page, Access: access}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (m *MMU) deliver(f Fault) error {
+	m.stats.Faults++
+	if f.Access == AccessWrite {
+		m.stats.WriteFaults++
+	} else {
+		m.stats.ReadFaults++
+	}
+	m.stats.SignalTime += m.signalCost
+	m.clock.Advance(m.signalCost)
+	if m.breakdown != nil {
+		m.breakdown.Add(sim.CatSignal, m.signalCost)
+	}
+	if m.handler == nil {
+		return fmt.Errorf("%w: %s at %#x (no handler)", ErrSegfault, f.Access, uint64(f.Addr))
+	}
+	if err := m.handler(f); err != nil {
+		return fmt.Errorf("%w: %s at %#x: %v", ErrSegfault, f.Access, uint64(f.Addr), err)
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package hostmmu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func newMMU(t *testing.T) (*MMU, *sim.Clock, *sim.Breakdown) {
+	t.Helper()
+	clock := sim.NewClock()
+	bd := sim.NewBreakdown()
+	m := New(Config{PageSize: 4096, SignalCost: 3 * sim.Microsecond}, clock, bd)
+	return m, clock, bd
+}
+
+func TestMapAndAccess(t *testing.T) {
+	m, _, _ := newMMU(t)
+	m.Map(0x1000, 8192, ProtReadWrite)
+	if err := m.CheckRead(0x1000, 8192); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckWrite(0x2fff, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckRead(0x3000, 1); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("access past mapping: %v", err)
+	}
+}
+
+func TestUnalignedMapPanics(t *testing.T) {
+	m, _, _ := newMMU(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned Map did not panic")
+		}
+	}()
+	m.Map(0x1001, 4096, ProtRead)
+}
+
+func TestReadOnlyWriteFaults(t *testing.T) {
+	m, clock, bd := newMMU(t)
+	m.Map(0x1000, 4096, ProtRead)
+
+	var got []Fault
+	m.SetHandler(func(f Fault) error {
+		got = append(got, f)
+		return m.Mprotect(f.Addr, 1, ProtReadWrite)
+	})
+
+	if err := m.CheckRead(0x1000, 4096); err != nil {
+		t.Fatalf("read of read-only page faulted: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("read delivered %d faults", len(got))
+	}
+	if err := m.CheckWrite(0x1800, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Access != AccessWrite || got[0].Addr != 0x1000 {
+		t.Fatalf("faults = %+v", got)
+	}
+	// Permission upgraded: second write silent.
+	if err := m.CheckWrite(0x1000, 8); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("second write faulted again: %d faults", len(got))
+	}
+	// Signal cost charged to clock and breakdown.
+	if clock.Now() != 3*sim.Microsecond {
+		t.Fatalf("clock = %v, want 3us", clock.Now())
+	}
+	if bd.Get(sim.CatSignal) != 3*sim.Microsecond {
+		t.Fatalf("signal breakdown = %v", bd.Get(sim.CatSignal))
+	}
+	st := m.Stats()
+	if st.Faults != 1 || st.WriteFaults != 1 || st.ReadFaults != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProtNoneReadFaults(t *testing.T) {
+	m, _, _ := newMMU(t)
+	m.Map(0x1000, 4096, ProtNone)
+	m.SetHandler(func(f Fault) error {
+		if f.Access != AccessRead {
+			t.Fatalf("fault access = %v", f.Access)
+		}
+		return m.Mprotect(f.Addr, 1, ProtRead)
+	})
+	if err := m.CheckRead(0x1004, 4); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.ReadFaults != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMultiPageAccessFaultsPerPage(t *testing.T) {
+	m, _, _ := newMMU(t)
+	m.Map(0x0, 4*4096, ProtNone)
+	n := 0
+	m.SetHandler(func(f Fault) error {
+		n++
+		return m.Mprotect(f.Addr, 1, ProtReadWrite)
+	})
+	// Access spanning pages 1,2,3 (not 0).
+	if err := m.CheckWrite(0x1ff0, 2*4096); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("delivered %d faults, want 3 (one per touched page)", n)
+	}
+}
+
+func TestNoHandlerSegfaults(t *testing.T) {
+	m, _, _ := newMMU(t)
+	m.Map(0x1000, 4096, ProtNone)
+	if err := m.CheckRead(0x1000, 1); !errors.Is(err, ErrSegfault) {
+		t.Fatalf("want ErrSegfault, got %v", err)
+	}
+}
+
+func TestHandlerErrorSegfaults(t *testing.T) {
+	m, _, _ := newMMU(t)
+	m.Map(0x1000, 4096, ProtNone)
+	m.SetHandler(func(Fault) error { return errors.New("nope") })
+	if err := m.CheckWrite(0x1000, 1); !errors.Is(err, ErrSegfault) {
+		t.Fatalf("want ErrSegfault, got %v", err)
+	}
+}
+
+func TestHandlerNoProgressDetected(t *testing.T) {
+	m, _, _ := newMMU(t)
+	m.Map(0x1000, 4096, ProtNone)
+	m.SetHandler(func(Fault) error { return nil }) // claims success, does nothing
+	if err := m.CheckRead(0x1000, 1); !errors.Is(err, ErrFaultLoop) {
+		t.Fatalf("want ErrFaultLoop, got %v", err)
+	}
+}
+
+func TestMprotectUnmapped(t *testing.T) {
+	m, _, _ := newMMU(t)
+	if err := m.Mprotect(0x1000, 4096, ProtRead); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("mprotect of unmapped range: %v", err)
+	}
+}
+
+func TestMprotectPartialRange(t *testing.T) {
+	m, _, _ := newMMU(t)
+	m.Map(0x0, 4*4096, ProtReadWrite)
+	// Protect the middle two pages.
+	if err := m.Mprotect(0x1000, 2*4096, ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := m.Protection(0x0); p != ProtReadWrite {
+		t.Fatalf("page 0 = %v", p)
+	}
+	if p, _ := m.Protection(0x1000); p != ProtNone {
+		t.Fatalf("page 1 = %v", p)
+	}
+	if p, _ := m.Protection(0x2fff); p != ProtNone {
+		t.Fatalf("page 2 = %v", p)
+	}
+	if p, _ := m.Protection(0x3000); p != ProtReadWrite {
+		t.Fatalf("page 3 = %v", p)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	m, _, _ := newMMU(t)
+	m.Map(0x1000, 8192, ProtReadWrite)
+	m.Unmap(0x1000, 4096)
+	if err := m.CheckRead(0x1000, 1); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("read of unmapped page: %v", err)
+	}
+	if err := m.CheckRead(0x2000, 1); err != nil {
+		t.Fatalf("second page should remain mapped: %v", err)
+	}
+}
+
+func TestZeroSizeAccess(t *testing.T) {
+	m, _, _ := newMMU(t)
+	if err := m.CheckRead(0x1000, 0); err != nil {
+		t.Fatalf("zero-size access should succeed: %v", err)
+	}
+	if err := m.CheckRead(0x1000, -1); err == nil {
+		t.Fatal("negative size should fail")
+	}
+}
+
+func TestMprotectUnalignedStartRoundsDown(t *testing.T) {
+	// GMAC mprotects block ranges whose start may fall mid-page; the MMU
+	// rounds down to the page base like the syscall does.
+	m, _, _ := newMMU(t)
+	m.Map(0x0, 2*4096, ProtReadWrite)
+	if err := m.Mprotect(0x1800, 4, ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := m.Protection(0x1000); p != ProtNone {
+		t.Fatalf("page base protection = %v, want ---", p)
+	}
+}
+
+func TestProtString(t *testing.T) {
+	if ProtNone.String() != "---" || ProtRead.String() != "r--" || ProtReadWrite.String() != "rw-" {
+		t.Fatal("Prot.String values changed")
+	}
+	if AccessRead.String() != "read" || AccessWrite.String() != "write" {
+		t.Fatal("Access.String values changed")
+	}
+}
+
+func TestFaultCountsAndMprotectStats(t *testing.T) {
+	m, _, _ := newMMU(t)
+	m.Map(0x0, 4096, ProtNone)
+	m.SetHandler(func(f Fault) error { return m.Mprotect(f.Addr, 1, ProtReadWrite) })
+	_ = m.CheckWrite(0x10, 4)
+	st := m.Stats()
+	if st.Mprotects != 1 || st.Faults != 1 || st.SignalTime != 3*sim.Microsecond {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPageBaseArithmetic(t *testing.T) {
+	m, _, _ := newMMU(t)
+	m.Map(0x2000, 4096, ProtRead)
+	if _, ok := m.Protection(0x2abc); !ok {
+		t.Fatal("interior address not attributed to its page")
+	}
+	if _, ok := m.Protection(mem.Addr(0x3000)); ok {
+		t.Fatal("next page reported mapped")
+	}
+}

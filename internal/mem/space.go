@@ -1,0 +1,135 @@
+// Package mem provides the physical and virtual memory substrates of the
+// simulated heterogeneous machine: byte-addressable memory spaces backed by
+// real Go buffers (so kernels genuinely compute), a first-fit allocator
+// used by the simulated accelerator, and a host virtual-address-space
+// manager that reproduces the mmap-at-fixed-address trick GMAC uses to
+// build its shared address space (Section 4.2 of the paper).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Addr is an address in the simulated machine. Device and host addresses
+// share this type; which space an address belongs to is a property of the
+// component holding it, exactly as on real hardware.
+type Addr uint64
+
+// Translator maps a virtual address range onto the physical range backing
+// it, returning false when the range is not mapped. Ranges passed to a
+// Space access must translate contiguously (each allocation is physically
+// contiguous, as with large-page device MMUs).
+type Translator func(addr Addr, n int64) (Addr, bool)
+
+// Space is a contiguous byte-addressable memory region with a base address.
+// Both the accelerator's on-board memory and individual host mappings are
+// Spaces. An optional Translator models device-side virtual memory: when
+// installed, accesses are translated before the bounds check, and
+// untranslated addresses fall through as physical (identity) accesses.
+type Space struct {
+	name  string
+	base  Addr
+	data  []byte
+	xlate Translator
+}
+
+// NewSpace allocates a zeroed memory space of the given size at base.
+func NewSpace(name string, base Addr, size int64) *Space {
+	if size < 0 {
+		panic(fmt.Sprintf("mem: negative space size %d", size))
+	}
+	return &Space{name: name, base: base, data: make([]byte, size)}
+}
+
+// Name returns the diagnostic name of the space.
+func (s *Space) Name() string { return s.name }
+
+// Base returns the first address of the space.
+func (s *Space) Base() Addr { return s.base }
+
+// Size returns the space's extent in bytes.
+func (s *Space) Size() int64 { return int64(len(s.data)) }
+
+// Contains reports whether [addr, addr+n) lies inside the space.
+func (s *Space) Contains(addr Addr, n int64) bool {
+	if n < 0 {
+		return false
+	}
+	off := int64(addr) - int64(s.base)
+	return off >= 0 && off+n <= s.Size()
+}
+
+// SetTranslator installs (or clears, with nil) the virtual-memory
+// translation applied to every access.
+func (s *Space) SetTranslator(t Translator) { s.xlate = t }
+
+func (s *Space) offset(addr Addr, n int64) int64 {
+	if s.xlate != nil {
+		if phys, ok := s.xlate(addr, n); ok {
+			addr = phys
+		}
+	}
+	if !s.Contains(addr, n) {
+		panic(fmt.Sprintf("mem: access [%#x,+%d) outside space %s [%#x,+%d)",
+			uint64(addr), n, s.name, uint64(s.base), s.Size()))
+	}
+	return int64(addr) - int64(s.base)
+}
+
+// Bytes returns the live backing slice for [addr, addr+n). Writes through
+// the returned slice mutate the space. It panics on out-of-range access,
+// mirroring a machine check.
+func (s *Space) Bytes(addr Addr, n int64) []byte {
+	off := s.offset(addr, n)
+	return s.data[off : off+n : off+n]
+}
+
+// Read copies len(dst) bytes starting at addr into dst.
+func (s *Space) Read(addr Addr, dst []byte) {
+	copy(dst, s.Bytes(addr, int64(len(dst))))
+}
+
+// Write copies src into the space starting at addr.
+func (s *Space) Write(addr Addr, src []byte) {
+	copy(s.Bytes(addr, int64(len(src))), src)
+}
+
+// Float32 reads a little-endian float32 at addr.
+func (s *Space) Float32(addr Addr) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(s.Bytes(addr, 4)))
+}
+
+// SetFloat32 writes a little-endian float32 at addr.
+func (s *Space) SetFloat32(addr Addr, v float32) {
+	binary.LittleEndian.PutUint32(s.Bytes(addr, 4), math.Float32bits(v))
+}
+
+// Uint32 reads a little-endian uint32 at addr.
+func (s *Space) Uint32(addr Addr) uint32 {
+	return binary.LittleEndian.Uint32(s.Bytes(addr, 4))
+}
+
+// SetUint32 writes a little-endian uint32 at addr.
+func (s *Space) SetUint32(addr Addr, v uint32) {
+	binary.LittleEndian.PutUint32(s.Bytes(addr, 4), v)
+}
+
+// Uint64 reads a little-endian uint64 at addr.
+func (s *Space) Uint64(addr Addr) uint64 {
+	return binary.LittleEndian.Uint64(s.Bytes(addr, 8))
+}
+
+// SetUint64 writes a little-endian uint64 at addr.
+func (s *Space) SetUint64(addr Addr, v uint64) {
+	binary.LittleEndian.PutUint64(s.Bytes(addr, 8), v)
+}
+
+// Memset fills [addr, addr+n) with b.
+func (s *Space) Memset(addr Addr, b byte, n int64) {
+	buf := s.Bytes(addr, n)
+	for i := range buf {
+		buf[i] = b
+	}
+}

@@ -1,0 +1,124 @@
+// Package sched implements the kernel scheduler of GMAC's top layer
+// (Figure 5): given several accelerators, it selects one for each kernel
+// invocation according to a pluggable policy. The paper defers the policy
+// study to Jimenez et al. [29]; this package provides the three baseline
+// policies that study starts from.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/mem"
+)
+
+// Policy selects an accelerator for a kernel launch.
+type Policy interface {
+	// Pick returns the index of the device to run the kernel on. args are
+	// the launch arguments (addresses let affinity policies find data).
+	Pick(devs []*accel.Device, kernel string, args []uint64) int
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// RoundRobin cycles through the devices in order.
+type RoundRobin struct {
+	next int
+}
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Policy.
+func (p *RoundRobin) Pick(devs []*accel.Device, _ string, _ []uint64) int {
+	i := p.next % len(devs)
+	p.next++
+	return i
+}
+
+// LeastLoaded picks the device whose queued work drains first.
+type LeastLoaded struct{}
+
+// Name implements Policy.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Policy.
+func (LeastLoaded) Pick(devs []*accel.Device, _ string, _ []uint64) int {
+	best := 0
+	for i, d := range devs {
+		if d.Pending().At < devs[best].Pending().At {
+			best = i
+		}
+	}
+	return best
+}
+
+// DataAffinity picks the device that already hosts the kernel's first
+// pointer argument, falling back to least-loaded. Under ADSM data objects
+// live in exactly one accelerator memory, so affinity avoids cross-device
+// copies entirely.
+type DataAffinity struct{}
+
+// Name implements Policy.
+func (DataAffinity) Name() string { return "data-affinity" }
+
+// Pick implements Policy.
+func (DataAffinity) Pick(devs []*accel.Device, kernel string, args []uint64) int {
+	for _, a := range args {
+		addr := mem.Addr(a)
+		for i, d := range devs {
+			cfg := d.Config()
+			if addr >= cfg.MemBase && addr < cfg.MemBase+mem.Addr(cfg.MemSize) {
+				return i
+			}
+		}
+	}
+	return (LeastLoaded{}).Pick(devs, kernel, args)
+}
+
+// Scheduler dispatches kernels across a fixed set of devices.
+type Scheduler struct {
+	devs   []*accel.Device
+	policy Policy
+	counts []int64
+}
+
+// New returns a scheduler over devs using policy.
+func New(devs []*accel.Device, policy Policy) (*Scheduler, error) {
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("sched: no devices")
+	}
+	if policy == nil {
+		policy = LeastLoaded{}
+	}
+	return &Scheduler{devs: devs, policy: policy, counts: make([]int64, len(devs))}, nil
+}
+
+// Launch dispatches the kernel on the policy-selected device and returns
+// that device, so the caller can synchronise with it.
+func (s *Scheduler) Launch(kernel string, args ...uint64) (*accel.Device, error) {
+	i := s.policy.Pick(s.devs, kernel, args)
+	if i < 0 || i >= len(s.devs) {
+		return nil, fmt.Errorf("sched: policy %s picked invalid device %d", s.policy.Name(), i)
+	}
+	d := s.devs[i]
+	if _, err := d.Launch(kernel, args...); err != nil {
+		return nil, err
+	}
+	s.counts[i]++
+	return d, nil
+}
+
+// Counts reports how many kernels each device received.
+func (s *Scheduler) Counts() []int64 {
+	out := make([]int64, len(s.counts))
+	copy(out, s.counts)
+	return out
+}
+
+// SynchronizeAll stalls until every device drains.
+func (s *Scheduler) SynchronizeAll() {
+	for _, d := range s.devs {
+		d.Synchronize()
+	}
+}

@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/interconnect"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func twoDevices(t *testing.T) ([]*accel.Device, *sim.Clock) {
+	t.Helper()
+	clock := sim.NewClock()
+	mk := func(name string, base mem.Addr) *accel.Device {
+		d := accel.New(accel.Config{
+			Name: name, MemBase: base, MemSize: 1 << 20, GFLOPS: 100,
+			MemLink: interconnect.G280Memory(),
+			H2D:     interconnect.PCIe2x16H2D(), D2H: interconnect.PCIe2x16D2H(),
+		}, clock)
+		d.Register(&accel.Kernel{Name: "work", Run: func(*mem.Space, []uint64) {},
+			Cost: accel.FixedCost(1e9, 0)}) // 10ms at 100 GFLOPS
+		return d
+	}
+	return []*accel.Device{mk("gpu0", 0x1000_0000), mk("gpu1", 0x2000_0000)}, clock
+}
+
+func TestRoundRobin(t *testing.T) {
+	devs, _ := twoDevices(t)
+	s, err := New(devs, &RoundRobin{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := s.Launch("work"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := s.Counts()
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Fatalf("round-robin counts %v", counts)
+	}
+}
+
+func TestLeastLoadedBalances(t *testing.T) {
+	devs, _ := twoDevices(t)
+	s, _ := New(devs, LeastLoaded{})
+	for i := 0; i < 8; i++ {
+		if _, err := s.Launch("work"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := s.Counts()
+	if counts[0] != 4 || counts[1] != 4 {
+		t.Fatalf("least-loaded counts %v (equal-cost kernels should balance)", counts)
+	}
+	s.SynchronizeAll()
+}
+
+func TestLeastLoadedPrefersIdle(t *testing.T) {
+	devs, _ := twoDevices(t)
+	// Pre-load device 0 with a long kernel directly.
+	if _, err := devs[0].Launch("work"); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := New(devs, LeastLoaded{})
+	d, err := s.Launch("work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != devs[1] {
+		t.Fatal("least-loaded picked the busy device")
+	}
+}
+
+func TestDataAffinity(t *testing.T) {
+	devs, _ := twoDevices(t)
+	s, _ := New(devs, DataAffinity{})
+	// Argument pointing into gpu1's memory routes the kernel there.
+	d, err := s.Launch("work", uint64(0x2000_0100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != devs[1] {
+		t.Fatalf("affinity picked %s", d.Name())
+	}
+	// Scalar-only args fall back to least-loaded (gpu0 is idle).
+	d, err = s.Launch("work", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != devs[0] {
+		t.Fatalf("fallback picked %s", d.Name())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("scheduler without devices accepted")
+	}
+	devs, _ := twoDevices(t)
+	s, err := New(devs, nil)
+	if err != nil || s == nil {
+		t.Fatal("nil policy should default")
+	}
+}
+
+func TestLaunchUnknownKernel(t *testing.T) {
+	devs, _ := twoDevices(t)
+	s, _ := New(devs, &RoundRobin{})
+	if _, err := s.Launch("missing"); err == nil {
+		t.Fatal("unknown kernel launch succeeded")
+	}
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Category labels one slice of the execution-time breakdown reported in
+// Figure 10 of the paper. The names match the paper's legend.
+type Category string
+
+// The breakdown categories used by the GMAC runtime and the CUDA baseline.
+const (
+	CatCopy       Category = "Copy"       // GMAC-initiated data transfers
+	CatMalloc     Category = "Malloc"     // adsmAlloc host-side work
+	CatFree       Category = "Free"       // adsmFree host-side work
+	CatLaunch     Category = "Launch"     // adsmCall host-side work
+	CatSync       Category = "Sync"       // adsmSync stall time
+	CatSignal     Category = "Signal"     // page-fault/signal delivery
+	CatCudaMalloc Category = "cudaMalloc" // device allocation
+	CatCudaFree   Category = "cudaFree"   // device release
+	CatCudaLaunch Category = "cudaLaunch" // device kernel dispatch
+	CatGPU        Category = "GPU"        // accelerator execution
+	CatIORead     Category = "IORead"     // file reads
+	CatIOWrite    Category = "IOWrite"    // file writes
+	CatCPU        Category = "CPU"        // application CPU computation
+)
+
+// Categories lists every breakdown category in the paper's legend order.
+func Categories() []Category {
+	return []Category{
+		CatCopy, CatMalloc, CatFree, CatLaunch, CatSync, CatSignal,
+		CatCudaMalloc, CatCudaFree, CatCudaLaunch, CatGPU,
+		CatIORead, CatIOWrite, CatCPU,
+	}
+}
+
+// Breakdown accumulates virtual time per category. The zero value is ready
+// to use after a call to NewBreakdown (map initialisation).
+type Breakdown struct {
+	buckets map[Category]Time
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{buckets: make(map[Category]Time)}
+}
+
+// Add charges d of virtual time to cat.
+func (b *Breakdown) Add(cat Category, d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative breakdown charge %d to %s", d, cat))
+	}
+	b.buckets[cat] += d
+}
+
+// Get returns the accumulated time for cat.
+func (b *Breakdown) Get(cat Category) Time { return b.buckets[cat] }
+
+// Total returns the sum over all categories.
+func (b *Breakdown) Total() Time {
+	var t Time
+	for _, v := range b.buckets {
+		t += v
+	}
+	return t
+}
+
+// Fraction returns cat's share of the total, in [0,1]. A breakdown with no
+// recorded time reports 0 for every category.
+func (b *Breakdown) Fraction(cat Category) float64 {
+	total := b.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(b.buckets[cat]) / float64(total)
+}
+
+// Merge adds every bucket of other into b.
+func (b *Breakdown) Merge(other *Breakdown) {
+	for cat, v := range other.buckets {
+		b.buckets[cat] += v
+	}
+}
+
+// Clone returns an independent copy of b.
+func (b *Breakdown) Clone() *Breakdown {
+	c := NewBreakdown()
+	c.Merge(b)
+	return c
+}
+
+// Reset clears all buckets.
+func (b *Breakdown) Reset() {
+	for cat := range b.buckets {
+		delete(b.buckets, cat)
+	}
+}
+
+// String renders the non-zero buckets, largest first.
+func (b *Breakdown) String() string {
+	type kv struct {
+		cat Category
+		t   Time
+	}
+	var items []kv
+	for cat, t := range b.buckets {
+		if t != 0 {
+			items = append(items, kv{cat, t})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].t != items[j].t {
+			return items[i].t > items[j].t
+		}
+		return items[i].cat < items[j].cat
+	})
+	var sb strings.Builder
+	for i, it := range items {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%s=%s", it.cat, it.t)
+	}
+	return sb.String()
+}

@@ -1,0 +1,148 @@
+// Package trace provides a bounded in-memory event log for the ADSM
+// runtime: page faults, block state transitions, transfers, evictions and
+// API events, each stamped with virtual time. It is the observability
+// surface the original GMAC exposed through its debug build — here it also
+// powers the cmd/adsmtrace demonstration and white-box protocol tests.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds, in rough lifecycle order.
+const (
+	EvAlloc Kind = iota
+	EvFree
+	EvFault
+	EvTransition
+	EvFlush
+	EvFetch
+	EvEvict
+	EvInvoke
+	EvSync
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EvAlloc:
+		return "alloc"
+	case EvFree:
+		return "free"
+	case EvFault:
+		return "fault"
+	case EvTransition:
+		return "state"
+	case EvFlush:
+		return "flush"
+	case EvFetch:
+		return "fetch"
+	case EvEvict:
+		return "evict"
+	case EvInvoke:
+		return "invoke"
+	case EvSync:
+		return "sync"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded runtime occurrence.
+type Event struct {
+	// At is the virtual time of the event.
+	At sim.Time
+	// Kind classifies it.
+	Kind Kind
+	// Addr and Size locate the block or object involved (zero for API
+	// events without a range).
+	Addr mem.Addr
+	Size int64
+	// From and To carry state names for transitions, or free-form detail.
+	From, To string
+	// Note carries the kernel name or other context.
+	Note string
+}
+
+// String renders one event as a log line.
+func (e Event) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%12s  %-6s", e.At, e.Kind)
+	if e.Size > 0 {
+		fmt.Fprintf(&sb, " [%#x,+%d)", uint64(e.Addr), e.Size)
+	}
+	if e.From != "" || e.To != "" {
+		fmt.Fprintf(&sb, " %s->%s", e.From, e.To)
+	}
+	if e.Note != "" {
+		fmt.Fprintf(&sb, " %s", e.Note)
+	}
+	return sb.String()
+}
+
+// Log is a bounded ring of events. The zero value is unusable; use New.
+type Log struct {
+	ring  []Event
+	next  int
+	total int64
+}
+
+// New returns a log keeping the most recent capacity events.
+func New(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Log{ring: make([]Event, 0, capacity)}
+}
+
+// Append records an event, evicting the oldest if the ring is full.
+func (l *Log) Append(e Event) {
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+	} else {
+		l.ring[l.next] = e
+		l.next = (l.next + 1) % len(l.ring)
+	}
+	l.total++
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int { return len(l.ring) }
+
+// Total returns the number of events ever recorded.
+func (l *Log) Total() int64 { return l.total }
+
+// Events returns the retained events, oldest first.
+func (l *Log) Events() []Event {
+	out := make([]Event, 0, len(l.ring))
+	out = append(out, l.ring[l.next:]...)
+	out = append(out, l.ring[:l.next]...)
+	return out
+}
+
+// Filter returns the retained events of the given kind, oldest first.
+func (l *Log) Filter(kind Kind) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the whole retained window.
+func (l *Log) String() string {
+	var sb strings.Builder
+	for _, e := range l.Events() {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRingRetention(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 5; i++ {
+		l.Append(Event{At: sim.Time(i), Kind: EvFault})
+	}
+	if l.Len() != 3 || l.Total() != 5 {
+		t.Fatalf("len=%d total=%d", l.Len(), l.Total())
+	}
+	evs := l.Events()
+	if evs[0].At != 2 || evs[2].At != 4 {
+		t.Fatalf("ring order wrong: %v", evs)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := New(10)
+	l.Append(Event{Kind: EvFault})
+	l.Append(Event{Kind: EvFlush})
+	l.Append(Event{Kind: EvFault})
+	if got := len(l.Filter(EvFault)); got != 2 {
+		t.Fatalf("Filter = %d", got)
+	}
+	if got := len(l.Filter(EvSync)); got != 0 {
+		t.Fatalf("Filter(empty) = %d", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: sim.Millisecond, Kind: EvTransition, Addr: 0x1000, Size: 4096,
+		From: "ReadOnly", To: "Dirty", Note: "w"}
+	s := e.String()
+	for _, want := range []string{"state", "0x1000", "ReadOnly->Dirty", "w"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string %q missing %q", s, want)
+		}
+	}
+	// Kind names are stable.
+	names := map[Kind]string{
+		EvAlloc: "alloc", EvFree: "free", EvFault: "fault", EvTransition: "state",
+		EvFlush: "flush", EvFetch: "fetch", EvEvict: "evict", EvInvoke: "invoke", EvSync: "sync",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("Kind %d = %q want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestZeroCapacityDefaults(t *testing.T) {
+	l := New(0)
+	for i := 0; i < 2000; i++ {
+		l.Append(Event{Kind: EvFault})
+	}
+	if l.Len() != 1024 {
+		t.Fatalf("default capacity = %d", l.Len())
+	}
+	if !strings.Contains(l.String(), "fault") {
+		t.Fatal("String() lost events")
+	}
+}

@@ -1,0 +1,39 @@
+package workloads
+
+// Parboil returns the seven Table 2 benchmarks at evaluation scale, in the
+// paper's reporting order.
+func Parboil() []Benchmark {
+	return []Benchmark{
+		DefaultCP(),
+		DefaultMRIFHD(),
+		DefaultMRIQ(),
+		DefaultPNS(),
+		DefaultRPES(),
+		DefaultSAD(),
+		DefaultTPACF(),
+	}
+}
+
+// ParboilSmall returns the seven benchmarks at unit-test scale.
+func ParboilSmall() []Benchmark {
+	return []Benchmark{
+		SmallCP(),
+		SmallMRIFHD(),
+		SmallMRIQ(),
+		SmallPNS(),
+		SmallRPES(),
+		SmallSAD(),
+		SmallTPACF(),
+	}
+}
+
+// All returns every benchmark in the suite (Parboil plus the two
+// micro-benchmarks) at evaluation scale.
+func All() []Benchmark {
+	return append(Parboil(), DefaultStencil(), DefaultVecAdd())
+}
+
+// AllSmall returns every benchmark at unit-test scale.
+func AllSmall() []Benchmark {
+	return append(ParboilSmall(), SmallStencil(), SmallVecAdd())
+}

@@ -1,0 +1,305 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/gmac"
+	"repro/internal/accel"
+	"repro/internal/cudart"
+	"repro/internal/mem"
+	"repro/machine"
+)
+
+// TPACF is the Parboil two-point angular correlation function benchmark:
+// it histograms the angular distances between observed astronomical bodies
+// (DD), between observed and random bodies (DR), and between random bodies
+// (RR), over a sequence of random data sets that reuse one buffer.
+//
+// The random-set buffer is laid out structure-of-arrays (x[], y[], z[])
+// and initialised point by point, so three write streams one third of the
+// buffer apart advance through it together. This is the pattern that makes
+// tpacf the one Parboil benchmark sensitive to the rolling size
+// (Figure 12): when the rolling cache holds fewer blocks than the streams
+// touch, every stream advance evicts another stream's block, a whole block
+// is transferred per few written bytes, and data streams to the
+// accelerator continuously until the streams fit — at a block size
+// inversely proportional to the rolling size.
+type TPACF struct {
+	// Points is the number of bodies per set (12 bytes each, SoA).
+	Points int64
+	// Sets is the number of random sets processed.
+	Sets int
+	// Bins is the histogram resolution.
+	Bins int64
+	// InitChunk is the per-stream write granularity of the initialisation
+	// loop in bytes (the batching of the point-by-point writes).
+	InitChunk int64
+	// KernelCostPerPoint overrides the kernel cost model (FLOPs charged
+	// per point per kernel). Zero selects the full O(N^2) pair
+	// correlation the real benchmark performs (5*N FLOPs per point);
+	// the Figure 12 harness pins a small value so the initialisation
+	// phase's protocol behaviour dominates the measurement.
+	KernelCostPerPoint float64
+}
+
+// DefaultTPACF returns the evaluation-scale configuration (~4 MB sets).
+func DefaultTPACF() *TPACF {
+	return &TPACF{Points: 349184, Sets: 6, Bins: 1024, InitChunk: 4 << 10}
+}
+
+// SmallTPACF returns a fast configuration for unit tests.
+func SmallTPACF() *TPACF {
+	return &TPACF{Points: 12288, Sets: 3, Bins: 64, InitChunk: 1 << 10}
+}
+
+// Name implements Benchmark.
+func (*TPACF) Name() string { return "tpacf" }
+
+// Description implements Benchmark.
+func (*TPACF) Description() string {
+	return "Two-point angular correlation function: the probability of finding an astronomical body at a given angular distance from another."
+}
+
+func (t *TPACF) setBytes() int64 { return t.Points * 12 }
+
+// Prepare implements Benchmark: the observed data set comes from disk.
+func (t *TPACF) Prepare(m *machine.Machine) error {
+	rng := NewRand(31)
+	xs := make([]float32, t.Points*3)
+	for i := range xs {
+		xs[i] = rng.Float32()*2 - 1
+	}
+	m.FS.CreateWith("tpacf/data", f32bytes(xs))
+	return nil
+}
+
+// streamChunk fills buf with the coordinate values of stream (0=x, 1=y,
+// 2=z) for random set `set`, starting at byte offset off within the
+// stream's third of the buffer.
+func (t *TPACF) streamChunk(buf []byte, set, stream int, off int64) {
+	base := uint64(set*1000+stream*100) + uint64(off/4)
+	for i := int64(0); i+4 <= int64(len(buf)); i += 4 {
+		v := (base + uint64(i/4)) * 2654435761
+		putF32(buf[i:], float32(v%10000)/10000-0.5)
+	}
+}
+
+// Register implements Benchmark.
+func (t *TPACF) Register(dev *accel.Device) {
+	npoints, bins := t.Points, t.Bins
+	costPerPoint := t.KernelCostPerPoint
+	histogram := func(name string, twoInputs bool) {
+		dev.Register(&accel.Kernel{
+			Name: name,
+			// args: aPtr, bPtr, histPtr, seed — histograms angular
+			// distances over a strided sample of point pairs. The SoA
+			// layout puts x at [0,N), y at [N,2N), z at [2N,3N) floats.
+			Run: func(devmem *mem.Space, args []uint64) {
+				a := devmem.Bytes(mem.Addr(args[0]), npoints*12)
+				b := a
+				if twoInputs {
+					b = devmem.Bytes(mem.Addr(args[1]), npoints*12)
+				}
+				hist := devmem.Bytes(mem.Addr(args[2]), bins*4)
+				seed := int64(args[3])
+				n := npoints
+				for i := int64(0); i < n; i++ {
+					j := (i*7 + seed) % n
+					dot := getF32(a[i*4:])*getF32(b[j*4:]) +
+						getF32(a[(n+i)*4:])*getF32(b[(n+j)*4:]) +
+						getF32(a[(2*n+i)*4:])*getF32(b[(2*n+j)*4:])
+					if dot < -1 {
+						dot = -1
+					}
+					if dot > 1 {
+						dot = 1
+					}
+					bin := int64((dot + 1) / 2 * float32(bins-1))
+					putLeU32(hist[bin*4:], leU32(hist[bin*4:])+1)
+				}
+			},
+			// The real tpacf correlates all point pairs; the simulated
+			// run samples N pairs but is charged the full O(N^2) cost
+			// unless the experiment overrides it.
+			Cost: func([]uint64) (float64, int64) {
+				perPoint := costPerPoint
+				if perPoint == 0 {
+					perPoint = 5 * float64(npoints)
+				}
+				return float64(npoints) * perPoint, npoints * 28
+			},
+		})
+	}
+	histogram("tpacf.dd", false)
+	histogram("tpacf.dr", true)
+	histogram("tpacf.rr", false)
+}
+
+// initHost fills the host random-set buffer with three interleaved write
+// streams, calling write(off, chunk) for every chunk in stream order.
+func (t *TPACF) initHost(set int, write func(off int64, chunk []byte) error) error {
+	third := t.Points * 4
+	chunk := t.InitChunk
+	buf := make([]byte, chunk)
+	for off := int64(0); off < third; off += chunk {
+		n := chunk
+		if off+n > third {
+			n = third - off
+		}
+		for stream := 0; stream < 3; stream++ {
+			t.streamChunk(buf[:n], set, stream, off)
+			if err := write(int64(stream)*third+off, buf[:n]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RunCUDA implements Benchmark.
+func (t *TPACF) RunCUDA(m *machine.Machine, rt *cudart.Runtime) (float64, error) {
+	setBytes := t.setBytes()
+	histBytes := t.Bins * 4
+	hostData := rt.MallocHost(setBytes)
+	hostRand := rt.MallocHost(setBytes)
+	hostHist := rt.MallocHost(histBytes)
+
+	f, err := m.FS.Open("tpacf/data")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.Read(hostData); err != nil {
+		return 0, err
+	}
+	devData, err := rt.Malloc(setBytes)
+	if err != nil {
+		return 0, err
+	}
+	devRand, err := rt.Malloc(setBytes)
+	if err != nil {
+		return 0, err
+	}
+	devHist, err := rt.Malloc(histBytes)
+	if err != nil {
+		return 0, err
+	}
+	rt.MemcpyH2D(devData, hostData)
+	rt.Memset(devHist, 0, histBytes)
+	if err := rt.Launch("tpacf.dd", uint64(devData), 0, uint64(devHist), 1); err != nil {
+		return 0, err
+	}
+	rt.Synchronize()
+
+	var acc float64
+	for s := 0; s < t.Sets; s++ {
+		err := t.initHost(s, func(off int64, chunk []byte) error {
+			copy(hostRand[off:], chunk)
+			m.CPUTouch(int64(len(chunk)))
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		rt.MemcpyH2D(devRand, hostRand)
+		if err := rt.Launch("tpacf.dr", uint64(devData), uint64(devRand), uint64(devHist), uint64(s+2)); err != nil {
+			return 0, err
+		}
+		if err := rt.Launch("tpacf.rr", uint64(devRand), 0, uint64(devHist), uint64(s+3)); err != nil {
+			return 0, err
+		}
+		rt.Synchronize()
+		rt.MemcpyD2H(hostHist, devHist)
+		m.CPUTouch(histBytes)
+		acc += checksumBytes(hostHist)
+	}
+	out := m.FS.Create("tpacf.out")
+	if _, err := out.Write(hostHist); err != nil {
+		return 0, err
+	}
+	for _, p := range []mem.Addr{devData, devRand, devHist} {
+		if err := rt.Free(p); err != nil {
+			return 0, err
+		}
+	}
+	return acc, nil
+}
+
+// RunGMAC implements Benchmark.
+func (t *TPACF) RunGMAC(ctx *gmac.Context) (float64, error) {
+	m := ctx.Machine()
+	setBytes := t.setBytes()
+	histBytes := t.Bins * 4
+	data, err := ctx.Alloc(setBytes)
+	if err != nil {
+		return 0, err
+	}
+	rnd, err := ctx.Alloc(setBytes)
+	if err != nil {
+		return 0, err
+	}
+	hist, err := ctx.Alloc(histBytes)
+	if err != nil {
+		return 0, err
+	}
+	f, err := m.FS.Open("tpacf/data")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := ctx.ReadFile(f, data, setBytes); err != nil {
+		return 0, err
+	}
+	if err := ctx.Memset(hist, 0, histBytes); err != nil {
+		return 0, err
+	}
+	if err := ctx.CallSync("tpacf.dd", uint64(data), 0, uint64(hist), 1); err != nil {
+		return 0, err
+	}
+
+	histBuf := make([]byte, histBytes)
+	var acc float64
+	for s := 0; s < t.Sets; s++ {
+		// Point-by-point initialisation: three write streams advance
+		// through the shared buffer together, exercising the rolling
+		// cache exactly as the paper's Figure 12 describes.
+		err := t.initHost(s, func(off int64, chunk []byte) error {
+			if err := ctx.HostWrite(rnd+gmac.Ptr(off), chunk); err != nil {
+				return err
+			}
+			m.CPUTouch(int64(len(chunk)))
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		if err := ctx.Call("tpacf.dr", uint64(data), uint64(rnd), uint64(hist), uint64(s+2)); err != nil {
+			return 0, err
+		}
+		if err := ctx.Call("tpacf.rr", uint64(rnd), 0, uint64(hist), uint64(s+3)); err != nil {
+			return 0, err
+		}
+		if err := ctx.Sync(); err != nil {
+			return 0, err
+		}
+		if err := ctx.HostRead(hist, histBuf); err != nil {
+			return 0, err
+		}
+		m.CPUTouch(histBytes)
+		acc += checksumBytes(histBuf)
+	}
+	out := m.FS.Create("tpacf.out")
+	if _, err := ctx.WriteFile(out, hist, histBytes); err != nil {
+		return 0, err
+	}
+	for _, p := range []gmac.Ptr{data, rnd, hist} {
+		if err := ctx.Free(p); err != nil {
+			return 0, err
+		}
+	}
+	return acc, nil
+}
+
+// String describes the configuration.
+func (t *TPACF) String() string {
+	return fmt.Sprintf("tpacf{points=%d sets=%d bins=%d chunk=%d}",
+		t.Points, t.Sets, t.Bins, t.InitChunk)
+}
