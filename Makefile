@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all check fmt vet build test race bench smoke clean
+
+all: check
+
+# The CI gate: formatting, static checks, build, and the race-enabled suite.
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Fast end-to-end sanity: one small figure run with the JSON summary.
+smoke:
+	$(GO) run ./cmd/gmacbench -small -json /tmp/gmacbench-smoke.json fig8
+
+clean:
+	$(GO) clean ./...

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	adsmtrace [-protocol batch|lazy|rolling] [-block 16384] [-rolling 2]
+//	          [-trace-json trace.json] [-report]
+//
+// -trace-json exports the run's spans and events as Chrome trace_event
+// JSON, loadable in chrome://tracing or https://ui.perfetto.dev.
+// -report appends the metrics-registry report and the per-object table.
 package main
 
 import (
@@ -22,6 +27,8 @@ func main() {
 	protoName := flag.String("protocol", "rolling", "coherence protocol: batch, lazy or rolling")
 	blockSize := flag.Int64("block", 16<<10, "rolling-update block size in bytes")
 	rolling := flag.Int("rolling", 2, "pinned rolling size (0 = adaptive)")
+	traceJSON := flag.String("trace-json", "", "write Chrome trace_event JSON to `file`")
+	report := flag.Bool("report", false, "print the metrics registry and per-object report")
 	flag.Parse()
 
 	var proto gmac.Protocol
@@ -46,7 +53,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	events := ctx.EnableTrace(4096)
+	tracer := ctx.EnableTracer(4096)
+	events := tracer.Log()
 
 	ctx.RegisterKernel(&gmac.Kernel{
 		Name: "scale2x",
@@ -83,15 +91,42 @@ func main() {
 	}
 	fmt.Printf("element 0 after kernel: %v\n", v.At(0))
 	v.Set(n-1, 7)
+
+	// Snapshot before Free so the object table still has its one row.
+	snap := ctx.Snapshot()
+
 	if err := ctx.Free(p); err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\nprotocol %s, block %d, rolling size %d — %d events:\n\n",
-		proto, *blockSize, *rolling, events.Total())
+	fmt.Printf("\nprotocol %s, block %d, rolling size %d — %d events, %d spans:\n\n",
+		proto, *blockSize, *rolling, events.Total(), tracer.TotalSpans())
 	fmt.Print(events)
 
 	st := ctx.Stats()
 	fmt.Printf("\ntotals: %d faults, %d evictions, %d KB to device, %d KB back\n",
 		st.Faults, st.Evictions, st.BytesH2D>>10, st.BytesD2H>>10)
+
+	if *report {
+		fmt.Println()
+		snap.WriteText(os.Stdout)
+		fmt.Println()
+		if err := gmac.Metrics().WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s (load in chrome://tracing)\n", *traceJSON)
+	}
 }

@@ -3,26 +3,42 @@
 //
 // Usage:
 //
-//	gmacbench [-small] <experiment>...
+//	gmacbench [-small] [-json FILE] [-debug.addr ADDR] <experiment>...
 //
 // where experiment is one of: fig2, table2, porting, fig7, fig8, fig10,
 // fig9, fig11, fig12, ablations, all. The -small flag runs the unit-test scale (fast
 // smoke run); the default is evaluation scale.
+//
+// -json FILE writes a machine-readable summary of the evaluation runs
+// (workload, protocol, virtual time, key counters) so the performance
+// trajectory can be tracked across changes; if no evaluation experiment
+// was requested, the evaluation sweep is run for the summary alone.
+//
+// -debug.addr ADDR starts the live introspection endpoint (see
+// docs/observability.md): curl ADDR/adsm/stats while the run is in
+// flight. -debug.hold keeps the process (and the endpoint) alive after
+// the experiments finish, until interrupted.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/gmac"
 	"repro/internal/figures"
+	"repro/internal/workloads"
 )
 
 func main() {
 	small := flag.Bool("small", false, "run at unit-test scale (fast smoke run)")
+	jsonOut := flag.String("json", "", "write a machine-readable benchmark summary to `file`")
+	debugAddr := flag.String("debug.addr", "", "serve live introspection endpoints on `addr` (e.g. localhost:6060)")
+	debugHold := flag.Bool("debug.hold", false, "with -debug.addr: keep serving after the run finishes")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: gmacbench [-small] <fig2|table2|porting|fig7|fig8|fig10|fig9|fig11|fig12|ablations|all>...\n")
+		fmt.Fprintf(os.Stderr, "usage: gmacbench [-small] [-json file] [-debug.addr addr] <fig2|table2|porting|fig7|fig8|fig10|fig9|fig11|fig12|ablations|all>...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -41,13 +57,103 @@ func main() {
 		}
 		want[strings.ToLower(a)] = true
 	}
-	if err := run(want, *small); err != nil {
+
+	if *debugAddr != "" {
+		// Auto-trace new contexts so /adsm/trace has spans to serve.
+		gmac.EnableAutoTrace(8192)
+		srv, err := gmac.EnableDebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmacbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "gmacbench: introspection at http://%s/adsm/stats\n", srv.Addr())
+	}
+
+	if err := run(want, *small, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "gmacbench:", err)
 		os.Exit(1)
 	}
+
+	if *debugAddr != "" && *debugHold {
+		fmt.Fprintf(os.Stderr, "gmacbench: experiments done; holding introspection endpoint (interrupt to exit)\n")
+		select {}
+	}
 }
 
-func run(want map[string]bool, small bool) error {
+// benchEntry is one row of the -json summary: a BENCH_*.json-compatible
+// record of one workload under one programming-model variant.
+type benchEntry struct {
+	Name         string  `json:"name"`
+	Workload     string  `json:"workload"`
+	Variant      string  `json:"variant"`
+	TimeNs       int64   `json:"time_ns"`
+	Seconds      float64 `json:"seconds"`
+	BytesH2D     int64   `json:"bytes_h2d"`
+	BytesD2H     int64   `json:"bytes_d2h"`
+	TransfersH2D int64   `json:"transfers_h2d"`
+	TransfersD2H int64   `json:"transfers_d2h"`
+	Faults       int64   `json:"faults"`
+	Evictions    int64   `json:"evictions"`
+	Checksum     float64 `json:"checksum"`
+}
+
+// benchDoc is the -json file shape.
+type benchDoc struct {
+	Schema  string       `json:"schema"`
+	Scale   string       `json:"scale"`
+	Results []benchEntry `json:"results"`
+}
+
+func entriesFromRuns(runs []figures.EvalRun) []benchEntry {
+	var out []benchEntry
+	for _, r := range runs {
+		for _, v := range []workloads.Variant{
+			workloads.VariantCUDA, workloads.VariantBatch,
+			workloads.VariantLazy, workloads.VariantRolling,
+		} {
+			rep, ok := r.Reports[v]
+			if !ok {
+				continue
+			}
+			out = append(out, benchEntry{
+				Name:         r.Benchmark + "/" + string(v),
+				Workload:     r.Benchmark,
+				Variant:      string(v),
+				TimeNs:       int64(rep.Time),
+				Seconds:      rep.Time.Seconds(),
+				BytesH2D:     rep.Dev.BytesH2D,
+				BytesD2H:     rep.Dev.BytesD2H,
+				TransfersH2D: rep.GMAC.TransfersH2D,
+				TransfersD2H: rep.GMAC.TransfersD2H,
+				Faults:       rep.GMAC.Faults,
+				Evictions:    rep.GMAC.Evictions,
+				Checksum:     rep.Checksum,
+			})
+		}
+	}
+	return out
+}
+
+func writeBenchJSON(path string, small bool, entries []benchEntry) error {
+	scale := "full"
+	if small {
+		scale = "small"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(benchDoc{Schema: "gmacbench/v1", Scale: scale, Results: entries}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(want map[string]bool, small bool, jsonOut string) error {
 	known := map[string]bool{
 		"fig2": true, "table2": true, "porting": true, "fig7": true,
 		"fig8": true, "fig10": true, "fig9": true, "fig11": true,
@@ -73,7 +179,7 @@ func run(want map[string]bool, small bool) error {
 		}
 		fmt.Println(figures.PortingTable(rows))
 	}
-	if want["fig7"] || want["fig8"] || want["fig10"] {
+	if want["fig7"] || want["fig8"] || want["fig10"] || jsonOut != "" {
 		runs, err := figures.RunEvaluation(small)
 		if err != nil {
 			return err
@@ -86,6 +192,12 @@ func run(want map[string]bool, small bool) error {
 		}
 		if want["fig10"] {
 			fmt.Println(figures.Fig10(runs))
+		}
+		if jsonOut != "" {
+			if err := writeBenchJSON(jsonOut, small, entriesFromRuns(runs)); err != nil {
+				return fmt.Errorf("writing %s: %w", jsonOut, err)
+			}
+			fmt.Fprintf(os.Stderr, "gmacbench: wrote benchmark summary to %s\n", jsonOut)
 		}
 	}
 	if want["fig9"] {

@@ -1,0 +1,131 @@
+package gmac_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/gmac"
+	"repro/machine"
+)
+
+func runTracedScenario(t *testing.T) (*gmac.Context, *gmac.Tracer) {
+	t.Helper()
+	ctx, err := gmac.NewContext(machine.SmallTestbed(), gmac.Config{
+		Protocol:     gmac.RollingUpdate,
+		BlockSize:    16 << 10,
+		FixedRolling: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ctx.EnableTracer(4096)
+	ctx.RegisterKernel(&gmac.Kernel{
+		Name: "inc",
+		Run: func(dev *gmac.DeviceMemory, args []uint64) {
+			p, n := gmac.Ptr(args[0]), int64(args[1])
+			for i := int64(0); i < n; i++ {
+				dev.SetFloat32(p+gmac.Ptr(i*4), dev.Float32(p+gmac.Ptr(i*4))+1)
+			}
+		},
+		Cost: func(args []uint64) (float64, int64) { return float64(args[1]), 8 * int64(args[1]) },
+	})
+	const n = 16 << 10
+	p, err := ctx.Alloc(n * 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ctx.Float32s(p, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Fill(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.CallSync("inc", uint64(p), n); err != nil {
+		t.Fatal(err)
+	}
+	_ = v.At(0)
+	return ctx, tr
+}
+
+func TestSnapshotAttributesTraffic(t *testing.T) {
+	ctx, _ := runTracedScenario(t)
+	s := ctx.Snapshot()
+	if s.Protocol != "rolling-update" || s.Time <= 0 {
+		t.Fatalf("snapshot header: %+v", s)
+	}
+	if s.Stats.Faults == 0 || s.Stats.BytesH2D == 0 {
+		t.Fatalf("snapshot stats empty: %+v", s.Stats)
+	}
+	if len(s.Objects) != 1 {
+		t.Fatalf("got %d objects, want 1", len(s.Objects))
+	}
+	o := s.Objects[0]
+	if o.Stats.Faults == 0 || o.Stats.BytesH2D == 0 {
+		t.Fatalf("per-object attribution missing: %+v", o.Stats)
+	}
+	// Per-object traffic sums to the manager totals (single object).
+	if o.Stats.BytesH2D != s.Stats.BytesH2D || o.Stats.BytesD2H != s.Stats.BytesD2H {
+		t.Fatalf("object bytes %d/%d != totals %d/%d",
+			o.Stats.BytesH2D, o.Stats.BytesD2H, s.Stats.BytesH2D, s.Stats.BytesD2H)
+	}
+	if len(s.Breakdown) == 0 {
+		t.Fatal("snapshot breakdown empty")
+	}
+
+	var txt bytes.Buffer
+	s.WriteText(&txt)
+	for _, want := range []string{"rolling-update", "objects by traffic", "faults"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Fatalf("text report missing %q:\n%s", want, txt.String())
+		}
+	}
+
+	// Snapshot marshals cleanly (the -json benchmark path relies on it).
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerCapturesSpansWithParents(t *testing.T) {
+	_, tr := runTracedScenario(t)
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	byName := map[string]int{}
+	nested := false
+	for _, s := range spans {
+		byName[s.Name]++
+		if s.Parent != 0 {
+			nested = true
+		}
+		if s.End < s.Start {
+			t.Fatalf("span %s ends before it starts: %+v", s.Name, s)
+		}
+	}
+	for _, want := range []string{"invoke", "sync", "fault", "flush"} {
+		if byName[want] == 0 {
+			t.Fatalf("no %q spans; got %v", want, byName)
+		}
+	}
+	if !nested {
+		t.Fatalf("no parent-linked spans; got %v", byName)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome trace JSON invalid: %v", err)
+	}
+	if len(doc.TraceEvents) < len(spans) {
+		t.Fatalf("trace JSON has %d events for %d spans", len(doc.TraceEvents), len(spans))
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/interconnect"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -56,10 +57,28 @@ type Device struct {
 	kern   map[string]*Kernel
 	pt     *pageTable
 	stats  Stats
+	met    devMetrics
 	// pending tracks the last enqueued operation of the default stream so
 	// kernels launch after in-flight DMAs and vice versa, matching CUDA's
 	// default-stream ordering.
 	pending sim.Completion
+}
+
+// devMetrics caches the transfer latency/size histogram handles. Devices
+// share the histograms (the registry aggregates by name), which is the
+// global view Figure 11 plots.
+type devMetrics struct {
+	h2dNs, d2hNs       *metrics.Histogram
+	h2dBytes, d2hBytes *metrics.Histogram
+}
+
+func newDevMetrics(r *metrics.Registry) devMetrics {
+	return devMetrics{
+		h2dNs:    r.Histogram("accel_h2d_latency_ns", metrics.LatencyBuckets),
+		d2hNs:    r.Histogram("accel_d2h_latency_ns", metrics.LatencyBuckets),
+		h2dBytes: r.Histogram("accel_h2d_bytes", metrics.SizeBuckets),
+		d2hBytes: r.Histogram("accel_d2h_bytes", metrics.SizeBuckets),
+	}
 }
 
 // Stats counts device activity.
@@ -88,6 +107,7 @@ func New(cfg Config, clock *sim.Clock) *Device {
 		dmaD2H: sim.NewResource(cfg.Name+" DMA D2H", clock),
 		engine: sim.NewResource(cfg.Name+" SMs", clock),
 		kern:   make(map[string]*Kernel),
+		met:    newDevMetrics(metrics.Default()),
 	}
 	if cfg.VirtualMemory {
 		d.pt = &pageTable{}
@@ -149,6 +169,8 @@ func (d *Device) MemcpyH2DAsync(dst mem.Addr, src []byte) sim.Completion {
 	done := d.dmaH2D.SubmitNow(dur)
 	d.stats.BytesH2D += int64(len(src))
 	d.stats.CopiesH2D++
+	d.met.h2dNs.Observe(int64(dur))
+	d.met.h2dBytes.Observe(int64(len(src)))
 	d.pending = sim.MaxCompletion(d.pending, done)
 	return done
 }
@@ -167,6 +189,8 @@ func (d *Device) MemcpyD2HAsync(dst []byte, src mem.Addr) sim.Completion {
 	done := d.dmaD2H.SubmitNow(dur)
 	d.stats.BytesD2H += int64(len(dst))
 	d.stats.CopiesD2H++
+	d.met.d2hNs.Observe(int64(dur))
+	d.met.d2hBytes.Observe(int64(len(dst)))
 	d.pending = sim.MaxCompletion(d.pending, done)
 	return done
 }

@@ -38,8 +38,7 @@ func (m *Manager) BulkRead(addr mem.Addr, dst []byte) error {
 			t0 := m.clock.Now()
 			m.dev.MemcpyD2H(dst[:n], o.devAddr+(addr-o.addr))
 			m.book(sim.CatCopy, m.clock.Now()-t0)
-			m.stats.BytesD2H += n
-			m.stats.TransfersD2H++
+			m.recordD2H(o, n)
 			m.stats.D2HWait += m.clock.Now() - t0
 		} else {
 			o.mapping.Space.Read(addr, dst[:n])
@@ -76,8 +75,7 @@ func (m *Manager) BulkWrite(addr mem.Addr, src []byte) error {
 			t0 := m.clock.Now()
 			m.dev.MemcpyH2D(b.devAddr(), src[:n])
 			m.book(sim.CatCopy, m.clock.Now()-t0)
-			m.stats.BytesH2D += n
-			m.stats.TransfersH2D++
+			m.recordH2D(o, n)
 			m.stats.H2DWait += m.clock.Now() - t0
 			if b.state == StateDirty && b.queued {
 				// Leave the rolling bookkeeping consistent: the block is

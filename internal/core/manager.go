@@ -3,10 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/accel"
 	"repro/internal/hostmmu"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -96,6 +98,18 @@ type Manager struct {
 	stats    Stats
 	nobjects int
 	tracer   *trace.Log
+	// spans is the optional span tracer; nil disables span recording.
+	spans *trace.Tracer
+	// mets are the cached metric-registry handles for the hot paths.
+	mets *metricSet
+	// id is the process-wide construction sequence number.
+	id int
+	// intro indexes live objects for the introspection endpoint, and
+	// retired keeps the final rows of recently freed ones; both guarded by
+	// introMu because HTTP handlers read them from other goroutines.
+	introMu sync.Mutex
+	intro   map[mem.Addr]*Object
+	retired []ObjectSnapshot
 	// invokeKernel is the kernel currently being dispatched; protocols use
 	// it to honour §3.3 object-to-kernel bindings.
 	invokeKernel string
@@ -125,6 +139,8 @@ func NewManager(cfg Config, clock *sim.Clock, bd *sim.Breakdown,
 		objects: &rbTree{},
 		blocks:  &rbTree{},
 		rolling: newRollingCache(cfg.FixedRolling, cfg.RollingDelta, cfg.FixedRolling > 0),
+		mets:    newMetricSet(metrics.Default(), cfg.Protocol),
+		intro:   make(map[mem.Addr]*Object),
 	}
 	switch cfg.Protocol {
 	case BatchUpdate:
@@ -137,6 +153,7 @@ func NewManager(cfg Config, clock *sim.Clock, bd *sim.Breakdown,
 		return nil, fmt.Errorf("core: unknown protocol %v", cfg.Protocol)
 	}
 	mmu.SetHandler(m.handleFault)
+	registerManager(m)
 	return m, nil
 }
 
@@ -161,6 +178,35 @@ func (m *Manager) Objects() int { return m.nobjects }
 // SetTracer installs (or removes, with nil) an event log recording every
 // protocol action with virtual timestamps.
 func (m *Manager) SetTracer(l *trace.Log) { m.tracer = l }
+
+// SetSpanTracer installs (or removes, with nil) a span tracer. Its event
+// log becomes the manager's event sink, so one tracer captures both the
+// instantaneous protocol events and the timed spans around them.
+func (m *Manager) SetSpanTracer(t *trace.Tracer) {
+	m.spans = t
+	if t != nil {
+		m.tracer = t.Log()
+	}
+}
+
+// SpanTracer returns the installed span tracer, or nil.
+func (m *Manager) SpanTracer() *trace.Tracer { return m.spans }
+
+// beginSpan opens a span at the current virtual time if span tracing is
+// enabled; the zero SpanID means disabled.
+func (m *Manager) beginSpan(name, note string) trace.SpanID {
+	if m.spans == nil {
+		return 0
+	}
+	return m.spans.Begin(name, note, m.clock.Now())
+}
+
+// endSpan closes a span opened by beginSpan.
+func (m *Manager) endSpan(id trace.SpanID) {
+	if m.spans != nil && id != 0 {
+		m.spans.End(id, m.clock.Now())
+	}
+}
 
 // emit records a trace event if tracing is enabled.
 func (m *Manager) emit(e trace.Event) {
@@ -306,7 +352,9 @@ func (m *Manager) finishAlloc(addr, devAddr mem.Addr, size int64, mapping *mem.M
 	m.protocol.onAlloc(o)
 	m.rolling.onAlloc()
 	m.stats.Allocs++
+	m.mets.allocs.Inc()
 	m.nobjects++
+	m.introAdd(o)
 	m.emit(trace.Event{Kind: trace.EvAlloc, Addr: o.addr, Size: o.size})
 	return o.addr, nil
 }
@@ -338,7 +386,9 @@ func (m *Manager) Free(addr mem.Addr) error {
 	err := m.dev.Free(phys)
 	m.book(sim.CatCudaFree, m.clock.Now()-t0)
 	m.stats.Frees++
+	m.mets.frees.Inc()
 	m.nobjects--
+	m.introRemove(o)
 	m.emit(trace.Event{Kind: trace.EvFree, Addr: o.addr, Size: o.size})
 	return err
 }
@@ -409,6 +459,8 @@ func (m *Manager) InvokeAnnotated(kernel string, writes []mem.Addr, args ...uint
 }
 
 func (m *Manager) invoke(kernel string, writes objectSet, args []uint64) error {
+	sp := m.beginSpan("invoke", kernel)
+	defer m.endSpan(sp)
 	m.emit(trace.Event{Kind: trace.EvInvoke, Note: kernel})
 	m.invokeKernel = kernel
 	if err := m.protocol.onInvoke(writes); err != nil {
@@ -425,15 +477,19 @@ func (m *Manager) invoke(kernel string, writes objectSet, args []uint64) error {
 	_, err := m.dev.Launch(kernel, args...)
 	m.book(sim.CatCudaLaunch, m.clock.Now()-t0)
 	m.stats.Invokes++
+	m.mets.invokes.Inc()
 	return err
 }
 
 // Sync implements adsmSync: it stalls until the accelerator finishes, then
 // runs the protocol's acquire actions.
 func (m *Manager) Sync() error {
+	sp := m.beginSpan("sync", "")
+	defer m.endSpan(sp)
 	stall := m.dev.Synchronize()
 	m.book(sim.CatGPU, stall)
 	m.stats.Syncs++
+	m.mets.syncs.Inc()
 	m.emit(trace.Event{Kind: trace.EvSync})
 	return m.protocol.onReturn()
 }
@@ -447,21 +503,38 @@ func (m *Manager) HandleFault(f hostmmu.Fault) error { return m.handleFault(f) }
 // (charging the tree-search cost the paper analyses in §5.2) and lets the
 // protocol resolve the Figure 6 transition.
 func (m *Manager) handleFault(f hostmmu.Fault) error {
+	sp := m.beginSpan("fault", f.Access.String())
+	t0 := m.clock.Now()
+	defer func() {
+		m.mets.faultNs.Observe(int64(m.clock.Now() - t0))
+		m.endSpan(sp)
+	}()
 	m.stats.Faults++
+	m.mets.faults.Inc()
 	if f.Access == hostmmu.AccessWrite {
 		m.stats.WriteFaults++
+		m.mets.writeFaults.Inc()
 	} else {
 		m.stats.ReadFaults++
+		m.mets.readFaults.Inc()
 	}
 	m.blocks.takeVisits()
 	v := m.blocks.lookup(f.Addr)
-	search := sim.Time(m.blocks.takeVisits()) * m.cfg.TreeNodeCost
+	visits := m.blocks.takeVisits()
+	m.mets.searchDepth.Observe(visits)
+	search := sim.Time(visits) * m.cfg.TreeNodeCost
 	m.stats.SearchTime += search
 	m.charge(sim.CatSignal, search)
 	if v == nil {
 		return fmt.Errorf("%w: fault at %#x", ErrNotShared, uint64(f.Addr))
 	}
 	b := v.(*Block)
+	b.obj.counters.faults.Add(1)
+	if f.Access == hostmmu.AccessWrite {
+		b.obj.counters.writeFaults.Add(1)
+	} else {
+		b.obj.counters.readFaults.Add(1)
+	}
 	m.emit(trace.Event{Kind: trace.EvFault, Addr: b.addr, Size: b.size,
 		Note: f.Access.String() + " in " + b.state.String()})
 	return m.protocol.onFault(b, f.Access)
@@ -554,6 +627,8 @@ func (m *Manager) boundsCheck(addr mem.Addr, n int64) (*Object, error) {
 // transfer to finish before continuing". The wait is the eager-transfer
 // overlap cost plotted in Figure 11.
 func (m *Manager) flushBlockEager(b *Block) {
+	sp := m.beginSpan("flush", "eager")
+	defer m.endSpan(sp)
 	wait := m.dev.H2DFreeAt() - m.clock.Now()
 	if wait > 0 {
 		m.clock.Advance(wait)
@@ -561,35 +636,61 @@ func (m *Manager) flushBlockEager(b *Block) {
 		m.book(sim.CatCopy, wait)
 	}
 	m.dev.MemcpyH2DAsync(b.devAddr(), b.hostBytes())
-	m.stats.BytesH2D += b.size
-	m.stats.TransfersH2D++
+	m.recordH2D(b.obj, b.size)
 	m.emit(trace.Event{Kind: trace.EvFlush, Addr: b.addr, Size: b.size, Note: "eager"})
 }
 
 // flushBlockSync transfers a dirty block to the accelerator and stalls the
 // CPU until it completes (batch-update's conservative behaviour).
 func (m *Manager) flushBlockSync(b *Block) {
+	sp := m.beginSpan("flush", "sync")
+	defer m.endSpan(sp)
 	t0 := m.clock.Now()
 	m.dev.MemcpyH2D(b.devAddr(), b.hostBytes())
 	d := m.clock.Now() - t0
 	m.stats.H2DWait += d
 	m.book(sim.CatCopy, d)
-	m.stats.BytesH2D += b.size
-	m.stats.TransfersH2D++
+	m.recordH2D(b.obj, b.size)
 	m.emit(trace.Event{Kind: trace.EvFlush, Addr: b.addr, Size: b.size, Note: "sync"})
 }
 
 // fetchBlockSync transfers a block from the accelerator to host memory,
 // stalling the CPU (the faulting access needs the data now).
 func (m *Manager) fetchBlockSync(b *Block) {
+	sp := m.beginSpan("fetch", "")
+	defer m.endSpan(sp)
 	t0 := m.clock.Now()
 	m.dev.MemcpyD2H(b.hostBytes(), b.devAddr())
 	d := m.clock.Now() - t0
 	m.stats.D2HWait += d
 	m.book(sim.CatCopy, d)
-	m.stats.BytesD2H += b.size
-	m.stats.TransfersD2H++
+	m.recordD2H(b.obj, b.size)
 	m.emit(trace.Event{Kind: trace.EvFetch, Addr: b.addr, Size: b.size})
+}
+
+// recordH2D books one host-to-device transfer of n bytes against the
+// manager totals, the metrics registry, and the owning object.
+func (m *Manager) recordH2D(o *Object, n int64) {
+	m.stats.BytesH2D += n
+	m.stats.TransfersH2D++
+	m.mets.bytesH2D.Add(n)
+	m.mets.transfersH2D.Inc()
+	if o != nil {
+		o.counters.bytesH2D.Add(n)
+		o.counters.transfersH2D.Add(1)
+	}
+}
+
+// recordD2H books one device-to-host transfer of n bytes.
+func (m *Manager) recordD2H(o *Object, n int64) {
+	m.stats.BytesD2H += n
+	m.stats.TransfersD2H++
+	m.mets.bytesD2H.Add(n)
+	m.mets.transfersD2H.Inc()
+	if o != nil {
+		o.counters.bytesD2H.Add(n)
+		o.counters.transfersD2H.Add(1)
+	}
 }
 
 // setProt changes a block's protection, charging the mprotect cost.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/mem"
 )
@@ -72,6 +73,44 @@ func (b *Block) hostBytes() []byte {
 	return b.obj.mapping.Space.Bytes(b.addr, b.size)
 }
 
+// ObjStats is a point-in-time copy of one object's activity counters: the
+// per-object attribution that lets reports rank objects by fault and
+// transfer traffic the way Figure 8 ranks benchmarks.
+type ObjStats struct {
+	Faults       int64 `json:"faults"`
+	ReadFaults   int64 `json:"read_faults"`
+	WriteFaults  int64 `json:"write_faults"`
+	BytesH2D     int64 `json:"bytes_h2d"`
+	BytesD2H     int64 `json:"bytes_d2h"`
+	TransfersH2D int64 `json:"transfers_h2d"`
+	TransfersD2H int64 `json:"transfers_d2h"`
+	Evictions    int64 `json:"evictions"`
+}
+
+// objCounters is the atomic backing store for ObjStats. The manager
+// mutates it on the simulation goroutine while the introspection endpoint
+// reads it from HTTP handlers, so every field is atomic.
+type objCounters struct {
+	faults, readFaults, writeFaults atomic.Int64
+	bytesH2D, bytesD2H              atomic.Int64
+	transfersH2D, transfersD2H      atomic.Int64
+	evictions                       atomic.Int64
+}
+
+// load copies the counters into an ObjStats value.
+func (c *objCounters) load() ObjStats {
+	return ObjStats{
+		Faults:       c.faults.Load(),
+		ReadFaults:   c.readFaults.Load(),
+		WriteFaults:  c.writeFaults.Load(),
+		BytesH2D:     c.bytesH2D.Load(),
+		BytesD2H:     c.bytesD2H.Load(),
+		TransfersH2D: c.transfersH2D.Load(),
+		TransfersD2H: c.transfersD2H.Load(),
+		Evictions:    c.evictions.Load(),
+	}
+}
+
 // Object is one shared data structure allocated through adsmAlloc. It owns
 // a host mapping and a device allocation; in the common case both live at
 // the same numeric address (the shared-address-space trick of §4.2), while
@@ -90,7 +129,12 @@ type Object struct {
 	// kernels restricts which accelerator kernels use this object (§3.3's
 	// "more elaborate scheme"); nil means every kernel (the minimal API).
 	kernels map[string]bool
+	// counters attribute faults, transfers and evictions to this object.
+	counters objCounters
 }
+
+// Stats returns a copy of the object's activity counters.
+func (o *Object) Stats() ObjStats { return o.counters.load() }
 
 // Addr returns the object's host virtual address.
 func (o *Object) Addr() mem.Addr { return o.addr }

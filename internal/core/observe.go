@@ -1,0 +1,188 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// This file wires the manager into the observability layer: the metric
+// handles it records into on hot paths, the per-object snapshot used by
+// the introspection endpoint's object table, and the process-wide registry
+// of recent managers that lets a debug server find live runtimes without
+// any plumbing through the experiment harnesses.
+
+// metricSet caches the registry handles for one manager. Handles are
+// resolved once in NewManager; the record path is pure atomics. Counter
+// families that depend on protocol behaviour carry a {protocol=...} label
+// so runs under different protocols stay distinguishable; managers with
+// the same protocol share (aggregate into) the same metrics.
+type metricSet struct {
+	faults, readFaults, writeFaults *metrics.Counter
+	bytesH2D, bytesD2H              *metrics.Counter
+	transfersH2D, transfersD2H      *metrics.Counter
+	evictions                       *metrics.Counter
+	allocs, frees, invokes, syncs   *metrics.Counter
+
+	faultNs     *metrics.Histogram
+	searchDepth *metrics.Histogram
+	rollingOcc  *metrics.Gauge
+	rollingHist *metrics.Histogram
+}
+
+func newMetricSet(r *metrics.Registry, proto ProtocolKind) *metricSet {
+	p := proto.String()
+	lbl := func(name string) string { return metrics.Label(name, "protocol", p) }
+	return &metricSet{
+		faults:       r.Counter(lbl("adsm_faults_total")),
+		readFaults:   r.Counter(lbl("adsm_read_faults_total")),
+		writeFaults:  r.Counter(lbl("adsm_write_faults_total")),
+		bytesH2D:     r.Counter(lbl("adsm_bytes_h2d_total")),
+		bytesD2H:     r.Counter(lbl("adsm_bytes_d2h_total")),
+		transfersH2D: r.Counter(lbl("adsm_transfers_h2d_total")),
+		transfersD2H: r.Counter(lbl("adsm_transfers_d2h_total")),
+		evictions:    r.Counter(lbl("adsm_evictions_total")),
+		allocs:       r.Counter(lbl("adsm_allocs_total")),
+		frees:        r.Counter(lbl("adsm_frees_total")),
+		invokes:      r.Counter(lbl("adsm_invokes_total")),
+		syncs:        r.Counter(lbl("adsm_syncs_total")),
+		faultNs:      r.Histogram(lbl("adsm_fault_service_ns"), metrics.LatencyBuckets),
+		searchDepth:  r.Histogram(lbl("adsm_search_depth_nodes"), metrics.DepthBuckets),
+		rollingOcc:   r.Gauge(lbl("adsm_rolling_occupancy")),
+		rollingHist:  r.Histogram(lbl("adsm_rolling_occupancy_blocks"), metrics.DepthBuckets),
+	}
+}
+
+// ObjectSnapshot is one row of the introspection endpoint's object table.
+type ObjectSnapshot struct {
+	Addr    mem.Addr `json:"addr"`
+	DevAddr mem.Addr `json:"dev_addr"`
+	Size    int64    `json:"size"`
+	Blocks  int      `json:"blocks"`
+	Safe    bool     `json:"safe,omitempty"`
+	Kernels int      `json:"kernels,omitempty"`
+	// Freed marks an object that has been released; its final counters are
+	// retained (bounded) so short-lived runs stay attributable.
+	Freed bool     `json:"freed,omitempty"`
+	Stats ObjStats `json:"stats"`
+}
+
+// maxRetiredObjects bounds the per-manager ring of freed-object rows.
+const maxRetiredObjects = 64
+
+// traffic is the ranking key: total attributed activity.
+func (s ObjectSnapshot) traffic() int64 {
+	return s.Stats.BytesH2D + s.Stats.BytesD2H + s.Stats.Faults + s.Stats.Evictions
+}
+
+// snapshotObject builds one table row from a live object.
+func snapshotObject(o *Object) ObjectSnapshot {
+	return ObjectSnapshot{
+		Addr:    o.addr,
+		DevAddr: o.devAddr,
+		Size:    o.size,
+		Blocks:  len(o.blocks),
+		Safe:    o.safe,
+		Kernels: len(o.kernels),
+		Stats:   o.counters.load(),
+	}
+}
+
+// SnapshotObjects returns the live objects' static facts and counters plus
+// the most recently freed objects' final rows, ranked by fault/transfer
+// traffic (heaviest first). It is safe to call from any goroutine while
+// the run is in flight: the indexes are mutated only under introMu on
+// alloc/free, and the per-object counters are atomic.
+func (m *Manager) SnapshotObjects() []ObjectSnapshot {
+	m.introMu.Lock()
+	out := make([]ObjectSnapshot, 0, len(m.intro)+len(m.retired))
+	for _, o := range m.intro {
+		out = append(out, snapshotObject(o))
+	}
+	out = append(out, m.retired...)
+	m.introMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if ti, tj := out[i].traffic(), out[j].traffic(); ti != tj {
+			return ti > tj
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// introAdd registers o with the introspection index.
+func (m *Manager) introAdd(o *Object) {
+	m.introMu.Lock()
+	m.intro[o.addr] = o
+	m.introMu.Unlock()
+}
+
+// introRemove moves o from the live index to the retired ring.
+func (m *Manager) introRemove(o *Object) {
+	m.introMu.Lock()
+	delete(m.intro, o.addr)
+	s := snapshotObject(o)
+	s.Freed = true
+	m.retired = append(m.retired, s)
+	if len(m.retired) > maxRetiredObjects {
+		m.retired = append(m.retired[:0:0], m.retired[len(m.retired)-maxRetiredObjects:]...)
+	}
+	m.introMu.Unlock()
+}
+
+// --- process-wide manager registry ---
+
+// maxRecentManagers bounds how many managers the registry retains.
+// Experiment harnesses construct managers in a loop; keeping only the most
+// recent ones caps the memory pinned by introspection.
+const maxRecentManagers = 16
+
+var mgrReg struct {
+	mu   sync.Mutex
+	seq  int
+	mgrs []*Manager
+	// autoTrace, when positive, installs a span tracer of that capacity on
+	// every newly built manager.
+	autoTrace int
+}
+
+// registerManager assigns the manager an ID and retains it for
+// introspection, evicting the oldest beyond maxRecentManagers.
+func registerManager(m *Manager) {
+	mgrReg.mu.Lock()
+	defer mgrReg.mu.Unlock()
+	mgrReg.seq++
+	m.id = mgrReg.seq
+	if mgrReg.autoTrace > 0 && m.spans == nil {
+		t := trace.NewTracer(mgrReg.autoTrace)
+		m.spans = t
+		m.tracer = t.Log()
+	}
+	mgrReg.mgrs = append(mgrReg.mgrs, m)
+	if len(mgrReg.mgrs) > maxRecentManagers {
+		mgrReg.mgrs = append(mgrReg.mgrs[:0:0], mgrReg.mgrs[len(mgrReg.mgrs)-maxRecentManagers:]...)
+	}
+}
+
+// RecentManagers returns the most recently constructed managers, oldest
+// first. The introspection endpoint serves its object tables from them.
+func RecentManagers() []*Manager {
+	mgrReg.mu.Lock()
+	defer mgrReg.mu.Unlock()
+	return append([]*Manager(nil), mgrReg.mgrs...)
+}
+
+// SetAutoTrace makes every future manager start with a span tracer of the
+// given capacity (0 disables). The debug server enables it so /adsm/trace
+// has data without the harness opting in explicitly.
+func SetAutoTrace(capacity int) {
+	mgrReg.mu.Lock()
+	mgrReg.autoTrace = capacity
+	mgrReg.mu.Unlock()
+}
+
+// ID returns the manager's process-wide construction sequence number.
+func (m *Manager) ID() int { return m.id }

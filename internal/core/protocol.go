@@ -161,8 +161,13 @@ func (p *rollingProtocol) onFault(b *Block, access hostmmu.Access) error {
 			victim.state = StateReadOnly
 			p.m.setProt(victim, hostmmu.ProtRead)
 			p.m.stats.Evictions++
+			p.m.mets.evictions.Inc()
+			victim.obj.counters.evictions.Add(1)
 			p.m.emit(trace.Event{Kind: trace.EvEvict, Addr: victim.addr, Size: victim.size})
 		}
+		occ := int64(p.m.rolling.Len())
+		p.m.mets.rollingOcc.Set(occ)
+		p.m.mets.rollingHist.Observe(occ)
 	}
 	return nil
 }
@@ -173,6 +178,7 @@ func (p *rollingProtocol) onInvoke(writes objectSet) error {
 	// blocks (objects bound to other kernels, §3.3) are flushed too —
 	// flushing early is always safe and keeps the cache bookkeeping
 	// simple — but they are not invalidated below.
+	defer p.m.mets.rollingOcc.Set(0)
 	for _, b := range p.m.rolling.drain() {
 		if b.state == StateDirty {
 			p.m.flushBlockEager(b)

@@ -1,6 +1,11 @@
 package core
 
-import "repro/internal/sim"
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/sim"
+)
 
 // Stats aggregates the manager's activity counters. Figures 8, 10, 11 and
 // 12 of the paper are computed from these.
@@ -36,26 +41,22 @@ type Stats struct {
 }
 
 // Sub returns the difference s - base, counter by counter. Experiment
-// harnesses use it to isolate one phase of a run.
+// harnesses use it to isolate one phase of a run. It walks the struct with
+// reflection so a counter added to Stats can never be silently dropped
+// from the subtraction: every field must be an integer-kinded type (int64,
+// sim.Time) or Sub panics.
 func (s Stats) Sub(base Stats) Stats {
-	return Stats{
-		BytesH2D:     s.BytesH2D - base.BytesH2D,
-		BytesD2H:     s.BytesD2H - base.BytesD2H,
-		TransfersH2D: s.TransfersH2D - base.TransfersH2D,
-		TransfersD2H: s.TransfersD2H - base.TransfersD2H,
-		Faults:       s.Faults - base.Faults,
-		ReadFaults:   s.ReadFaults - base.ReadFaults,
-		WriteFaults:  s.WriteFaults - base.WriteFaults,
-		Evictions:    s.Evictions - base.Evictions,
-		H2DWait:      s.H2DWait - base.H2DWait,
-		D2HWait:      s.D2HWait - base.D2HWait,
-		H2DDrain:     s.H2DDrain - base.H2DDrain,
-		SearchTime:   s.SearchTime - base.SearchTime,
-		PeerBytesIn:  s.PeerBytesIn - base.PeerBytesIn,
-		PeerBytesOut: s.PeerBytesOut - base.PeerBytesOut,
-		Allocs:       s.Allocs - base.Allocs,
-		Frees:        s.Frees - base.Frees,
-		Invokes:      s.Invokes - base.Invokes,
-		Syncs:        s.Syncs - base.Syncs,
+	var out Stats
+	sv := reflect.ValueOf(s)
+	bv := reflect.ValueOf(base)
+	ov := reflect.ValueOf(&out).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Field(i)
+		if f.Kind() != reflect.Int64 {
+			panic(fmt.Sprintf("core: Stats.Sub cannot subtract field %s of kind %v",
+				sv.Type().Field(i).Name, f.Kind()))
+		}
+		ov.Field(i).SetInt(f.Int() - bv.Field(i).Int())
 	}
+	return out
 }

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStatsSubCoversEveryField fills every field of Stats with distinct
+// values via reflection and asserts Sub subtracts all of them — the guard
+// that keeps new counters from being silently dropped.
+func TestStatsSubCoversEveryField(t *testing.T) {
+	var a, b Stats
+	av := reflect.ValueOf(&a).Elem()
+	bv := reflect.ValueOf(&b).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		if av.Field(i).Kind() != reflect.Int64 {
+			t.Fatalf("Stats field %s has kind %v; Sub only handles integer counters",
+				av.Type().Field(i).Name, av.Field(i).Kind())
+		}
+		av.Field(i).SetInt(int64(1000 + 7*i))
+		bv.Field(i).SetInt(int64(3 * i))
+	}
+	d := a.Sub(b)
+	dv := reflect.ValueOf(d)
+	for i := 0; i < dv.NumField(); i++ {
+		want := int64(1000+7*i) - int64(3*i)
+		if got := dv.Field(i).Int(); got != want {
+			t.Errorf("Sub dropped field %s: got %d, want %d",
+				dv.Type().Field(i).Name, got, want)
+		}
+	}
+}

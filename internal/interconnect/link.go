@@ -11,7 +11,9 @@ package interconnect
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -25,11 +27,30 @@ type Link struct {
 	Latency sim.Time
 	// PeakBps is the peak bandwidth in bytes per second.
 	PeakBps float64
+
+	// Per-link transfer accounting, registered lazily on first use so
+	// plain struct-literal links keep working.
+	instrument         sync.Once
+	nTransfers, nBytes *metrics.Counter
 }
 
 // TransferTime returns the virtual time needed to move n bytes across the
-// link. Zero-byte transfers still pay the setup latency.
+// link, and books the transfer against the link's metrics. Zero-byte
+// transfers still pay the setup latency.
 func (l *Link) TransferTime(n int64) sim.Time {
+	l.instrument.Do(func() {
+		r := metrics.Default()
+		l.nTransfers = r.Counter(metrics.Label("link_transfers_total", "link", l.Name))
+		l.nBytes = r.Counter(metrics.Label("link_bytes_total", "link", l.Name))
+	})
+	l.nTransfers.Inc()
+	l.nBytes.Add(n)
+	return l.transferTime(n)
+}
+
+// transferTime is the pure cost model, shared with the analytic helpers
+// (which must not count as traffic).
+func (l *Link) transferTime(n int64) sim.Time {
 	if n < 0 {
 		panic(fmt.Sprintf("interconnect: negative transfer size %d on %s", n, l.Name))
 	}
@@ -41,7 +62,7 @@ func (l *Link) TransferTime(n int64) sim.Time {
 // single transfer of n bytes, i.e. n divided by TransferTime. This is the
 // quantity plotted as boxes in Figure 11.
 func (l *Link) EffectiveBps(n int64) float64 {
-	t := l.TransferTime(n)
+	t := l.transferTime(n)
 	if t == 0 {
 		return l.PeakBps
 	}

@@ -1,0 +1,159 @@
+// Package introspect is the ADSM runtime's live debugging surface: an
+// opt-in net/http server exposing expvar-style JSON snapshots of the
+// metrics registry, the per-object activity tables of recent managers, and
+// Chrome trace_event exports of their span tracers.
+//
+// Endpoints:
+//
+//	/adsm/stats    metrics registry + per-manager object tables (JSON)
+//	/adsm/objects  per-manager object tables only (JSON)
+//	/adsm/trace    Chrome trace_event JSON of a traced manager
+//	               (?mgr=<id> selects one; default: latest with a tracer)
+//	/adsm/statsz   human-readable text report of the metrics registry
+//
+// Everything served here is read from atomic counters, mutex-guarded
+// indexes and mutex-guarded trace rings, so handlers are safe to hit while
+// a run is in flight on other goroutines.
+package introspect
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// managerView is the introspection shape of one manager.
+type managerView struct {
+	ID       int                   `json:"id"`
+	Protocol string                `json:"protocol"`
+	Traced   bool                  `json:"traced"`
+	Objects  []core.ObjectSnapshot `json:"objects"`
+}
+
+func managerViews() []managerView {
+	mgrs := core.RecentManagers()
+	out := make([]managerView, 0, len(mgrs))
+	for _, m := range mgrs {
+		out = append(out, managerView{
+			ID:       m.ID(),
+			Protocol: m.Protocol().String(),
+			Traced:   m.SpanTracer() != nil,
+			Objects:  m.SnapshotObjects(),
+		})
+	}
+	return out
+}
+
+// statsDoc is the /adsm/stats response body.
+type statsDoc struct {
+	Metrics  metrics.Snapshot `json:"metrics"`
+	Managers []managerView    `json:"managers"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, statsDoc{
+		Metrics:  metrics.Default().Snapshot(),
+		Managers: managerViews(),
+	})
+}
+
+func handleObjects(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, managerViews())
+}
+
+func handleTrace(w http.ResponseWriter, r *http.Request) {
+	mgrs := core.RecentManagers()
+	wantID := 0
+	if s := r.URL.Query().Get("mgr"); s != "" {
+		id, err := strconv.Atoi(s)
+		if err != nil {
+			http.Error(w, "bad mgr id", http.StatusBadRequest)
+			return
+		}
+		wantID = id
+	}
+	for i := len(mgrs) - 1; i >= 0; i-- {
+		m := mgrs[i]
+		if wantID != 0 && m.ID() != wantID {
+			continue
+		}
+		t := m.SpanTracer()
+		if t == nil {
+			continue
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := t.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	http.Error(w, "no traced manager (enable tracing or core.SetAutoTrace)", http.StatusNotFound)
+}
+
+func handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = metrics.Default().WriteText(w)
+}
+
+func handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" && r.URL.Path != "/adsm" && r.URL.Path != "/adsm/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ADSM runtime introspection")
+	fmt.Fprintln(w, "  /adsm/stats    metrics + object tables (JSON)")
+	fmt.Fprintln(w, "  /adsm/objects  object tables (JSON)")
+	fmt.Fprintln(w, "  /adsm/trace    Chrome trace_event JSON (?mgr=<id>)")
+	fmt.Fprintln(w, "  /adsm/statsz   text metrics report")
+}
+
+// NewHandler returns the introspection handler, for embedding into an
+// existing server.
+func NewHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/adsm/stats", handleStats)
+	mux.HandleFunc("/adsm/objects", handleObjects)
+	mux.HandleFunc("/adsm/trace", handleTrace)
+	mux.HandleFunc("/adsm/statsz", handleStatsz)
+	mux.HandleFunc("/", handleIndex)
+	return mux
+}
+
+// Server is a running introspection endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (e.g. "localhost:6060", ":0" for an ephemeral
+// port) and serves the introspection endpoints until Close.
+func Start(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("introspect: %w", err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewHandler()}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the server's listen address (with the resolved port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

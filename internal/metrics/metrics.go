@@ -1,0 +1,327 @@
+// Package metrics is the ADSM runtime's instrumentation layer: a
+// dependency-free registry of named counters, gauges and fixed-bucket
+// histograms. The record path is built for the manager's hot paths (fault
+// handling, block transfers): handles are resolved once at wiring time,
+// after which every Inc/Add/Set/Observe is a handful of atomic operations
+// and performs no allocation.
+//
+// The conventions mirror the paper's evaluation: transfer volumes and
+// fault rates are counters (Figure 8), latency and size distributions are
+// histograms (Figure 11's size-dependent bandwidth curve), and the rolling
+// cache's occupancy is a gauge plus a histogram (Figure 12). Names use a
+// flat `subsystem_quantity_unit` scheme with an optional `{key=value}`
+// label suffix produced by Label, e.g.
+//
+//	adsm_faults_total{protocol=rolling-update}
+//	accel_h2d_latency_ns
+//	link_bytes_total{link=PCIe 2.0 x16 H2D}
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing 64-bit counter. The zero value is
+// usable, but counters should be obtained from a Registry so they are
+// exported.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (which should be non-negative; this is not enforced on the
+// hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous 64-bit value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution of int64 observations
+// (latencies in nanoseconds, sizes in bytes, tree depths in nodes).
+// Observation i lands in the first bucket whose upper bound is >= i; an
+// implicit +Inf bucket catches the rest. The record path is allocation
+// free: one linear scan over the (small, fixed) bound slice plus three
+// atomic adds.
+type Histogram struct {
+	bounds []int64        // ascending upper bounds
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []int64 {
+	out := make([]int64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// Bucket is one histogram bucket in a snapshot. Le is the inclusive upper
+// bound rendered as a decimal string, or "+inf" for the overflow bucket.
+type Bucket struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Buckets: make([]Bucket, len(h.counts)),
+	}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	for i := range h.counts {
+		le := "+inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatInt(h.bounds[i], 10)
+		}
+		s.Buckets[i] = Bucket{Le: le, Count: h.counts[i].Load()}
+	}
+	return s
+}
+
+// Standard bucket layouts. All are small enough that the linear scan in
+// Observe stays cheap.
+var (
+	// LatencyBuckets covers virtual durations from sub-microsecond fault
+	// handling to second-scale stalls (nanoseconds, roughly x4 per step).
+	LatencyBuckets = []int64{
+		250, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+		1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30,
+	}
+	// SizeBuckets covers transfer sizes from one page to large objects
+	// (bytes, x4 per step) — the x-axis of Figure 11.
+	SizeBuckets = []int64{
+		4 << 10, 16 << 10, 64 << 10, 256 << 10,
+		1 << 20, 4 << 20, 16 << 20, 64 << 20,
+	}
+	// DepthBuckets covers block-tree search depths and rolling-cache
+	// occupancies (counts, powers of two).
+	DepthBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128}
+)
+
+// Label appends a `{key=value}` suffix to a metric name, the flat-string
+// labelling convention used for per-protocol and per-link families.
+func Label(name, key, value string) string {
+	return name + "{" + key + "=" + value + "}"
+}
+
+// Registry is a concurrency-safe name -> metric table. Get-or-create
+// lookups take a mutex; callers cache the returned handles so the record
+// path never touches the registry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the runtime records into.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter with the given name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with
+// the given bucket bounds if needed. The bounds of an existing histogram
+// win; they must be ascending and non-empty.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		if len(bounds) == 0 {
+			panic(fmt.Sprintf("metrics: histogram %q needs bucket bounds", name))
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("metrics: histogram %q bounds not ascending", name))
+			}
+		}
+		h = &Histogram{
+			bounds: append([]int64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of a whole registry, shaped for JSON.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Reset zeroes every registered metric in place. Handles held by callers
+// stay valid. Experiment harnesses use it between runs.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.histograms {
+		for i := range h.counts {
+			h.counts[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sum.Store(0)
+	}
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteText renders the registry as a human-readable report: counters and
+// gauges as aligned name/value lines, histograms as per-bucket tables.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	names := func(m map[string]int64) []string {
+		out := make([]string, 0, len(m))
+		for k := range m {
+			out = append(out, k)
+		}
+		sort.Strings(out)
+		return out
+	}
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(w, "counters:\n")
+		for _, n := range names(s.Counters) {
+			fmt.Fprintf(w, "  %-56s %d\n", n, s.Counters[n])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(w, "gauges:\n")
+		for _, n := range names(s.Gauges) {
+			fmt.Fprintf(w, "  %-56s %d\n", n, s.Gauges[n])
+		}
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		hnames = append(hnames, k)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := s.Histograms[n]
+		fmt.Fprintf(w, "histogram %s: count=%d sum=%d mean=%.1f\n", n, h.Count, h.Sum, h.Mean)
+		for _, b := range h.Buckets {
+			if b.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  le %-12s %d\n", b.Le, b.Count)
+		}
+	}
+	return nil
+}

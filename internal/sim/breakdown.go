@@ -77,6 +77,18 @@ func (b *Breakdown) Fraction(cat Category) float64 {
 	return float64(b.buckets[cat]) / float64(total)
 }
 
+// Map returns a copy of the non-zero buckets, for export (the Figure 10
+// breakdown section of snapshots and the -json benchmark summaries).
+func (b *Breakdown) Map() map[Category]Time {
+	out := make(map[Category]Time, len(b.buckets))
+	for cat, t := range b.buckets {
+		if t != 0 {
+			out[cat] = t
+		}
+	}
+	return out
+}
+
 // Merge adds every bucket of other into b.
 func (b *Breakdown) Merge(other *Breakdown) {
 	for cat, v := range other.buckets {

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// SpanID identifies one span within a Tracer. Zero is "no span" — the
+// manager uses it as the disabled sentinel — so real IDs start at 1.
+type SpanID uint64
+
+// Span is one completed timed operation: an API call (Invoke, Sync), a
+// fault resolution, or a block transfer nested inside one of those. Parent
+// links spans into a tree, so a run can be rendered as a flame chart.
+type Span struct {
+	ID     SpanID   `json:"id"`
+	Parent SpanID   `json:"parent,omitempty"`
+	Name   string   `json:"name"`
+	Note   string   `json:"note,omitempty"`
+	Start  sim.Time `json:"start_ns"`
+	End    sim.Time `json:"end_ns"`
+}
+
+// Duration returns the span's virtual duration.
+func (s Span) Duration() sim.Time { return s.End - s.Start }
+
+// Tracer layers span tracing on an event Log: instantaneous protocol
+// events go to the Log, while Begin/End bracket timed operations into
+// Spans with parent IDs derived from the currently open span stack. The
+// runtime is single-threaded per manager, so the open-span stack needs no
+// per-goroutine bookkeeping; the Tracer itself is mutex-protected so the
+// introspection endpoint can read it while the run is in flight.
+type Tracer struct {
+	mu     sync.Mutex
+	log    *Log
+	spans  []Span // bounded ring of completed spans
+	next   int
+	total  int64
+	nextID SpanID
+	open   []Span // stack of in-flight spans (End not yet seen)
+}
+
+// NewTracer returns a tracer retaining the most recent capacity completed
+// spans and capacity log events.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Tracer{
+		log:   New(capacity),
+		spans: make([]Span, 0, capacity),
+	}
+}
+
+// Log returns the tracer's event log, for use as the manager's event sink.
+func (t *Tracer) Log() *Log { return t.log }
+
+// Begin opens a span at virtual time `at`. Its parent is the innermost
+// span still open, if any.
+func (t *Tracer) Begin(name, note string, at sim.Time) SpanID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	s := Span{ID: t.nextID, Name: name, Note: note, Start: at}
+	if n := len(t.open); n > 0 {
+		s.Parent = t.open[n-1].ID
+	}
+	t.open = append(t.open, s)
+	return s.ID
+}
+
+// End closes the span with the given id at virtual time `at`. Any inner
+// spans left open are closed at the same instant (defensive: an error
+// return path skipped their End).
+func (t *Tracer) End(id SpanID, at sim.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for n := len(t.open); n > 0; n = len(t.open) {
+		s := t.open[n-1]
+		t.open = t.open[:n-1]
+		s.End = at
+		t.record(s)
+		if s.ID == id {
+			return
+		}
+	}
+}
+
+// record appends a completed span to the bounded ring. Caller holds t.mu.
+func (t *Tracer) record(s Span) {
+	if len(t.spans) < cap(t.spans) {
+		t.spans = append(t.spans, s)
+	} else {
+		t.spans[t.next] = s
+		t.next = (t.next + 1) % len(t.spans)
+	}
+	t.total++
+}
+
+// Spans returns the retained completed spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.spans))
+	out = append(out, t.spans[t.next:]...)
+	out = append(out, t.spans[:t.next]...)
+	return out
+}
+
+// TotalSpans returns the number of spans ever completed.
+func (t *Tracer) TotalSpans() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// WriteJSON exports the retained spans and events in the Chrome
+// trace_event format (the JSON Array Format with metadata wrapper), ready
+// to load into chrome://tracing or Perfetto. Spans become complete ("X")
+// events; log events become instant ("i") events. Virtual nanoseconds map
+// onto the format's microsecond timestamps.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	type chromeEvent struct {
+		Name  string         `json:"name"`
+		Cat   string         `json:"cat"`
+		Phase string         `json:"ph"`
+		TS    float64        `json:"ts"`
+		Dur   *float64       `json:"dur,omitempty"`
+		Scope string         `json:"s,omitempty"`
+		PID   int            `json:"pid"`
+		TID   int            `json:"tid"`
+		Args  map[string]any `json:"args,omitempty"`
+	}
+	us := func(d sim.Time) float64 { return float64(d) / 1e3 }
+
+	events := make([]chromeEvent, 0, len(t.Spans())+t.log.Len())
+	for _, s := range t.Spans() {
+		dur := us(s.Duration())
+		args := map[string]any{"id": uint64(s.ID)}
+		if s.Parent != 0 {
+			args["parent"] = uint64(s.Parent)
+		}
+		if s.Note != "" {
+			args["note"] = s.Note
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: "adsm", Phase: "X",
+			TS: us(s.Start), Dur: &dur, PID: 1, TID: 1, Args: args,
+		})
+	}
+	for _, e := range t.log.Events() {
+		args := map[string]any{}
+		if e.Size > 0 {
+			args["addr"] = fmt.Sprintf("%#x", uint64(e.Addr))
+			args["size"] = e.Size
+		}
+		if e.From != "" || e.To != "" {
+			args["from"], args["to"] = e.From, e.To
+		}
+		if e.Note != "" {
+			args["note"] = e.Note
+		}
+		events = append(events, chromeEvent{
+			Name: e.Kind.String(), Cat: "event", Phase: "i",
+			TS: us(e.At), Scope: "t", PID: 1, TID: 2, Args: args,
+		})
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

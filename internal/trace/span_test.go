@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSpanNestingAndParents(t *testing.T) {
+	tr := NewTracer(16)
+	inv := tr.Begin("invoke", "scale", 100)
+	fl := tr.Begin("flush", "", 110)
+	tr.End(fl, 150)
+	tr.End(inv, 200)
+	top := tr.Begin("sync", "", 300)
+	tr.End(top, 400)
+
+	spans := tr.Spans()
+	if len(spans) != 3 || tr.TotalSpans() != 3 {
+		t.Fatalf("got %d spans (total %d), want 3", len(spans), tr.TotalSpans())
+	}
+	// Completed innermost-first.
+	if spans[0].Name != "flush" || spans[0].Parent != inv {
+		t.Fatalf("flush span = %+v, want parent %d", spans[0], inv)
+	}
+	if spans[1].Name != "invoke" || spans[1].Parent != 0 {
+		t.Fatalf("invoke span = %+v, want no parent", spans[1])
+	}
+	if d := spans[0].Duration(); d != 40 {
+		t.Fatalf("flush duration = %v, want 40", d)
+	}
+	if spans[2].Parent != 0 {
+		t.Fatalf("sync span has stale parent %d", spans[2].Parent)
+	}
+}
+
+func TestEndClosesAbandonedChildren(t *testing.T) {
+	tr := NewTracer(16)
+	outer := tr.Begin("invoke", "", 10)
+	tr.Begin("flush", "", 20) // error path: never explicitly ended
+	tr.End(outer, 50)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	for _, s := range spans {
+		if s.End != 50 {
+			t.Fatalf("span %s end = %v, want 50", s.Name, s.End)
+		}
+	}
+}
+
+func TestWriteJSONChromeFormat(t *testing.T) {
+	tr := NewTracer(16)
+	id := tr.Begin("fault", "write in Invalid", 1000)
+	tr.Log().Append(Event{At: 1200, Kind: EvFetch, Addr: 0x1000, Size: 4096})
+	tr.End(id, 2000)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d trace events, want 2", len(doc.TraceEvents))
+	}
+	x := doc.TraceEvents[0]
+	if x.Name != "fault" || x.Phase != "X" || x.TS != 1.0 || x.Dur != 1.0 {
+		t.Fatalf("span event = %+v", x)
+	}
+	i := doc.TraceEvents[1]
+	if i.Name != "fetch" || i.Phase != "i" {
+		t.Fatalf("instant event = %+v", i)
+	}
+}
+
+// TestLogConcurrentAppend exercises the ring from many goroutines; run
+// with -race it proves the mutex covers every method.
+func TestLogConcurrentAppend(t *testing.T) {
+	l := New(64)
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Append(Event{At: sim.Time(i), Kind: EvFault, Note: "w"})
+				if i%64 == 0 {
+					_ = l.Events()
+					_ = l.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Total() != workers*per {
+		t.Fatalf("total = %d, want %d", l.Total(), workers*per)
+	}
+	if l.Len() != 64 {
+		t.Fatalf("len = %d, want 64", l.Len())
+	}
+}
+
+// TestTracerConcurrentReaders has one writer (the simulated runtime) and
+// concurrent readers (the introspection endpoint).
+func TestTracerConcurrentReaders(t *testing.T) {
+	tr := NewTracer(32)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					_ = tr.Spans()
+					var buf bytes.Buffer
+					_ = tr.WriteJSON(&buf)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		id := tr.Begin("fault", "", sim.Time(i))
+		tr.End(id, sim.Time(i+1))
+	}
+	close(done)
+	wg.Wait()
+	if tr.TotalSpans() != 2000 {
+		t.Fatalf("total spans = %d, want 2000", tr.TotalSpans())
+	}
+}

@@ -8,6 +8,7 @@ package trace
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -87,7 +88,10 @@ func (e Event) String() string {
 }
 
 // Log is a bounded ring of events. The zero value is unusable; use New.
+// All methods are safe for concurrent use: the introspection endpoint
+// reads the ring while the runtime appends to it.
 type Log struct {
+	mu    sync.Mutex
 	ring  []Event
 	next  int
 	total int64
@@ -103,6 +107,8 @@ func New(capacity int) *Log {
 
 // Append records an event, evicting the oldest if the ring is full.
 func (l *Log) Append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if len(l.ring) < cap(l.ring) {
 		l.ring = append(l.ring, e)
 	} else {
@@ -113,13 +119,23 @@ func (l *Log) Append(e Event) {
 }
 
 // Len returns the number of retained events.
-func (l *Log) Len() int { return len(l.ring) }
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ring)
+}
 
 // Total returns the number of events ever recorded.
-func (l *Log) Total() int64 { return l.total }
+func (l *Log) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
 
 // Events returns the retained events, oldest first.
 func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	out := make([]Event, 0, len(l.ring))
 	out = append(out, l.ring[l.next:]...)
 	out = append(out, l.ring[:l.next]...)
