@@ -56,18 +56,20 @@ func main() {
 	tracer := ctx.EnableTracer(4096)
 	events := tracer.Log()
 
-	ctx.RegisterKernel(&gmac.Kernel{
-		Name: "scale2x",
-		Run: func(dev *gmac.DeviceMemory, args []uint64) {
-			p, n := gmac.Ptr(args[0]), int64(args[1])
-			for i := int64(0); i < n; i++ {
-				dev.SetFloat32(p+gmac.Ptr(i*4), 2*dev.Float32(p+gmac.Ptr(i*4)))
-			}
-		},
-		Cost: func(args []uint64) (float64, int64) {
-			n := int64(args[1])
-			return float64(n), 8 * n
-		},
+	ctx.Register(func() *gmac.Kernel {
+		return &gmac.Kernel{
+			Name: "scale2x",
+			Run: func(dev *gmac.DeviceMemory, args []uint64) {
+				p, n := gmac.Ptr(args[0]), int64(args[1])
+				for i := int64(0); i < n; i++ {
+					dev.SetFloat32(p+gmac.Ptr(i*4), 2*dev.Float32(p+gmac.Ptr(i*4)))
+				}
+			},
+			Cost: func(args []uint64) (float64, int64) {
+				n := int64(args[1])
+				return float64(n), 8 * n
+			},
+		}
 	})
 
 	// The scenario: allocate a 4-block object, initialise it from the CPU
@@ -86,7 +88,7 @@ func main() {
 	if err := v.Fill(1.0); err != nil {
 		log.Fatal(err)
 	}
-	if err := ctx.CallSync("scale2x", uint64(p), n); err != nil {
+	if err := ctx.Call("scale2x", []uint64{uint64(p), n}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("element 0 after kernel: %v\n", v.At(0))

@@ -34,15 +34,25 @@ import (
 
 func main() {
 	small := flag.Bool("small", false, "run at unit-test scale (fast smoke run)")
+	hostThreads := flag.Int("hostthreads", 0, "run the concurrent fault-throughput benchmark with `N` host goroutines")
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark summary to `file`")
 	debugAddr := flag.String("debug.addr", "", "serve live introspection endpoints on `addr` (e.g. localhost:6060)")
 	debugHold := flag.Bool("debug.hold", false, "with -debug.addr: keep serving after the run finishes")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: gmacbench [-small] [-json file] [-debug.addr addr] <fig2|table2|porting|fig7|fig8|fig10|fig9|fig11|fig12|ablations|all>...\n")
+		fmt.Fprintf(os.Stderr, "usage: gmacbench [-small] [-json file] [-debug.addr addr] [-hostthreads N] <fig2|table2|porting|fig7|fig8|fig10|fig9|fig11|fig12|ablations|all>...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	args := flag.Args()
+	if *hostThreads > 0 {
+		if err := runHostThreads(*hostThreads, *small); err != nil {
+			fmt.Fprintln(os.Stderr, "gmacbench:", err)
+			os.Exit(1)
+		}
+		if len(args) == 0 {
+			return
+		}
+	}
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)

@@ -31,6 +31,23 @@ import (
 
 const n = 1 << 18
 
+// doubleOne seeds one shared object, doubles it on whichever accelerator
+// hosts it, and reads the result back — written once against gmac.Session
+// so the same code path serves single- and multi-GPU runs.
+func doubleOne(s gmac.Session, p gmac.Ptr, seed byte) (byte, error) {
+	if err := s.HostWrite(p, []byte{seed, 0, 0, 0}); err != nil {
+		return 0, err
+	}
+	if err := s.Call("double", []uint64{uint64(p), n}); err != nil {
+		return 0, err
+	}
+	got := make([]byte, 4)
+	if err := s.HostRead(p, got); err != nil {
+		return 0, err
+	}
+	return got[0], nil
+}
+
 func gpu(name string, base mem.Addr, clock *sim.Clock) *accel.Device {
 	d := accel.New(accel.Config{
 		Name:    name,
@@ -126,7 +143,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	mc.RegisterKernelAll(func() *gmac.Kernel {
+	mc.Register(func() *gmac.Kernel {
 		return &gmac.Kernel{
 			Name: "double",
 			Run: func(dev *gmac.DeviceMemory, args []uint64) {
@@ -148,18 +165,13 @@ func main() {
 		fmt.Printf("object %d -> device %d (identity-mapped: %v)\n", i, mc.Owner(p), mc.Identity(p))
 	}
 	for i, p := range objs {
-		seed := []byte{byte(i + 1), 0, 0, 0}
-		if err := mc.HostWrite(p, seed); err != nil {
+		// doubleOne is written against gmac.Session, so the identical code
+		// drives a single-GPU Context or this MultiContext.
+		got, err := doubleOne(mc, p, byte(i+1))
+		if err != nil {
 			log.Fatal(err)
 		}
-		if err := mc.CallSync("double", uint64(p), n); err != nil {
-			log.Fatal(err)
-		}
-		got := make([]byte, 4)
-		if err := mc.HostRead(p, got); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("object %d on device %d: %d -> %d\n", i, mc.Owner(p), i+1, got[0])
+		fmt.Printf("object %d on device %d: %d -> %d\n", i, mc.Owner(p), i+1, got)
 	}
 	st := mc.Stats()
 	fmt.Printf("\naggregate: %d kernels, %d faults, %d KB moved\n",

@@ -31,16 +31,18 @@ func main() {
 
 	// Kernels are plain Go functions over device memory, registered with
 	// a roofline cost model (FLOPs, bytes) for virtual timing.
-	ctx.RegisterKernel(&gmac.Kernel{
-		Name: "saxpy",
-		Run: func(dev *gmac.DeviceMemory, args []uint64) {
-			x, y := gmac.Ptr(args[0]), gmac.Ptr(args[1])
-			a := math.Float32frombits(uint32(args[2]))
-			for i := int64(0); i < n; i++ {
-				dev.SetFloat32(y+gmac.Ptr(i*4), a*dev.Float32(x+gmac.Ptr(i*4))+dev.Float32(y+gmac.Ptr(i*4)))
-			}
-		},
-		Cost: func([]uint64) (float64, int64) { return 2 * n, 12 * n },
+	ctx.Register(func() *gmac.Kernel {
+		return &gmac.Kernel{
+			Name: "saxpy",
+			Run: func(dev *gmac.DeviceMemory, args []uint64) {
+				x, y := gmac.Ptr(args[0]), gmac.Ptr(args[1])
+				a := math.Float32frombits(uint32(args[2]))
+				for i := int64(0); i < n; i++ {
+					dev.SetFloat32(y+gmac.Ptr(i*4), a*dev.Float32(x+gmac.Ptr(i*4))+dev.Float32(y+gmac.Ptr(i*4)))
+				}
+			},
+			Cost: func([]uint64) (float64, int64) { return 2 * n, 12 * n },
+		}
 	})
 
 	// adsmAlloc: one pointer, valid on the CPU and in kernels.
@@ -63,8 +65,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// adsmCall + adsmSync: the release/acquire boundary.
-	if err := ctx.CallSync("saxpy", uint64(x), uint64(y), uint64(math.Float32bits(2))); err != nil {
+	// adsmCall + adsmSync: the release/acquire boundary. Call is
+	// synchronous by default; pass gmac.Async() to overlap CPU work.
+	if err := ctx.Call("saxpy", []uint64{uint64(x), uint64(y), uint64(math.Float32bits(2))}); err != nil {
 		log.Fatal(err)
 	}
 

@@ -16,14 +16,17 @@
 //
 //	m := machine.PaperTestbed()
 //	ctx, _ := gmac.NewContext(m, gmac.Config{Protocol: gmac.RollingUpdate})
-//	ctx.RegisterKernel(&gmac.Kernel{Name: "scale", Run: ..., Cost: ...})
-//	p, _ := ctx.Alloc(n * 4)        // adsmAlloc
-//	v, _ := ctx.Float32s(p, n)      // CPU-side view of shared memory
-//	v.Fill(1.0)                     // CPU writes, faults handled underneath
-//	ctx.Call("scale", uint64(p), n) // adsmCall: release
-//	ctx.Sync()                      // adsmSync: acquire
-//	sum := v.At(0)                  // CPU reads accelerator-produced data
-//	ctx.Free(p)                     // adsmFree
+//	ctx.Register(func() *gmac.Kernel { return &gmac.Kernel{Name: "scale", ...} })
+//	p, _ := ctx.Alloc(n * 4)                  // adsmAlloc
+//	v, _ := ctx.Float32s(p, n)                // CPU-side view of shared memory
+//	v.Fill(1.0)                               // CPU writes, faults handled underneath
+//	ctx.Call("scale", []uint64{uint64(p), n}) // adsmCall + adsmSync
+//	sum := v.At(0)                            // CPU reads accelerator-produced data
+//	ctx.Free(p)                               // adsmFree
+//
+// Context (one accelerator) and MultiContext (every accelerator) both
+// implement Session, and every entry point is safe for concurrent use by
+// multiple host goroutines.
 package gmac
 
 import (
@@ -38,7 +41,8 @@ import (
 )
 
 // Ptr is a shared-memory pointer, valid on both the CPU and the
-// accelerator (for objects from Alloc) or on the CPU only (SafeAlloc).
+// accelerator (for identity-mapped objects) or on the CPU only (Safe()
+// allocations).
 type Ptr = mem.Addr
 
 // Kernel describes an accelerator kernel: a name, a body operating on
@@ -86,24 +90,14 @@ type Config struct {
 // it zero.
 const DefaultBlockSize int64 = 256 << 10
 
-// Context is one application's GMAC session: the Table 1 API plus the
-// interposed I/O and bulk-memory entry points of Section 4.4.
-type Context struct {
-	m   *machine.Machine
-	mgr *core.Manager
-	dev *accel.Device
-}
-
-// NewContext builds a GMAC runtime on the given machine, bound to its
-// primary accelerator.
-func NewContext(m *machine.Machine, cfg Config) (*Context, error) {
+func managerConfig(cfg Config) core.Config {
 	if cfg.BlockSize == 0 {
 		cfg.BlockSize = DefaultBlockSize
 	}
 	if cfg.RollingDelta == 0 {
 		cfg.RollingDelta = 2
 	}
-	mgr, err := core.NewManager(core.Config{
+	return core.Config{
 		Protocol:     cfg.Protocol,
 		BlockSize:    cfg.BlockSize,
 		RollingDelta: cfg.RollingDelta,
@@ -113,15 +107,29 @@ func NewContext(m *machine.Machine, cfg Config) (*Context, error) {
 		LaunchCost:   2 * sim.Microsecond,
 		TreeNodeCost: 30 * sim.Nanosecond,
 		MprotectCost: 300 * sim.Nanosecond,
-	}, m.Clock, m.Breakdown, m.MMU, m.VA, m.Device())
+	}
+}
+
+// Context is one application's GMAC session bound to the machine's primary
+// accelerator: the Table 1 API plus the interposed I/O and bulk-memory
+// entry points of Section 4.4. It implements Session.
+type Context struct {
+	sessionCore
+	mgr *core.Manager
+	dev *accel.Device
+}
+
+// NewContext builds a GMAC runtime on the given machine, bound to its
+// primary accelerator.
+func NewContext(m *machine.Machine, cfg Config) (*Context, error) {
+	mgr, err := core.NewManager(managerConfig(cfg), m.Clock, m.Breakdown, m.MMU, m.VA, m.Device())
 	if err != nil {
 		return nil, err
 	}
-	return &Context{m: m, mgr: mgr, dev: m.Device()}, nil
+	c := &Context{mgr: mgr, dev: m.Device()}
+	c.sessionCore = sessionCore{m: m, owner: func(Ptr) *core.Manager { return mgr }}
+	return c, nil
 }
-
-// Machine returns the underlying simulated machine.
-func (c *Context) Machine() *machine.Machine { return c.m }
 
 // Stats returns the runtime's activity counters.
 func (c *Context) Stats() Stats { return c.mgr.Stats() }
@@ -141,99 +149,83 @@ func (c *Context) EnableTrace(capacity int) *TraceLog {
 	return l
 }
 
-// RegisterKernel makes a kernel launchable through Call.
-func (c *Context) RegisterKernel(k *Kernel) { c.dev.Register(k) }
+// Register makes a kernel launchable through Call. The factory runs once
+// per managed device — exactly once for a Context.
+func (c *Context) Register(mk func() *Kernel) { c.dev.Register(mk()) }
 
 // Alloc implements adsmAlloc: it allocates size bytes of shared memory and
-// returns a pointer valid on both processors.
-func (c *Context) Alloc(size int64) (Ptr, error) { return c.mgr.Alloc(size) }
-
-// AllocFor allocates shared memory assigned to the given kernels (§3.3's
-// elaborated allocation API): calls to other kernels leave the object
-// untouched on the host — no flush, no invalidation — so the CPU works on
-// it undisturbed while unrelated kernels run.
-func (c *Context) AllocFor(size int64, kernels ...string) (Ptr, error) {
-	return c.mgr.AllocFor(size, kernels...)
+// returns a pointer valid on both processors. Options select the §3.3
+// kernel binding (ForKernels) and the §4.2 safe fallback (Safe).
+func (c *Context) Alloc(size int64, opts ...AllocOption) (Ptr, error) {
+	o := resolveAllocOptions(opts)
+	if o.device > 0 {
+		return 0, fmt.Errorf("gmac: no device %d (single-accelerator context)", o.device)
+	}
+	if o.safe {
+		return c.mgr.SafeAllocFor(size, o.kernels...)
+	}
+	return c.mgr.AllocFor(size, o.kernels...)
 }
 
-// SafeAlloc implements adsmSafeAlloc: the fallback for address-range
-// conflicts (§4.2). The returned pointer is valid only on the CPU; pass
-// Safe(p) to kernels.
-func (c *Context) SafeAlloc(size int64) (Ptr, error) { return c.mgr.SafeAlloc(size) }
-
-// Safe implements adsmSafe: it translates a CPU pointer into the
-// accelerator address of the same shared byte.
-func (c *Context) Safe(p Ptr) (Ptr, error) { return c.mgr.Translate(p) }
-
-// Free implements adsmFree.
-func (c *Context) Free(p Ptr) error { return c.mgr.Free(p) }
-
-// Call implements adsmCall: it releases shared objects (per the active
-// protocol) and launches the kernel asynchronously.
-func (c *Context) Call(kernel string, args ...uint64) error {
-	return c.mgr.Invoke(kernel, args...)
-}
-
-// CallAnnotated is Call with a kernel write-set annotation (§4.3): only
-// the objects listed in writes are invalidated on the host, so shared data
-// the kernel merely reads stays CPU-valid across the call and costs no
-// transfer to read afterwards. The annotation is what the paper suggests
-// interprocedural pointer analysis or the programmer should supply.
-func (c *Context) CallAnnotated(kernel string, writes []Ptr, args ...uint64) error {
-	return c.mgr.InvokeAnnotated(kernel, writes, args...)
+// Call implements adsmCall followed by adsmSync: it releases shared
+// objects (per the active protocol), launches the kernel, and — unless the
+// Async option is given — waits for completion and re-acquires shared
+// objects for the CPU. The Writes option supplies the §4.3 write-set
+// annotation.
+func (c *Context) Call(kernel string, args []uint64, opts ...CallOption) error {
+	o := resolveCallOptions(opts)
+	var err error
+	if o.annotate {
+		err = c.mgr.InvokeAnnotated(kernel, o.writes, args...)
+	} else {
+		err = c.mgr.Invoke(kernel, args...)
+	}
+	if err != nil || o.async {
+		return err
+	}
+	return c.mgr.Sync()
 }
 
 // Sync implements adsmSync: it blocks until the accelerator finishes and
 // re-acquires shared objects for the CPU.
 func (c *Context) Sync() error { return c.mgr.Sync() }
 
-// CallSync is Call followed by Sync, the common pattern.
+// RegisterKernel makes a kernel launchable through Call.
+//
+// Deprecated: use Register, which constructs the kernel per device and so
+// also works for MultiContext.
+func (c *Context) RegisterKernel(k *Kernel) { c.dev.Register(k) }
+
+// AllocFor allocates shared memory assigned to the given kernels.
+//
+// Deprecated: use Alloc with the ForKernels option.
+func (c *Context) AllocFor(size int64, kernels ...string) (Ptr, error) {
+	return c.Alloc(size, ForKernels(kernels...))
+}
+
+// SafeAlloc implements adsmSafeAlloc, the fallback for address-range
+// conflicts (§4.2).
+//
+// Deprecated: use Alloc with the Safe option.
+func (c *Context) SafeAlloc(size int64) (Ptr, error) {
+	return c.Alloc(size, Safe())
+}
+
+// CallAnnotated launches the kernel asynchronously with a write-set
+// annotation.
+//
+// Deprecated: use Call with the Writes (and, for the old asynchronous
+// behaviour, Async) options.
+func (c *Context) CallAnnotated(kernel string, writes []Ptr, args ...uint64) error {
+	return c.Call(kernel, args, Writes(writes...), Async())
+}
+
+// CallSync launches the kernel and waits for it.
+//
+// Deprecated: Call is synchronous by default; use it directly.
 func (c *Context) CallSync(kernel string, args ...uint64) error {
-	if err := c.Call(kernel, args...); err != nil {
-		return err
-	}
-	return c.Sync()
+	return c.Call(kernel, args)
 }
-
-// IsShared reports whether p points into a live shared object, as the
-// interposed libc entry points must decide (§4.4).
-func (c *Context) IsShared(p Ptr) bool { return c.mgr.IsShared(p) }
-
-// Memcpy copies between a host buffer and shared memory using the
-// interposed bulk path: data is moved with accelerator copies where the
-// current version lives on the device, avoiding page-fault storms.
-func (c *Context) MemcpyToShared(dst Ptr, src []byte) error {
-	c.m.CPUTouch(int64(len(src)))
-	return c.mgr.BulkWrite(dst, src)
-}
-
-// MemcpyFromShared copies shared memory into a host buffer.
-func (c *Context) MemcpyFromShared(dst []byte, src Ptr) error {
-	c.m.CPUTouch(int64(len(dst)))
-	return c.mgr.BulkRead(src, dst)
-}
-
-// MemcpyShared copies between two shared objects.
-func (c *Context) MemcpyShared(dst, src Ptr, n int64) error {
-	buf := make([]byte, n)
-	if err := c.mgr.BulkRead(src, buf); err != nil {
-		return err
-	}
-	return c.mgr.BulkWrite(dst, buf)
-}
-
-// Memset fills shared memory, using the accelerator's memset engine for
-// whole blocks.
-func (c *Context) Memset(p Ptr, b byte, n int64) error {
-	return c.mgr.BulkSet(p, b, n)
-}
-
-// HostWrite writes src to shared memory through the normal faulting CPU
-// path (a plain assignment in application code).
-func (c *Context) HostWrite(p Ptr, src []byte) error { return c.mgr.HostWrite(p, src) }
-
-// HostRead reads shared memory through the normal faulting CPU path.
-func (c *Context) HostRead(p Ptr, dst []byte) error { return c.mgr.HostRead(p, dst) }
 
 // String describes the context.
 func (c *Context) String() string {

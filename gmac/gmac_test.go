@@ -69,7 +69,7 @@ func TestTable1APIRoundTrip(t *testing.T) {
 			if err := yv.Fill(1); err != nil {
 				t.Fatal(err)
 			}
-			if err := ctx.Call("saxpy", uint64(x), uint64(y), n, uint64(math.Float32bits(2))); err != nil {
+			if err := ctx.Call("saxpy", []uint64{uint64(x), uint64(y), n, uint64(math.Float32bits(2))}, Async()); err != nil {
 				t.Fatal(err)
 			}
 			if err := ctx.Sync(); err != nil {

@@ -13,22 +13,25 @@ import (
 // ongoing system call is never aborted by a mid-transfer page fault. The
 // programmer sees the illusion of peer DMA — shared pointers go straight
 // into I/O calls — while the implementation stages each chunk through
-// system memory, exactly like the paper's GMAC.
+// system memory, exactly like the paper's GMAC. On machines with hardware
+// peer DMA the staging copy is skipped and chunks land directly in
+// accelerator memory.
 
-// ioChunk returns the chunk size used for interposed I/O: the coherence
-// block size under rolling-update, or a fixed staging size otherwise.
-func (c *Context) ioChunk() int64 {
+// ioChunk returns the chunk size used for interposed I/O.
+func (s *sessionCore) ioChunk() int64 {
 	const staging = 256 << 10
 	return staging
 }
 
 // ReadFile reads up to n bytes from f into shared memory at p, returning
-// the number of bytes read. It is the interposed read(2).
-func (c *Context) ReadFile(f *osabs.File, p Ptr, n int64) (int64, error) {
-	if !c.IsShared(p) {
+// the number of bytes read. It is the interposed read(2); in a
+// multi-device session the data lands on the device hosting p.
+func (s *sessionCore) ReadFile(f *osabs.File, p Ptr, n int64) (int64, error) {
+	mgr := s.owner(p)
+	if mgr == nil || !mgr.IsShared(p) {
 		return 0, fmt.Errorf("gmac: ReadFile target %#x is not shared (use f.Read directly)", uint64(p))
 	}
-	chunk := c.ioChunk()
+	chunk := s.ioChunk()
 	buf := make([]byte, chunk)
 	var total int64
 	for total < n {
@@ -39,12 +42,12 @@ func (c *Context) ReadFile(f *osabs.File, p Ptr, n int64) (int64, error) {
 		got, err := f.Read(buf[:want])
 		if got > 0 {
 			var werr error
-			if c.m.Config().PeerDMA {
+			if s.m.Config().PeerDMA {
 				// Hardware peer DMA: the chunk lands in accelerator
 				// memory without staging through the host copy.
-				werr = c.mgr.PeerWrite(p+Ptr(total), buf[:got])
+				werr = mgr.PeerWrite(p+Ptr(total), buf[:got])
 			} else {
-				werr = c.mgr.HostWrite(p+Ptr(total), buf[:got])
+				werr = mgr.HostWrite(p+Ptr(total), buf[:got])
 			}
 			if werr != nil {
 				return total, werr
@@ -65,11 +68,12 @@ func (c *Context) ReadFile(f *osabs.File, p Ptr, n int64) (int64, error) {
 // number of bytes written. It is the interposed write(2). Blocks whose
 // current version lives on the accelerator are fetched on demand by the
 // fault handler, so writing kernel output to disk needs no explicit copy.
-func (c *Context) WriteFile(f *osabs.File, p Ptr, n int64) (int64, error) {
-	if !c.IsShared(p) {
+func (s *sessionCore) WriteFile(f *osabs.File, p Ptr, n int64) (int64, error) {
+	mgr := s.owner(p)
+	if mgr == nil || !mgr.IsShared(p) {
 		return 0, fmt.Errorf("gmac: WriteFile source %#x is not shared (use f.Write directly)", uint64(p))
 	}
-	chunk := c.ioChunk()
+	chunk := s.ioChunk()
 	buf := make([]byte, chunk)
 	var total int64
 	for total < n {
@@ -78,10 +82,10 @@ func (c *Context) WriteFile(f *osabs.File, p Ptr, n int64) (int64, error) {
 			want = rem
 		}
 		var rerr error
-		if c.m.Config().PeerDMA {
-			rerr = c.mgr.PeerRead(p+Ptr(total), buf[:want])
+		if s.m.Config().PeerDMA {
+			rerr = mgr.PeerRead(p+Ptr(total), buf[:want])
 		} else {
-			rerr = c.mgr.HostRead(p+Ptr(total), buf[:want])
+			rerr = mgr.HostRead(p+Ptr(total), buf[:want])
 		}
 		if rerr != nil {
 			return total, rerr

@@ -3,6 +3,8 @@ package gmac
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/hostmmu"
@@ -18,49 +20,37 @@ import (
 //
 // Identity mapping can genuinely fail in this configuration (two devices
 // report overlapping physical windows), so Alloc transparently falls back
-// to SafeAlloc; pass Safe(p) to kernels when Identity(p) reports false, or
-// build the machine with VirtualMemory devices to make every allocation
-// identity-mapped.
+// to a safe mapping; pass Safe(p) to kernels when Identity(p) reports
+// false, or build the machine with VirtualMemory devices to make every
+// allocation identity-mapped.
+//
+// MultiContext implements Session and is safe for concurrent use: host
+// goroutines working on objects hosted by different devices allocate,
+// fault and launch kernels fully in parallel, and Sync fans out to all
+// devices concurrently so their DMA drains overlap.
 type MultiContext struct {
-	m    *machine.Machine
+	sessionCore
 	mgrs []*core.Manager
-	next int // round-robin placement cursor
+	next atomic.Int64 // round-robin placement cursor
 }
 
 // NewMultiContext builds one manager per device and installs a fault
 // dispatcher routing each page fault to the manager owning the address.
 func NewMultiContext(m *machine.Machine, cfg Config) (*MultiContext, error) {
-	if cfg.BlockSize == 0 {
-		cfg.BlockSize = DefaultBlockSize
-	}
-	if cfg.RollingDelta == 0 {
-		cfg.RollingDelta = 2
-	}
-	mc := &MultiContext{m: m}
+	mc := &MultiContext{}
 	for _, dev := range m.Devices {
-		mgr, err := core.NewManager(core.Config{
-			Protocol:     cfg.Protocol,
-			BlockSize:    cfg.BlockSize,
-			RollingDelta: cfg.RollingDelta,
-			FixedRolling: cfg.FixedRolling,
-			MallocCost:   2 * sim.Microsecond,
-			FreeCost:     1 * sim.Microsecond,
-			LaunchCost:   2 * sim.Microsecond,
-			TreeNodeCost: 30 * sim.Nanosecond,
-			MprotectCost: 300 * sim.Nanosecond,
-		}, m.Clock, m.Breakdown, m.MMU, m.VA, dev)
+		mgr, err := core.NewManager(managerConfig(cfg), m.Clock, m.Breakdown, m.MMU, m.VA, dev)
 		if err != nil {
 			return nil, err
 		}
 		mc.mgrs = append(mc.mgrs, mgr)
 	}
+	mc.sessionCore = sessionCore{m: m, owner: mc.ownerOf}
 	// Each NewManager installed itself as the MMU handler; replace with a
 	// dispatcher that routes by owning object.
 	m.MMU.SetHandler(func(f hostmmu.Fault) error {
-		for _, mgr := range mc.mgrs {
-			if mgr.IsShared(f.Addr) {
-				return mgr.HandleFault(f)
-			}
+		if mgr := mc.ownerOf(f.Addr); mgr != nil {
+			return mgr.HandleFault(f)
 		}
 		return fmt.Errorf("gmac: fault at %#x outside every shared object", uint64(f.Addr))
 	})
@@ -73,39 +63,42 @@ func (mc *MultiContext) Devices() int { return len(mc.mgrs) }
 // Manager exposes one device's shared-memory manager.
 func (mc *MultiContext) Manager(dev int) *core.Manager { return mc.mgrs[dev] }
 
-// RegisterKernelAll registers the kernel on every device, so calls can be
-// routed by data placement.
-func (mc *MultiContext) RegisterKernelAll(mk func() *Kernel) {
+// Register makes a kernel launchable through Call on every device, so
+// calls can be routed by data placement. The factory runs once per device.
+func (mc *MultiContext) Register(mk func() *Kernel) {
 	for _, mgr := range mc.mgrs {
 		mgr.Device().Register(mk())
 	}
 }
 
-// AllocOn allocates a shared object hosted by the given device, falling
-// back to SafeAlloc on an identity-mapping conflict.
-func (mc *MultiContext) AllocOn(dev int, size int64) (Ptr, error) {
-	if dev < 0 || dev >= len(mc.mgrs) {
+// Alloc implements adsmAlloc across the device set: OnDevice pins
+// placement, otherwise objects are placed round-robin. An
+// identity-mapping conflict falls back to a safe mapping transparently.
+func (mc *MultiContext) Alloc(size int64, opts ...AllocOption) (Ptr, error) {
+	o := resolveAllocOptions(opts)
+	dev := o.device
+	if dev < 0 {
+		dev = int((mc.next.Add(1) - 1) % int64(len(mc.mgrs)))
+	}
+	if dev >= len(mc.mgrs) {
 		return 0, fmt.Errorf("gmac: no device %d", dev)
 	}
-	p, err := mc.mgrs[dev].Alloc(size)
+	mgr := mc.mgrs[dev]
+	if o.safe {
+		return mgr.SafeAllocFor(size, o.kernels...)
+	}
+	p, err := mgr.AllocFor(size, o.kernels...)
 	if err == nil {
 		return p, nil
 	}
 	if errors.Is(err, core.ErrAddrConflict) {
-		return mc.mgrs[dev].SafeAlloc(size)
+		return mgr.SafeAllocFor(size, o.kernels...)
 	}
 	return 0, err
 }
 
-// Alloc places the object round-robin across devices.
-func (mc *MultiContext) Alloc(size int64) (Ptr, error) {
-	dev := mc.next % len(mc.mgrs)
-	mc.next++
-	return mc.AllocOn(dev, size)
-}
-
-// owner returns the manager hosting p, or nil.
-func (mc *MultiContext) owner(p Ptr) *core.Manager {
+// ownerOf returns the manager hosting p, or nil.
+func (mc *MultiContext) ownerOf(p Ptr) *core.Manager {
 	for _, mgr := range mc.mgrs {
 		if mgr.IsShared(p) {
 			return mgr
@@ -126,7 +119,7 @@ func (mc *MultiContext) Owner(p Ptr) int {
 
 // Identity reports whether p is valid on its accelerator as-is.
 func (mc *MultiContext) Identity(p Ptr) bool {
-	mgr := mc.owner(p)
+	mgr := mc.ownerOf(p)
 	if mgr == nil {
 		return false
 	}
@@ -134,50 +127,15 @@ func (mc *MultiContext) Identity(p Ptr) bool {
 	return err == nil && dv == p
 }
 
-// Safe translates a host pointer to its accelerator address.
-func (mc *MultiContext) Safe(p Ptr) (Ptr, error) {
-	mgr := mc.owner(p)
-	if mgr == nil {
-		return 0, fmt.Errorf("gmac: %#x is not shared", uint64(p))
-	}
-	return mgr.Translate(p)
-}
-
-// Free releases a shared object wherever it lives.
-func (mc *MultiContext) Free(p Ptr) error {
-	mgr := mc.owner(p)
-	if mgr == nil {
-		return fmt.Errorf("gmac: free of unshared %#x", uint64(p))
-	}
-	return mgr.Free(p)
-}
-
-// HostWrite writes shared memory through the owning device's manager.
-func (mc *MultiContext) HostWrite(p Ptr, src []byte) error {
-	mgr := mc.owner(p)
-	if mgr == nil {
-		return fmt.Errorf("gmac: write to unshared %#x", uint64(p))
-	}
-	return mgr.HostWrite(p, src)
-}
-
-// HostRead reads shared memory through the owning device's manager.
-func (mc *MultiContext) HostRead(p Ptr, dst []byte) error {
-	mgr := mc.owner(p)
-	if mgr == nil {
-		return fmt.Errorf("gmac: read from unshared %#x", uint64(p))
-	}
-	return mgr.HostRead(p, dst)
-}
-
 // Call routes the kernel to the device hosting its first shared pointer
-// argument (data-affinity placement) and performs that device's release
-// actions. All shared pointer arguments must live on the same device: ADSM
-// kernels can only reach their own accelerator's memory.
-func (mc *MultiContext) Call(kernel string, args ...uint64) error {
+// argument (data-affinity placement), performs that device's release
+// actions and — unless Async is given — waits for it and re-acquires that
+// device's objects. All shared pointer arguments must live on the same
+// device: ADSM kernels can only reach their own accelerator's memory.
+func (mc *MultiContext) Call(kernel string, args []uint64, opts ...CallOption) error {
 	var target *core.Manager
 	for _, a := range args {
-		mgr := mc.owner(Ptr(a))
+		mgr := mc.ownerOf(Ptr(a))
 		if mgr == nil {
 			continue // scalar argument
 		}
@@ -194,7 +152,7 @@ func (mc *MultiContext) Call(kernel string, args ...uint64) error {
 	// Translate safe pointers for the device.
 	devArgs := make([]uint64, len(args))
 	for i, a := range args {
-		if mgr := mc.owner(Ptr(a)); mgr == target {
+		if mgr := mc.ownerOf(Ptr(a)); mgr == target {
 			dv, err := mgr.Translate(Ptr(a))
 			if err != nil {
 				return err
@@ -204,56 +162,76 @@ func (mc *MultiContext) Call(kernel string, args ...uint64) error {
 		}
 		devArgs[i] = a
 	}
-	return target.Invoke(kernel, devArgs...)
-}
-
-// Sync waits for every device and runs each manager's acquire actions.
-func (mc *MultiContext) Sync() error {
-	for _, mgr := range mc.mgrs {
-		if err := mgr.Sync(); err != nil {
-			return err
-		}
+	o := resolveCallOptions(opts)
+	var err error
+	if o.annotate {
+		err = target.InvokeAnnotated(kernel, o.writes, devArgs...)
+	} else {
+		err = target.Invoke(kernel, devArgs...)
 	}
-	return nil
-}
-
-// CallSync is Call followed by a full Sync.
-func (mc *MultiContext) CallSync(kernel string, args ...uint64) error {
-	if err := mc.Call(kernel, args...); err != nil {
+	if err != nil || o.async {
 		return err
 	}
-	return mc.Sync()
+	return target.Sync()
+}
+
+// Sync waits for every device and runs each manager's acquire actions. The
+// fan-out is concurrent, and each goroutine runs in its own virtual-time
+// lane seeded at the call time, so one device's DMA drain overlaps
+// another's kernel tail in virtual time instead of serialising behind it.
+// The caller's timeline then advances to the slowest device.
+func (mc *MultiContext) Sync() error {
+	errs := make([]error, len(mc.mgrs))
+	ends := make([]sim.Time, len(mc.mgrs))
+	base := mc.m.Clock.Now()
+	var wg sync.WaitGroup
+	for i, mgr := range mc.mgrs {
+		wg.Add(1)
+		go func(i int, mgr *core.Manager) {
+			defer wg.Done()
+			mc.m.Clock.EnterLaneAt(base)
+			errs[i] = mgr.Sync()
+			ends[i] = mc.m.Clock.ExitLane()
+		}(i, mgr)
+	}
+	wg.Wait()
+	for _, t := range ends {
+		mc.m.Clock.AdvanceTo(t)
+	}
+	return errors.Join(errs...)
 }
 
 // Stats aggregates all managers' counters.
 func (mc *MultiContext) Stats() Stats {
 	var total Stats
-	zero := Stats{}
 	for _, mgr := range mc.mgrs {
-		s := mgr.Stats()
-		total = addStats(total, s.Sub(zero))
+		total = total.Add(mgr.Stats())
 	}
 	return total
 }
 
-func addStats(a, b Stats) Stats {
-	a.BytesH2D += b.BytesH2D
-	a.BytesD2H += b.BytesD2H
-	a.TransfersH2D += b.TransfersH2D
-	a.TransfersD2H += b.TransfersD2H
-	a.Faults += b.Faults
-	a.ReadFaults += b.ReadFaults
-	a.WriteFaults += b.WriteFaults
-	a.Evictions += b.Evictions
-	a.H2DWait += b.H2DWait
-	a.D2HWait += b.D2HWait
-	a.H2DDrain += b.H2DDrain
-	a.SearchTime += b.SearchTime
-	a.PeerBytesIn += b.PeerBytesIn
-	a.PeerBytesOut += b.PeerBytesOut
-	a.Allocs += b.Allocs
-	a.Frees += b.Frees
-	a.Invokes += b.Invokes
-	a.Syncs += b.Syncs
-	return a
+// RegisterKernelAll registers the kernel on every device.
+//
+// Deprecated: use Register.
+func (mc *MultiContext) RegisterKernelAll(mk func() *Kernel) { mc.Register(mk) }
+
+// AllocOn allocates a shared object hosted by the given device.
+//
+// Deprecated: use Alloc with the OnDevice option.
+func (mc *MultiContext) AllocOn(dev int, size int64) (Ptr, error) {
+	if dev < 0 {
+		return 0, fmt.Errorf("gmac: no device %d", dev)
+	}
+	return mc.Alloc(size, OnDevice(dev))
+}
+
+// CallSync launches the kernel and then waits for every device.
+//
+// Deprecated: Call is synchronous by default (on the target device); use
+// Call, or Call with Async followed by Sync for the full-machine barrier.
+func (mc *MultiContext) CallSync(kernel string, args ...uint64) error {
+	if err := mc.Call(kernel, args, Async()); err != nil {
+		return err
+	}
+	return mc.Sync()
 }

@@ -118,10 +118,10 @@ func TestMultiContextCrossDeviceCallRejected(t *testing.T) {
 	mc := newMulti(t, true)
 	a, _ := mc.AllocOn(0, 4096)
 	b, _ := mc.AllocOn(1, 4096)
-	if err := mc.Call("scale", uint64(a), uint64(b), 0); err == nil {
+	if err := mc.Call("scale", []uint64{uint64(a), uint64(b), 0}); err == nil {
 		t.Fatal("cross-device kernel call accepted")
 	}
-	if err := mc.Call("scale", 7, 8); err == nil {
+	if err := mc.Call("scale", []uint64{7, 8}); err == nil {
 		t.Fatal("call with no shared argument accepted")
 	}
 }

@@ -15,28 +15,27 @@ import (
 //
 // Element accessors (At/Set) fault per touched block, like scalar code;
 // bulk accessors (CopyIn/CopyOut/Fill) also use the faulting path — use the
-// Context's Memcpy*/Memset interposition to take the accelerator-copy
+// session's Memcpy*/Memset interposition to take the accelerator-copy
 // shortcut instead.
+//
+// Views work over any Session: a view built from a MultiContext routes its
+// accesses to the device hosting the object.
 type Float32View struct {
-	ctx  *Context
+	s    *sessionCore
 	addr Ptr
 	n    int64
 }
 
 // Float32s returns a view of n float32 elements starting at p. The range
 // must lie inside one shared object.
-func (c *Context) Float32s(p Ptr, n int64) (Float32View, error) {
+func (s *sessionCore) Float32s(p Ptr, n int64) (Float32View, error) {
 	if n < 0 {
 		return Float32View{}, fmt.Errorf("gmac: negative view length %d", n)
 	}
-	obj := c.mgr.ObjectAt(p)
-	if obj == nil {
-		return Float32View{}, fmt.Errorf("gmac: %#x is not shared memory", uint64(p))
+	if err := s.viewBounds(p, n*4); err != nil {
+		return Float32View{}, err
 	}
-	if p+Ptr(n*4) > obj.Addr()+Ptr(obj.Size()) {
-		return Float32View{}, fmt.Errorf("gmac: view of %d float32s at %#x exceeds object", n, uint64(p))
-	}
-	return Float32View{ctx: c, addr: p, n: n}, nil
+	return Float32View{s: s, addr: p, n: n}, nil
 }
 
 // Len returns the number of elements in the view.
@@ -54,7 +53,7 @@ func (v Float32View) elemAddr(i int64) Ptr {
 
 // At returns element i, faulting the containing block in if necessary.
 func (v Float32View) At(i int64) float32 {
-	b, err := v.ctx.mgr.HostBytes(v.elemAddr(i), 4, hostmmu.AccessRead)
+	b, err := v.s.hostBytes(v.elemAddr(i), 4, hostmmu.AccessRead)
 	if err != nil {
 		panic(fmt.Sprintf("gmac: read of shared element failed: %v", err))
 	}
@@ -62,10 +61,10 @@ func (v Float32View) At(i int64) float32 {
 }
 
 // Set stores x into element i, faulting as necessary. A four-byte aligned
-// store never crosses a block boundary, so the single-block HostBytes write
+// store never crosses a block boundary, so the single-block hostBytes write
 // path is safe here.
 func (v Float32View) Set(i int64, x float32) {
-	b, err := v.ctx.mgr.HostBytes(v.elemAddr(i), 4, hostmmu.AccessWrite)
+	b, err := v.s.hostBytes(v.elemAddr(i), 4, hostmmu.AccessWrite)
 	if err != nil {
 		panic(fmt.Sprintf("gmac: write of shared element failed: %v", err))
 	}
@@ -82,10 +81,10 @@ func (v Float32View) CopyIn(off int64, src []float32) error {
 	for i, x := range src {
 		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(x))
 	}
-	if err := v.ctx.mgr.HostWrite(v.addr+Ptr(off*4), buf); err != nil {
+	if err := v.s.HostWrite(v.addr+Ptr(off*4), buf); err != nil {
 		return err
 	}
-	v.ctx.m.CPUTouch(int64(len(src)) * 4)
+	v.s.m.CPUTouch(int64(len(src)) * 4)
 	return nil
 }
 
@@ -94,14 +93,14 @@ func (v Float32View) CopyOut(off int64, dst []float32) error {
 	if off < 0 || off+int64(len(dst)) > v.n {
 		return fmt.Errorf("gmac: CopyOut [%d,+%d) out of range [0,%d)", off, len(dst), v.n)
 	}
-	b, err := v.ctx.mgr.HostBytes(v.addr+Ptr(off*4), int64(len(dst))*4, hostmmu.AccessRead)
+	b, err := v.s.hostBytes(v.addr+Ptr(off*4), int64(len(dst))*4, hostmmu.AccessRead)
 	if err != nil {
 		return err
 	}
 	for i := range dst {
 		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
 	}
-	v.ctx.m.CPUTouch(int64(len(dst)) * 4)
+	v.s.m.CPUTouch(int64(len(dst)) * 4)
 	return nil
 }
 
@@ -112,17 +111,17 @@ func (v Float32View) Fill(x float32) error {
 	for i := int64(0); i < v.n; i++ {
 		binary.LittleEndian.PutUint32(buf[i*4:], bits)
 	}
-	if err := v.ctx.mgr.HostWrite(v.addr, buf); err != nil {
+	if err := v.s.HostWrite(v.addr, buf); err != nil {
 		return err
 	}
-	v.ctx.m.CPUTouch(v.n * 4)
+	v.s.m.CPUTouch(v.n * 4)
 	return nil
 }
 
 // Sum reduces the view on the CPU (reads fault blocks in as needed) and
 // charges the scan to the CPU breakdown slice.
 func (v Float32View) Sum() (float64, error) {
-	b, err := v.ctx.mgr.HostBytes(v.addr, v.n*4, hostmmu.AccessRead)
+	b, err := v.s.hostBytes(v.addr, v.n*4, hostmmu.AccessRead)
 	if err != nil {
 		return 0, err
 	}
@@ -130,30 +129,26 @@ func (v Float32View) Sum() (float64, error) {
 	for i := int64(0); i < v.n; i++ {
 		s += float64(math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:])))
 	}
-	v.ctx.m.CPUTouch(v.n * 4)
+	v.s.m.CPUTouch(v.n * 4)
 	return s, nil
 }
 
 // Uint32View is a typed CPU-side window onto a shared uint32 array.
 type Uint32View struct {
-	ctx  *Context
+	s    *sessionCore
 	addr Ptr
 	n    int64
 }
 
 // Uint32s returns a view of n uint32 elements starting at p.
-func (c *Context) Uint32s(p Ptr, n int64) (Uint32View, error) {
+func (s *sessionCore) Uint32s(p Ptr, n int64) (Uint32View, error) {
 	if n < 0 {
 		return Uint32View{}, fmt.Errorf("gmac: negative view length %d", n)
 	}
-	obj := c.mgr.ObjectAt(p)
-	if obj == nil {
-		return Uint32View{}, fmt.Errorf("gmac: %#x is not shared memory", uint64(p))
+	if err := s.viewBounds(p, n*4); err != nil {
+		return Uint32View{}, err
 	}
-	if p+Ptr(n*4) > obj.Addr()+Ptr(obj.Size()) {
-		return Uint32View{}, fmt.Errorf("gmac: view of %d uint32s at %#x exceeds object", n, uint64(p))
-	}
-	return Uint32View{ctx: c, addr: p, n: n}, nil
+	return Uint32View{s: s, addr: p, n: n}, nil
 }
 
 // Len returns the number of elements in the view.
@@ -167,7 +162,7 @@ func (v Uint32View) At(i int64) uint32 {
 	if i < 0 || i >= v.n {
 		panic(fmt.Sprintf("gmac: index %d out of range [0,%d)", i, v.n))
 	}
-	b, err := v.ctx.mgr.HostBytes(v.addr+Ptr(i*4), 4, hostmmu.AccessRead)
+	b, err := v.s.hostBytes(v.addr+Ptr(i*4), 4, hostmmu.AccessRead)
 	if err != nil {
 		panic(fmt.Sprintf("gmac: read of shared element failed: %v", err))
 	}
@@ -179,7 +174,7 @@ func (v Uint32View) Set(i int64, x uint32) {
 	if i < 0 || i >= v.n {
 		panic(fmt.Sprintf("gmac: index %d out of range [0,%d)", i, v.n))
 	}
-	b, err := v.ctx.mgr.HostBytes(v.addr+Ptr(i*4), 4, hostmmu.AccessWrite)
+	b, err := v.s.hostBytes(v.addr+Ptr(i*4), 4, hostmmu.AccessWrite)
 	if err != nil {
 		panic(fmt.Sprintf("gmac: write of shared element failed: %v", err))
 	}

@@ -12,6 +12,7 @@ package accel
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/interconnect"
 	"repro/internal/mem"
@@ -45,7 +46,12 @@ type Config struct {
 	VirtualMemory bool
 }
 
-// Device is one simulated accelerator.
+// Device is one simulated accelerator. Its host-facing entry points are
+// safe for concurrent use — several host goroutines may issue DMAs and
+// launches against one device, just as several CPU threads share one GPU
+// through the driver. Kernel bodies execute serially per device (one
+// compute engine), while DMAs on distinct devices proceed fully in
+// parallel.
 type Device struct {
 	cfg    Config
 	clock  *sim.Clock
@@ -54,10 +60,13 @@ type Device struct {
 	dmaH2D *sim.Resource
 	dmaD2H *sim.Resource
 	engine *sim.Resource
-	kern   map[string]*Kernel
 	pt     *pageTable
-	stats  Stats
 	met    devMetrics
+	// mu guards kern, stats and pending; kernel bodies run under it so
+	// concurrent launches cannot race on device memory.
+	mu    sync.Mutex
+	kern  map[string]*Kernel
+	stats Stats
 	// pending tracks the last enqueued operation of the default stream so
 	// kernels launch after in-flight DMAs and vice versa, matching CUDA's
 	// default-stream ordering.
@@ -127,10 +136,25 @@ func (d *Device) Config() Config { return d.cfg }
 func (d *Device) Memory() *mem.Space { return d.memory }
 
 // Stats returns a copy of the activity counters.
-func (d *Device) Stats() Stats { return d.stats }
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
 
 // ResetStats zeroes the activity counters (between experiment runs).
-func (d *Device) ResetStats() { d.stats = Stats{} }
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+// notePending folds a new completion into the default-stream ordering.
+func (d *Device) notePending(done sim.Completion) {
+	d.mu.Lock()
+	d.pending = sim.MaxCompletion(d.pending, done)
+	d.mu.Unlock()
+}
 
 // Malloc allocates device memory, charging the host-side overhead.
 func (d *Device) Malloc(size int64) (mem.Addr, error) {
@@ -139,7 +163,9 @@ func (d *Device) Malloc(size int64) (mem.Addr, error) {
 	if err != nil {
 		return 0, fmt.Errorf("accel %s: %w", d.cfg.Name, err)
 	}
+	d.mu.Lock()
 	d.stats.Allocs++
+	d.mu.Unlock()
 	return addr, nil
 }
 
@@ -149,7 +175,9 @@ func (d *Device) Free(addr mem.Addr) error {
 	if err := d.alloc.Free(addr); err != nil {
 		return fmt.Errorf("accel %s: %w", d.cfg.Name, err)
 	}
+	d.mu.Lock()
 	d.stats.Frees++
+	d.mu.Unlock()
 	return nil
 }
 
@@ -164,14 +192,16 @@ func (d *Device) LiveAllocs() int { return d.alloc.Live() }
 // host. Data moves immediately (the simulation is sequential), but the
 // virtual completion time respects DMA queueing and link bandwidth.
 func (d *Device) MemcpyH2DAsync(dst mem.Addr, src []byte) sim.Completion {
-	d.memory.Write(dst, src)
 	dur := d.cfg.H2D.TransferTime(int64(len(src)))
+	d.mu.Lock()
+	d.memory.Write(dst, src)
 	done := d.dmaH2D.SubmitNow(dur)
 	d.stats.BytesH2D += int64(len(src))
 	d.stats.CopiesH2D++
+	d.pending = sim.MaxCompletion(d.pending, done)
+	d.mu.Unlock()
 	d.met.h2dNs.Observe(int64(dur))
 	d.met.h2dBytes.Observe(int64(len(src)))
-	d.pending = sim.MaxCompletion(d.pending, done)
 	return done
 }
 
@@ -184,14 +214,16 @@ func (d *Device) MemcpyH2D(dst mem.Addr, src []byte) sim.Time {
 
 // MemcpyD2HAsync copies device memory at src into dst without blocking.
 func (d *Device) MemcpyD2HAsync(dst []byte, src mem.Addr) sim.Completion {
-	d.memory.Read(src, dst)
 	dur := d.cfg.D2H.TransferTime(int64(len(dst)))
+	d.mu.Lock()
+	d.memory.Read(src, dst)
 	done := d.dmaD2H.SubmitNow(dur)
 	d.stats.BytesD2H += int64(len(dst))
 	d.stats.CopiesD2H++
+	d.pending = sim.MaxCompletion(d.pending, done)
+	d.mu.Unlock()
 	d.met.d2hNs.Observe(int64(dur))
 	d.met.d2hBytes.Observe(int64(len(dst)))
-	d.pending = sim.MaxCompletion(d.pending, done)
 	return done
 }
 
@@ -204,21 +236,40 @@ func (d *Device) MemcpyD2H(dst []byte, src mem.Addr) sim.Time {
 // MemcpyD2D copies within device memory (cudaMemcpyDeviceToDevice).
 func (d *Device) MemcpyD2D(dst, src mem.Addr, n int64) sim.Completion {
 	buf := make([]byte, n)
+	dur := d.cfg.MemLink.TransferTime(2 * n) // read + write of on-board memory
+	d.mu.Lock()
 	d.memory.Read(src, buf)
 	d.memory.Write(dst, buf)
-	dur := d.cfg.MemLink.TransferTime(2 * n) // read + write of on-board memory
 	done := d.engine.SubmitNow(dur)
 	d.pending = sim.MaxCompletion(d.pending, done)
+	d.mu.Unlock()
 	return done
 }
 
 // Memset fills device memory (cudaMemset) asynchronously.
 func (d *Device) Memset(dst mem.Addr, b byte, n int64) sim.Completion {
-	d.memory.Memset(dst, b, n)
 	dur := d.cfg.MemLink.TransferTime(n)
+	d.mu.Lock()
+	d.memory.Memset(dst, b, n)
 	done := d.engine.SubmitNow(dur)
 	d.pending = sim.MaxCompletion(d.pending, done)
+	d.mu.Unlock()
 	return done
+}
+
+// WriteBytes stores raw bytes into device memory under the device lock, so
+// peer DMA does not race with kernel bodies or in-flight copies.
+func (d *Device) WriteBytes(addr mem.Addr, src []byte) {
+	d.mu.Lock()
+	d.memory.Write(addr, src)
+	d.mu.Unlock()
+}
+
+// ReadBytes loads raw bytes from device memory under the device lock.
+func (d *Device) ReadBytes(addr mem.Addr, dst []byte) {
+	d.mu.Lock()
+	d.memory.Read(addr, dst)
+	d.mu.Unlock()
 }
 
 // Register adds a kernel to the device's registry. Registering two kernels
@@ -227,6 +278,8 @@ func (d *Device) Register(k *Kernel) {
 	if k.Name == "" || k.Run == nil {
 		panic("accel: kernel needs a name and a body")
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if _, dup := d.kern[k.Name]; dup {
 		panic(fmt.Sprintf("accel: kernel %q registered twice", k.Name))
 	}
@@ -234,10 +287,16 @@ func (d *Device) Register(k *Kernel) {
 }
 
 // Kernels returns the number of registered kernels.
-func (d *Device) Kernels() int { return len(d.kern) }
+func (d *Device) Kernels() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.kern)
+}
 
 // Lookup returns the registered kernel with the given name.
 func (d *Device) Lookup(name string) (*Kernel, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	k, ok := d.kern[name]
 	return k, ok
 }
@@ -245,13 +304,17 @@ func (d *Device) Lookup(name string) (*Kernel, bool) {
 // Launch dispatches a kernel asynchronously. The kernel body runs now (so
 // device memory is up to date for any subsequent host copies), while its
 // virtual completion accounts for queueing behind earlier work in the
-// default stream. The host is charged only the launch overhead.
+// default stream. The host is charged only the launch overhead. Concurrent
+// launches serialise on the device — one compute engine — while launches on
+// different devices run in parallel.
 func (d *Device) Launch(name string, args ...uint64) (sim.Completion, error) {
-	k, ok := d.kern[name]
+	k, ok := d.Lookup(name)
 	if !ok {
 		return sim.Completion{}, fmt.Errorf("accel %s: unknown kernel %q", d.cfg.Name, name)
 	}
 	d.clock.Advance(d.cfg.LaunchOverhead)
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	k.Run(d.memory, args)
 	dur := k.cost(d, args)
 	done := d.engine.Submit(sim.MaxCompletion(d.pending, sim.Completion{At: d.clock.Now()}).At, dur)
@@ -272,8 +335,12 @@ func (d *Device) D2HFreeAt() sim.Time { return d.dmaD2H.FreeAt() }
 // Synchronize blocks the host until all enqueued device work completes and
 // returns the stall time (cudaThreadSynchronize).
 func (d *Device) Synchronize() sim.Time {
-	return d.pending.Wait(d.clock)
+	return d.Pending().Wait(d.clock)
 }
 
 // Pending returns the completion of the last enqueued operation.
-func (d *Device) Pending() sim.Completion { return d.pending }
+func (d *Device) Pending() sim.Completion {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pending
+}

@@ -3,6 +3,7 @@ package accel
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/mem"
 )
@@ -11,7 +12,9 @@ import (
 // for robust multi-accelerator ADSM (§4.2, §7): it maps host-chosen
 // virtual addresses onto physically contiguous device allocations, so
 // adsmAlloc can always hand out one pointer valid on both processors.
+// Translations take a shared lock so concurrent DMAs proceed in parallel.
 type pageTable struct {
+	mu      sync.RWMutex
 	entries []vmEntry // sorted by va
 }
 
@@ -23,6 +26,8 @@ type vmEntry struct {
 
 // translate implements mem.Translator over the mapped ranges.
 func (pt *pageTable) translate(addr mem.Addr, n int64) (mem.Addr, bool) {
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
 	i := sort.Search(len(pt.entries), func(i int) bool { return pt.entries[i].va > addr })
 	if i == 0 {
 		return 0, false
@@ -35,6 +40,8 @@ func (pt *pageTable) translate(addr mem.Addr, n int64) (mem.Addr, bool) {
 }
 
 func (pt *pageTable) insert(va, phys mem.Addr, size int64) error {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
 	i := sort.Search(len(pt.entries), func(i int) bool { return pt.entries[i].va > va })
 	if i > 0 {
 		prev := pt.entries[i-1]
@@ -52,6 +59,8 @@ func (pt *pageTable) insert(va, phys mem.Addr, size int64) error {
 }
 
 func (pt *pageTable) remove(va mem.Addr) (mem.Addr, bool) {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
 	for i, e := range pt.entries {
 		if e.va == va {
 			pt.entries = append(pt.entries[:i], pt.entries[i+1:]...)
@@ -93,5 +102,7 @@ func (d *Device) VAMappings() int {
 	if d.pt == nil {
 		return 0
 	}
+	d.pt.mu.RLock()
+	defer d.pt.mu.RUnlock()
 	return len(d.pt.entries)
 }

@@ -11,6 +11,9 @@ import (
 // of taking a page fault per touched block, bulk operations on shared
 // objects consult the block states directly and use accelerator-specific
 // copies for data whose current version lives in device memory.
+//
+// Each bulk operation holds its object's lock for the whole walk, so it is
+// atomic with respect to concurrent host accesses of the same object.
 
 // BulkRead copies [addr, addr+len(dst)) of a shared object into dst,
 // taking each block from wherever its current version lives: host memory
@@ -22,6 +25,11 @@ func (m *Manager) BulkRead(addr mem.Addr, dst []byte) error {
 	o, err := m.boundsCheck(addr, int64(len(dst)))
 	if err != nil {
 		return err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.dead {
+		return errDead(addr)
 	}
 	if m.cfg.Protocol == BatchUpdate {
 		// Batch keeps the host copy authoritative between kernel calls.
@@ -37,9 +45,12 @@ func (m *Manager) BulkRead(addr mem.Addr, dst []byte) error {
 		if b.state == StateInvalid {
 			t0 := m.clock.Now()
 			m.dev.MemcpyD2H(dst[:n], o.devAddr+(addr-o.addr))
-			m.book(sim.CatCopy, m.clock.Now()-t0)
+			d := m.clock.Now() - t0
+			m.book(sim.CatCopy, d)
 			m.recordD2H(o, n)
-			m.stats.D2HWait += m.clock.Now() - t0
+			m.statsMu.Lock()
+			m.stats.D2HWait += d
+			m.statsMu.Unlock()
 		} else {
 			o.mapping.Space.Read(addr, dst[:n])
 		}
@@ -59,9 +70,15 @@ func (m *Manager) BulkWrite(addr mem.Addr, src []byte) error {
 	if err != nil {
 		return err
 	}
+	o.mu.Lock()
+	if o.dead {
+		o.mu.Unlock()
+		return errDead(addr)
+	}
 	if m.cfg.Protocol == BatchUpdate {
 		// The host copy is re-sent wholesale at the next invoke anyway.
 		o.mapping.Space.Write(addr, src)
+		o.mu.Unlock()
 		return nil
 	}
 	for len(src) > 0 {
@@ -74,24 +91,29 @@ func (m *Manager) BulkWrite(addr mem.Addr, src []byte) error {
 			// Whole block: device write + host invalidation.
 			t0 := m.clock.Now()
 			m.dev.MemcpyH2D(b.devAddr(), src[:n])
-			m.book(sim.CatCopy, m.clock.Now()-t0)
+			d := m.clock.Now() - t0
+			m.book(sim.CatCopy, d)
 			m.recordH2D(o, n)
-			m.stats.H2DWait += m.clock.Now() - t0
-			if b.state == StateDirty && b.queued {
-				// Leave the rolling bookkeeping consistent: the block is
-				// no longer dirty on the host.
-				m.rolling.forgetBlock(b)
-			}
+			m.statsMu.Lock()
+			m.stats.H2DWait += d
+			m.statsMu.Unlock()
+			// Leave the rolling bookkeeping consistent: the block is no
+			// longer dirty on the host.
+			m.rolling.forgetBlock(b)
 			b.state = StateInvalid
 			m.setProt(b, hostmmu.ProtNone)
 		} else {
-			if err := m.HostWrite(addr, src[:n]); err != nil {
+			if err := m.hostWriteLocked(o, addr, src[:n]); err != nil {
+				o.mu.Unlock()
+				m.drainEvictions()
 				return err
 			}
 		}
 		addr += mem.Addr(n)
 		src = src[n:]
 	}
+	o.mu.Unlock()
+	m.drainEvictions()
 	return nil
 }
 
@@ -102,8 +124,14 @@ func (m *Manager) BulkSet(addr mem.Addr, val byte, n int64) error {
 	if err != nil {
 		return err
 	}
+	o.mu.Lock()
+	if o.dead {
+		o.mu.Unlock()
+		return errDead(addr)
+	}
 	if m.cfg.Protocol == BatchUpdate {
 		o.mapping.Space.Memset(addr, val, n)
+		o.mu.Unlock()
 		return nil
 	}
 	for n > 0 {
@@ -114,9 +142,7 @@ func (m *Manager) BulkSet(addr mem.Addr, val byte, n int64) error {
 		}
 		if addr == b.addr && chunk == b.size {
 			m.dev.Memset(b.devAddr(), val, chunk)
-			if b.state == StateDirty && b.queued {
-				m.rolling.forgetBlock(b)
-			}
+			m.rolling.forgetBlock(b)
 			b.state = StateInvalid
 			m.setProt(b, hostmmu.ProtNone)
 		} else {
@@ -124,12 +150,16 @@ func (m *Manager) BulkSet(addr mem.Addr, val byte, n int64) error {
 			for i := range fill {
 				fill[i] = val
 			}
-			if err := m.HostWrite(addr, fill); err != nil {
+			if err := m.hostWriteLocked(o, addr, fill); err != nil {
+				o.mu.Unlock()
+				m.drainEvictions()
 				return err
 			}
 		}
 		addr += mem.Addr(chunk)
 		n -= chunk
 	}
+	o.mu.Unlock()
+	m.drainEvictions()
 	return nil
 }

@@ -8,8 +8,9 @@ import (
 )
 
 // CheckInvariants verifies the manager's internal consistency. It is meant
-// for tests (the model-based oracle calls it after every operation) and is
-// the executable statement of the Figure 6 design:
+// for tests (the model-based oracle calls it after every operation, and the
+// concurrency stress tests call it once the storm quiesces) and is the
+// executable statement of the Figure 6 design:
 //
 //  1. Block state and page protection agree: Dirty blocks are read/write,
 //     ReadOnly blocks are read-only, Invalid blocks are inaccessible
@@ -18,11 +19,21 @@ import (
 //     and the cache never exceeds its capacity.
 //  3. The block tree and the per-object block lists agree.
 //  4. Block coverage is exact: blocks tile their object with no gaps.
+//
+// Each object is checked under its own lock, so the check may run while
+// other goroutines are active — though the cache-occupancy comparison is
+// only meaningful when the manager is quiescent.
 func (m *Manager) CheckInvariants() error {
+	m.drainEvictions() // settle deferred cross-object victims first
 	dirty := 0
 	var err error
 	m.eachObject(func(o *Object) {
 		if err != nil {
+			return
+		}
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		if o.dead {
 			return
 		}
 		var off int64
@@ -32,7 +43,10 @@ func (m *Manager) CheckInvariants() error {
 				return
 			}
 			off += b.size
-			if got := m.blocks.lookup(b.addr); got != any(b) {
+			m.treeMu.RLock()
+			got := m.blocks.lookup(b.addr)
+			m.treeMu.RUnlock()
+			if got != any(b) {
 				err = fmt.Errorf("core: block tree disagrees at %#x", uint64(b.addr))
 				return
 			}
@@ -42,11 +56,11 @@ func (m *Manager) CheckInvariants() error {
 			}
 			if b.state == StateDirty {
 				dirty++
-				if m.cfg.Protocol == RollingUpdate && !b.queued {
+				if m.cfg.Protocol == RollingUpdate && !m.rolling.isQueued(b) {
 					err = fmt.Errorf("core: dirty block %#x outside the rolling cache", uint64(b.addr))
 					return
 				}
-			} else if b.queued {
+			} else if m.rolling.isQueued(b) {
 				err = fmt.Errorf("core: non-dirty block %#x still queued", uint64(b.addr))
 				return
 			}
@@ -58,7 +72,6 @@ func (m *Manager) CheckInvariants() error {
 	if err != nil {
 		return err
 	}
-	m.blocks.takeVisits() // invariant walks must not skew search-cost stats
 	if m.cfg.Protocol == RollingUpdate {
 		if m.rolling.Len() != dirty {
 			return fmt.Errorf("core: rolling cache holds %d blocks but %d are dirty", m.rolling.Len(), dirty)

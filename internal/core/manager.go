@@ -57,6 +57,11 @@ var ErrSpansObjects = errors.New("core: access crosses a shared object boundary"
 // that requires the SafeAlloc fallback.
 var ErrAddrConflict = errors.New("core: shared address range conflicts with host mapping")
 
+// errDead formats the ErrNotShared error for accesses racing with Free.
+func errDead(addr mem.Addr) error {
+	return fmt.Errorf("%w: access at %#x", ErrNotShared, uint64(addr))
+}
+
 // Config parameterises a Manager.
 type Config struct {
 	// Protocol selects the coherence protocol.
@@ -83,6 +88,27 @@ type Config struct {
 // space, the object/block registry, and drives the coherence protocol from
 // the CPU side. One Manager manages one accelerator; package sched
 // composes several.
+//
+// The manager is safe for concurrent use by many host goroutines — the
+// paper's design point of a multithreaded CPU application faulting into
+// accelerator-hosted objects. The lock discipline, from outermost in:
+//
+//   - Object.mu: taken first by every host-access path; faults on
+//     different objects are serviced fully in parallel.
+//   - callMu: serialises Invoke/Sync (one call/return window at a time per
+//     accelerator) and guards invokeKernel. Never held with an Object.mu
+//     already held.
+//   - treeMu: an RWMutex over the two interval trees and nobjects. It is
+//     a leaf for writers and is taken for reading while holding Object.mu
+//     (the fault path's O(log n) search); no code path acquires Object.mu
+//     while holding treeMu, so the order Object.mu → treeMu is acyclic.
+//   - statsMu, evictMu, rollingCache.mu, and the MMU/device/clock locks
+//     are leaves: nothing else is acquired under them.
+//
+// Cross-object rolling evictions are the one place a fault on object A
+// must touch object B: the fault path defers those victims to evictQ and
+// every host entry point drains the queue after releasing its own object
+// lock, so no two Object.mu are ever held at once.
 type Manager struct {
 	cfg   Config
 	clock *sim.Clock
@@ -92,12 +118,24 @@ type Manager struct {
 	dev   *accel.Device
 
 	protocol protocol
+	// treeMu guards objects, blocks and nobjects. Fault-path searches take
+	// it shared, so lookups on different objects proceed in parallel.
+	treeMu   sync.RWMutex
 	objects  *rbTree // Object intervals, host VA order
 	blocks   *rbTree // Block intervals: the fault handler's search tree
-	rolling  *rollingCache
-	stats    Stats
 	nobjects int
-	tracer   *trace.Log
+	rolling  *rollingCache
+	// statsMu guards stats (the aggregate counters; per-object counters
+	// are atomic).
+	statsMu sync.Mutex
+	stats   Stats
+	// evictMu guards evictQ, the deferred cross-object eviction victims.
+	evictMu sync.Mutex
+	evictQ  []*Block
+	// callMu serialises kernel invocation and synchronisation and guards
+	// invokeKernel.
+	callMu sync.Mutex
+	tracer *trace.Log
 	// spans is the optional span tracer; nil disables span recording.
 	spans *trace.Tracer
 	// mets are the cached metric-registry handles for the hot paths.
@@ -111,7 +149,7 @@ type Manager struct {
 	intro   map[mem.Addr]*Object
 	retired []ObjectSnapshot
 	// invokeKernel is the kernel currently being dispatched; protocols use
-	// it to honour §3.3 object-to-kernel bindings.
+	// it to honour §3.3 object-to-kernel bindings. Guarded by callMu.
 	invokeKernel string
 }
 
@@ -164,7 +202,11 @@ func (m *Manager) Protocol() ProtocolKind { return m.cfg.Protocol }
 func (m *Manager) Device() *accel.Device { return m.dev }
 
 // Stats returns a copy of the activity counters.
-func (m *Manager) Stats() Stats { return m.stats }
+func (m *Manager) Stats() Stats {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	return m.stats
+}
 
 // RollingCapacity returns the current rolling size (0 for other protocols).
 func (m *Manager) RollingCapacity() int { return m.rolling.Capacity() }
@@ -173,7 +215,11 @@ func (m *Manager) RollingCapacity() int { return m.rolling.Capacity() }
 func (m *Manager) RollingLen() int { return m.rolling.Len() }
 
 // Objects returns the number of live shared objects.
-func (m *Manager) Objects() int { return m.nobjects }
+func (m *Manager) Objects() int {
+	m.treeMu.RLock()
+	defer m.treeMu.RUnlock()
+	return m.nobjects
+}
 
 // SetTracer installs (or removes, with nil) an event log recording every
 // protocol action with virtual timestamps.
@@ -241,11 +287,30 @@ func (m *Manager) pageAlignedSize(size int64) int64 {
 	return (size + ps - 1) / ps * ps
 }
 
+// kernelSet builds the §3.3 kernel-binding set, nil for "all kernels".
+func kernelSet(kernels []string) map[string]bool {
+	if len(kernels) == 0 {
+		return nil
+	}
+	ks := make(map[string]bool, len(kernels))
+	for _, k := range kernels {
+		ks[k] = true
+	}
+	return ks
+}
+
 // Alloc implements adsmAlloc: it allocates accelerator memory and mirrors
 // the same address range in host memory, so a single pointer serves both
 // processors. If the range is already taken on the host it returns
 // ErrAddrConflict and the caller should use SafeAlloc.
 func (m *Manager) Alloc(size int64) (mem.Addr, error) {
+	return m.AllocFor(size)
+}
+
+// AllocFor implements the §3.3 "more elaborate scheme": the object is
+// assigned to the given kernels, so invocations of other kernels neither
+// flush nor invalidate it — the CPU keeps working on it undisturbed.
+func (m *Manager) AllocFor(size int64, kernels ...string) (mem.Addr, error) {
 	m.charge(sim.CatMalloc, m.cfg.MallocCost)
 
 	t0 := m.clock.Now()
@@ -269,14 +334,9 @@ func (m *Manager) Alloc(size int64) (mem.Addr, error) {
 		if err := m.dev.MapVA(mapping.Addr, devAddr, size); err != nil {
 			return 0, err
 		}
-		addr, err := m.finishAlloc(mapping.Addr, mapping.Addr, size, mapping, false)
-		if err != nil {
-			return 0, err
-		}
-		o := m.objectAt(addr)
-		o.vm = true
-		o.vmPhys = devAddr
-		return addr, nil
+		o := &Object{addr: mapping.Addr, devAddr: mapping.Addr, size: size,
+			mapping: mapping, vm: true, vmPhys: devAddr, kernels: kernelSet(kernels)}
+		return m.finishAlloc(o)
 	}
 
 	mapping, err := m.va.MapFixed(devAddr, m.pageAlignedSize(size))
@@ -289,31 +349,20 @@ func (m *Manager) Alloc(size int64) (mem.Addr, error) {
 		}
 		return 0, err
 	}
-	return m.finishAlloc(devAddr, devAddr, size, mapping, false)
-}
-
-// AllocFor implements the §3.3 "more elaborate scheme": the object is
-// assigned to the given kernels, so invocations of other kernels neither
-// flush nor invalidate it — the CPU keeps working on it undisturbed.
-func (m *Manager) AllocFor(size int64, kernels ...string) (mem.Addr, error) {
-	addr, err := m.Alloc(size)
-	if err != nil {
-		return 0, err
-	}
-	if len(kernels) > 0 {
-		o := m.objectAt(addr)
-		o.kernels = make(map[string]bool, len(kernels))
-		for _, k := range kernels {
-			o.kernels[k] = true
-		}
-	}
-	return addr, nil
+	o := &Object{addr: devAddr, devAddr: devAddr, size: size,
+		mapping: mapping, kernels: kernelSet(kernels)}
+	return m.finishAlloc(o)
 }
 
 // SafeAlloc implements adsmSafeAlloc: the host mapping is placed wherever
 // the OS finds room, so the returned pointer is only valid on the CPU and
 // kernel arguments must be translated with Translate.
 func (m *Manager) SafeAlloc(size int64) (mem.Addr, error) {
+	return m.SafeAllocFor(size)
+}
+
+// SafeAllocFor is SafeAlloc with a §3.3 kernel binding.
+func (m *Manager) SafeAllocFor(size int64, kernels ...string) (mem.Addr, error) {
 	m.charge(sim.CatMalloc, m.cfg.MallocCost)
 
 	t0 := m.clock.Now()
@@ -329,31 +378,43 @@ func (m *Manager) SafeAlloc(size int64) (mem.Addr, error) {
 		}
 		return 0, err
 	}
-	return m.finishAlloc(mapping.Addr, devAddr, size, mapping, true)
+	o := &Object{addr: mapping.Addr, devAddr: devAddr, size: size,
+		mapping: mapping, safe: true, kernels: kernelSet(kernels)}
+	return m.finishAlloc(o)
 }
 
-func (m *Manager) finishAlloc(addr, devAddr mem.Addr, size int64, mapping *mem.Mapping, safe bool) (mem.Addr, error) {
-	o := &Object{addr: addr, devAddr: devAddr, size: size, safe: safe, mapping: mapping}
+// finishAlloc initialises o's blocks, protection and protocol state, then
+// publishes it to the registry. Publication is last: a concurrent lookup
+// either misses the object entirely or sees it fully initialised.
+func (m *Manager) finishAlloc(o *Object) (mem.Addr, error) {
 	blockSize := int64(0) // one block per object for batch/lazy
 	if m.cfg.Protocol == RollingUpdate {
 		blockSize = m.cfg.BlockSize
 	}
 	o.makeBlocks(blockSize)
 
+	m.mmu.Map(o.addr, m.pageAlignedSize(o.size), hostmmu.ProtReadWrite)
+	m.protocol.onAlloc(o)
+	m.rolling.onAlloc()
+
+	m.treeMu.Lock()
 	if err := m.objects.insert(o.addr, o.size, o); err != nil {
+		m.treeMu.Unlock()
 		return 0, err
 	}
 	for _, b := range o.blocks {
 		if err := m.blocks.insert(b.addr, b.size, b); err != nil {
+			m.treeMu.Unlock()
 			return 0, err
 		}
 	}
-	m.mmu.Map(o.addr, m.pageAlignedSize(o.size), hostmmu.ProtReadWrite)
-	m.protocol.onAlloc(o)
-	m.rolling.onAlloc()
-	m.stats.Allocs++
-	m.mets.allocs.Inc()
 	m.nobjects++
+	m.treeMu.Unlock()
+
+	m.statsMu.Lock()
+	m.stats.Allocs++
+	m.statsMu.Unlock()
+	m.mets.allocs.Inc()
 	m.introAdd(o)
 	m.emit(trace.Event{Kind: trace.EvAlloc, Addr: o.addr, Size: o.size})
 	return o.addr, nil
@@ -366,11 +427,24 @@ func (m *Manager) Free(addr mem.Addr) error {
 	if o == nil || o.addr != addr {
 		return fmt.Errorf("%w: free of %#x", ErrNotShared, uint64(addr))
 	}
+	// Mark the object dead under its lock: accesses already holding o.mu
+	// finish first; later ones observe dead and fail with ErrNotShared.
+	o.mu.Lock()
+	if o.dead {
+		o.mu.Unlock()
+		return fmt.Errorf("%w: free of %#x", ErrNotShared, uint64(addr))
+	}
+	o.dead = true
+	o.mu.Unlock()
+
 	m.rolling.forget(o)
+	m.treeMu.Lock()
 	m.objects.remove(o.addr)
 	for _, b := range o.blocks {
 		m.blocks.remove(b.addr)
 	}
+	m.nobjects--
+	m.treeMu.Unlock()
 	m.mmu.Unmap(o.addr, m.pageAlignedSize(o.size))
 	if err := m.va.Unmap(o.addr); err != nil {
 		return err
@@ -385,9 +459,10 @@ func (m *Manager) Free(addr mem.Addr) error {
 	}
 	err := m.dev.Free(phys)
 	m.book(sim.CatCudaFree, m.clock.Now()-t0)
+	m.statsMu.Lock()
 	m.stats.Frees++
+	m.statsMu.Unlock()
 	m.mets.frees.Inc()
-	m.nobjects--
 	m.introRemove(o)
 	m.emit(trace.Event{Kind: trace.EvFree, Addr: o.addr, Size: o.size})
 	return err
@@ -395,8 +470,9 @@ func (m *Manager) Free(addr mem.Addr) error {
 
 // objectAt returns the shared object containing addr, or nil.
 func (m *Manager) objectAt(addr mem.Addr) *Object {
+	m.treeMu.RLock()
 	v := m.objects.lookup(addr)
-	m.objects.takeVisits() // object lookups are not on the fault path
+	m.treeMu.RUnlock()
 	if v == nil {
 		return nil
 	}
@@ -459,6 +535,11 @@ func (m *Manager) InvokeAnnotated(kernel string, writes []mem.Addr, args ...uint
 }
 
 func (m *Manager) invoke(kernel string, writes objectSet, args []uint64) error {
+	m.callMu.Lock()
+	defer m.callMu.Unlock()
+	// Settle deferred cross-object evictions before the release sweep so the
+	// rolling cache and block states are consistent at the call boundary.
+	m.drainEvictions()
 	sp := m.beginSpan("invoke", kernel)
 	defer m.endSpan(sp)
 	m.emit(trace.Event{Kind: trace.EvInvoke, Note: kernel})
@@ -470,13 +551,17 @@ func (m *Manager) invoke(kernel string, writes objectSet, args []uint64) error {
 	// start until the H2D queue drains, so this backlog is transfer time
 	// attributable to the host-to-device direction (Figure 11).
 	if drain := m.dev.H2DFreeAt() - m.clock.Now(); drain > 0 {
+		m.statsMu.Lock()
 		m.stats.H2DDrain += drain
+		m.statsMu.Unlock()
 	}
 	m.charge(sim.CatLaunch, m.cfg.LaunchCost)
 	t0 := m.clock.Now()
 	_, err := m.dev.Launch(kernel, args...)
 	m.book(sim.CatCudaLaunch, m.clock.Now()-t0)
+	m.statsMu.Lock()
 	m.stats.Invokes++
+	m.statsMu.Unlock()
 	m.mets.invokes.Inc()
 	return err
 }
@@ -484,11 +569,15 @@ func (m *Manager) invoke(kernel string, writes objectSet, args []uint64) error {
 // Sync implements adsmSync: it stalls until the accelerator finishes, then
 // runs the protocol's acquire actions.
 func (m *Manager) Sync() error {
+	m.callMu.Lock()
+	defer m.callMu.Unlock()
 	sp := m.beginSpan("sync", "")
 	defer m.endSpan(sp)
 	stall := m.dev.Synchronize()
 	m.book(sim.CatGPU, stall)
+	m.statsMu.Lock()
 	m.stats.Syncs++
+	m.statsMu.Unlock()
 	m.mets.syncs.Inc()
 	m.emit(trace.Event{Kind: trace.EvSync})
 	return m.protocol.onReturn()
@@ -502,6 +591,10 @@ func (m *Manager) HandleFault(f hostmmu.Fault) error { return m.handleFault(f) }
 // handleFault is installed as the MMU fault handler: it locates the block
 // (charging the tree-search cost the paper analyses in §5.2) and lets the
 // protocol resolve the Figure 6 transition.
+//
+// Faults arrive synchronously from host-access paths that already hold the
+// faulted object's mu, so block-state transitions here are serialised per
+// object while faults on different objects run in parallel.
 func (m *Manager) handleFault(f hostmmu.Fault) error {
 	sp := m.beginSpan("fault", f.Access.String())
 	t0 := m.clock.Now()
@@ -509,21 +602,28 @@ func (m *Manager) handleFault(f hostmmu.Fault) error {
 		m.mets.faultNs.Observe(int64(m.clock.Now() - t0))
 		m.endSpan(sp)
 	}()
+	m.statsMu.Lock()
 	m.stats.Faults++
-	m.mets.faults.Inc()
 	if f.Access == hostmmu.AccessWrite {
 		m.stats.WriteFaults++
-		m.mets.writeFaults.Inc()
 	} else {
 		m.stats.ReadFaults++
+	}
+	m.statsMu.Unlock()
+	m.mets.faults.Inc()
+	if f.Access == hostmmu.AccessWrite {
+		m.mets.writeFaults.Inc()
+	} else {
 		m.mets.readFaults.Inc()
 	}
-	m.blocks.takeVisits()
-	v := m.blocks.lookup(f.Addr)
-	visits := m.blocks.takeVisits()
+	m.treeMu.RLock()
+	v, visits := m.blocks.search(f.Addr)
+	m.treeMu.RUnlock()
 	m.mets.searchDepth.Observe(visits)
 	search := sim.Time(visits) * m.cfg.TreeNodeCost
+	m.statsMu.Lock()
 	m.stats.SearchTime += search
+	m.statsMu.Unlock()
 	m.charge(sim.CatSignal, search)
 	if v == nil {
 		return fmt.Errorf("%w: fault at %#x", ErrNotShared, uint64(f.Addr))
@@ -547,10 +647,18 @@ func (m *Manager) HostRead(addr mem.Addr, dst []byte) error {
 	if err != nil {
 		return err
 	}
+	o.mu.Lock()
+	if o.dead {
+		o.mu.Unlock()
+		return fmt.Errorf("%w: access at %#x", ErrNotShared, uint64(addr))
+	}
 	if err := m.mmu.CheckRead(addr, int64(len(dst))); err != nil {
+		o.mu.Unlock()
 		return err
 	}
 	o.mapping.Space.Read(addr, dst)
+	o.mu.Unlock()
+	m.drainEvictions()
 	return nil
 }
 
@@ -565,6 +673,19 @@ func (m *Manager) HostWrite(addr mem.Addr, src []byte) error {
 	if err != nil {
 		return err
 	}
+	o.mu.Lock()
+	if o.dead {
+		o.mu.Unlock()
+		return fmt.Errorf("%w: access at %#x", ErrNotShared, uint64(addr))
+	}
+	err = m.hostWriteLocked(o, addr, src)
+	o.mu.Unlock()
+	m.drainEvictions()
+	return err
+}
+
+// hostWriteLocked is HostWrite's block-by-block walk; the caller holds o.mu.
+func (m *Manager) hostWriteLocked(o *Object, addr mem.Addr, src []byte) error {
 	for len(src) > 0 {
 		n := int64(len(src))
 		if b := o.BlockAt(addr); b != nil {
@@ -587,11 +708,17 @@ func (m *Manager) HostWrite(addr mem.Addr, src []byte) error {
 // API's typed views use it for bulk element reads. For writes it is only
 // safe within a single coherence block: resolving a multi-block write walk
 // up front can evict an earlier block before the caller writes it — use
-// HostWrite for multi-block stores.
+// HostWrite for multi-block stores. The returned slice is live memory: the
+// caller must not use it concurrently with other accessors of the object.
 func (m *Manager) HostBytes(addr mem.Addr, n int64, access hostmmu.Access) ([]byte, error) {
 	o, err := m.boundsCheck(addr, n)
 	if err != nil {
 		return nil, err
+	}
+	o.mu.Lock()
+	if o.dead {
+		o.mu.Unlock()
+		return nil, fmt.Errorf("%w: access at %#x", ErrNotShared, uint64(addr))
 	}
 	if access == hostmmu.AccessWrite {
 		err = m.mmu.CheckWrite(addr, n)
@@ -599,9 +726,13 @@ func (m *Manager) HostBytes(addr mem.Addr, n int64, access hostmmu.Access) ([]by
 		err = m.mmu.CheckRead(addr, n)
 	}
 	if err != nil {
+		o.mu.Unlock()
 		return nil, err
 	}
-	return o.mapping.Space.Bytes(addr, n), nil
+	bytes := o.mapping.Space.Bytes(addr, n)
+	o.mu.Unlock()
+	m.drainEvictions()
+	return bytes, nil
 }
 
 func (m *Manager) boundsCheck(addr mem.Addr, n int64) (*Object, error) {
@@ -632,7 +763,9 @@ func (m *Manager) flushBlockEager(b *Block) {
 	wait := m.dev.H2DFreeAt() - m.clock.Now()
 	if wait > 0 {
 		m.clock.Advance(wait)
+		m.statsMu.Lock()
 		m.stats.H2DWait += wait
+		m.statsMu.Unlock()
 		m.book(sim.CatCopy, wait)
 	}
 	m.dev.MemcpyH2DAsync(b.devAddr(), b.hostBytes())
@@ -648,7 +781,9 @@ func (m *Manager) flushBlockSync(b *Block) {
 	t0 := m.clock.Now()
 	m.dev.MemcpyH2D(b.devAddr(), b.hostBytes())
 	d := m.clock.Now() - t0
+	m.statsMu.Lock()
 	m.stats.H2DWait += d
+	m.statsMu.Unlock()
 	m.book(sim.CatCopy, d)
 	m.recordH2D(b.obj, b.size)
 	m.emit(trace.Event{Kind: trace.EvFlush, Addr: b.addr, Size: b.size, Note: "sync"})
@@ -662,7 +797,9 @@ func (m *Manager) fetchBlockSync(b *Block) {
 	t0 := m.clock.Now()
 	m.dev.MemcpyD2H(b.hostBytes(), b.devAddr())
 	d := m.clock.Now() - t0
+	m.statsMu.Lock()
 	m.stats.D2HWait += d
+	m.statsMu.Unlock()
 	m.book(sim.CatCopy, d)
 	m.recordD2H(b.obj, b.size)
 	m.emit(trace.Event{Kind: trace.EvFetch, Addr: b.addr, Size: b.size})
@@ -671,8 +808,10 @@ func (m *Manager) fetchBlockSync(b *Block) {
 // recordH2D books one host-to-device transfer of n bytes against the
 // manager totals, the metrics registry, and the owning object.
 func (m *Manager) recordH2D(o *Object, n int64) {
+	m.statsMu.Lock()
 	m.stats.BytesH2D += n
 	m.stats.TransfersH2D++
+	m.statsMu.Unlock()
 	m.mets.bytesH2D.Add(n)
 	m.mets.transfersH2D.Inc()
 	if o != nil {
@@ -683,13 +822,68 @@ func (m *Manager) recordH2D(o *Object, n int64) {
 
 // recordD2H books one device-to-host transfer of n bytes.
 func (m *Manager) recordD2H(o *Object, n int64) {
+	m.statsMu.Lock()
 	m.stats.BytesD2H += n
 	m.stats.TransfersD2H++
+	m.statsMu.Unlock()
 	m.mets.bytesD2H.Add(n)
 	m.mets.transfersD2H.Inc()
 	if o != nil {
 		o.counters.bytesD2H.Add(n)
 		o.counters.transfersD2H.Add(1)
+	}
+}
+
+// --- cross-object eviction machinery ---
+
+// noteEviction books one rolling-cache eviction against victim's object and
+// the manager totals.
+func (m *Manager) noteEviction(victim *Block) {
+	m.statsMu.Lock()
+	m.stats.Evictions++
+	m.statsMu.Unlock()
+	m.mets.evictions.Inc()
+	victim.obj.counters.evictions.Add(1)
+	m.emit(trace.Event{Kind: trace.EvEvict, Addr: victim.addr, Size: victim.size})
+}
+
+// flushEvicted writes an evicted rolling-cache victim back to the
+// accelerator and downgrades it to ReadOnly. The caller must hold
+// victim.obj.mu.
+func (m *Manager) flushEvicted(victim *Block) {
+	if victim.state != StateDirty {
+		return
+	}
+	m.flushBlockEager(victim)
+	victim.state = StateReadOnly
+	m.setProt(victim, hostmmu.ProtRead)
+}
+
+// deferEviction queues a victim whose object lock the current goroutine
+// does not hold. The entry points drain the queue once their own object
+// lock is released, so no goroutine ever holds two Object.mu at once.
+func (m *Manager) deferEviction(victim *Block) {
+	m.evictMu.Lock()
+	m.evictQ = append(m.evictQ, victim)
+	m.evictMu.Unlock()
+}
+
+// drainEvictions flushes every deferred cross-object victim. Called by host
+// entry points after releasing their object lock, and by invoke before the
+// release sweep. A victim that was re-dirtied and re-queued since deferral
+// is left alone (the cache owns it again); one flushed by a racing drain is
+// skipped via the state check.
+func (m *Manager) drainEvictions() {
+	m.evictMu.Lock()
+	victims := m.evictQ
+	m.evictQ = nil
+	m.evictMu.Unlock()
+	for _, v := range victims {
+		v.obj.mu.Lock()
+		if !v.obj.dead && v.state == StateDirty && !m.rolling.isQueued(v) {
+			m.flushEvicted(v)
+		}
+		v.obj.mu.Unlock()
 	}
 }
 
@@ -703,18 +897,29 @@ func (m *Manager) setProt(b *Block, prot hostmmu.Prot) {
 	}
 }
 
-// eachObject visits live objects in address order.
+// eachObject visits live objects in address order. The registry is
+// snapshotted under treeMu so callbacks run without holding it.
 func (m *Manager) eachObject(f func(o *Object)) {
-	m.objects.each(func(_ mem.Addr, _ int64, v any) { f(v.(*Object)) })
+	m.treeMu.RLock()
+	objs := make([]*Object, 0, m.nobjects)
+	m.objects.each(func(_ mem.Addr, _ int64, v any) { objs = append(objs, v.(*Object)) })
+	m.treeMu.RUnlock()
+	for _, o := range objs {
+		f(o)
+	}
 }
 
 // eachInvokeObject visits the objects affected by the in-flight kernel
 // invocation: those bound to the kernel, or unbound (used by all kernels).
+// Each callback runs under the object's lock; objects freed since the
+// snapshot are skipped.
 func (m *Manager) eachInvokeObject(f func(o *Object)) {
 	kernel := m.invokeKernel
 	m.eachObject(func(o *Object) {
-		if o.UsedBy(kernel) {
+		o.mu.Lock()
+		if !o.dead && o.UsedBy(kernel) {
 			f(o)
 		}
+		o.mu.Unlock()
 	})
 }

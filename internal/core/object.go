@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/mem"
@@ -46,8 +47,10 @@ type Block struct {
 	index int
 	addr  mem.Addr // host virtual address of the block start
 	size  int64
+	// state is guarded by obj.mu.
 	state State
-	// queued marks blocks currently held in the rolling cache.
+	// queued marks blocks currently held in the rolling cache; it is owned
+	// by the rollingCache and only touched under its lock.
 	queued bool
 }
 
@@ -116,6 +119,18 @@ func (c *objCounters) load() ObjStats {
 // the same numeric address (the shared-address-space trick of §4.2), while
 // SafeAlloc objects carry distinct addresses and require translation.
 type Object struct {
+	// mu is the paper's per-object lock (§4): every host access to the
+	// object's bytes — and every coherence action on its blocks — runs
+	// under it, so faults on different objects are serviced in parallel
+	// while accesses to one object serialise. Block states, host byte
+	// contents, page protections of the object's range, and dead are all
+	// guarded by mu. The immutable identity fields (addr, devAddr, size,
+	// safe, vm, vmPhys, mapping, blocks slice, kernels) are set before the
+	// object is published to the registry and never change.
+	mu sync.Mutex
+	// dead marks a freed object: lookups that raced with Free find the
+	// object, take mu, and must re-check dead before touching anything.
+	dead    bool
 	addr    mem.Addr // host virtual address
 	devAddr mem.Addr // accelerator address
 	size    int64

@@ -21,6 +21,11 @@ func (m *Manager) PeerWrite(addr mem.Addr, src []byte) error {
 	if err != nil {
 		return err
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.dead {
+		return errDead(addr)
+	}
 	if m.cfg.Protocol == BatchUpdate {
 		// Batch keeps the host copy authoritative; peer DMA cannot help.
 		o.mapping.Space.Write(addr, src)
@@ -35,14 +40,14 @@ func (m *Manager) PeerWrite(addr mem.Addr, src []byte) error {
 		if b.state == StateDirty {
 			// Preserve host bytes outside the written range.
 			m.flushBlockEager(b)
-			if b.queued {
-				m.rolling.forgetBlock(b)
-			}
+			m.rolling.forgetBlock(b)
 		}
 		// The I/O device writes accelerator memory directly; the transfer
 		// rides under the (much slower) disk transfer already charged.
-		m.dev.Memory().Write(o.devAddr+(addr-o.addr), src[:n])
+		m.dev.WriteBytes(o.devAddr+(addr-o.addr), src[:n])
+		m.statsMu.Lock()
 		m.stats.PeerBytesIn += n
+		m.statsMu.Unlock()
 		if b.state != StateInvalid {
 			b.state = StateInvalid
 			m.setProt(b, hostmmu.ProtNone)
@@ -63,6 +68,11 @@ func (m *Manager) PeerRead(addr mem.Addr, dst []byte) error {
 	if err != nil {
 		return err
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.dead {
+		return errDead(addr)
+	}
 	if m.cfg.Protocol == BatchUpdate {
 		o.mapping.Space.Read(addr, dst)
 		return nil
@@ -76,8 +86,10 @@ func (m *Manager) PeerRead(addr mem.Addr, dst []byte) error {
 		if b.state == StateDirty {
 			o.mapping.Space.Read(addr, dst[:n])
 		} else {
-			m.dev.Memory().Read(o.devAddr+(addr-o.addr), dst[:n])
+			m.dev.ReadBytes(o.devAddr+(addr-o.addr), dst[:n])
+			m.statsMu.Lock()
 			m.stats.PeerBytesOut += n
+			m.statsMu.Unlock()
 		}
 		addr += mem.Addr(n)
 		dst = dst[n:]

@@ -157,13 +157,15 @@ func (p *rollingProtocol) onFault(b *Block, access hostmmu.Access) error {
 	}
 	if b.state == StateDirty {
 		if victim := p.m.rolling.push(b); victim != nil {
-			p.m.flushBlockEager(victim)
-			victim.state = StateReadOnly
-			p.m.setProt(victim, hostmmu.ProtRead)
-			p.m.stats.Evictions++
-			p.m.mets.evictions.Inc()
-			victim.obj.counters.evictions.Add(1)
-			p.m.emit(trace.Event{Kind: trace.EvEvict, Addr: victim.addr, Size: victim.size})
+			p.m.noteEviction(victim)
+			if victim.obj == b.obj {
+				// Same object: this fault already holds its lock.
+				p.m.flushEvicted(victim)
+			} else {
+				// Flushing now would need a second Object.mu; defer to the
+				// entry point, which drains after releasing its own lock.
+				p.m.deferEviction(victim)
+			}
 		}
 		occ := int64(p.m.rolling.Len())
 		p.m.mets.rollingOcc.Set(occ)
@@ -180,17 +182,20 @@ func (p *rollingProtocol) onInvoke(writes objectSet) error {
 	// simple — but they are not invalidated below.
 	defer p.m.mets.rollingOcc.Set(0)
 	for _, b := range p.m.rolling.drain() {
-		if b.state == StateDirty {
+		o := b.obj
+		o.mu.Lock()
+		if !o.dead && b.state == StateDirty {
 			p.m.flushBlockEager(b)
 			b.state = StateReadOnly // both copies identical until invalidated below
 			// Unless the sweep below will invalidate the object (it is in
 			// the call's §3.3 scope AND in the write annotation), the block
 			// survives the call as ReadOnly and must fault on the next CPU
 			// write.
-			if !(b.obj.UsedBy(p.m.invokeKernel) && writes.contains(b.obj)) {
+			if !(o.UsedBy(p.m.invokeKernel) && writes.contains(o)) {
 				p.m.setProt(b, hostmmu.ProtRead)
 			}
 		}
+		o.mu.Unlock()
 	}
 	p.m.eachInvokeObject(func(o *Object) {
 		written := writes.contains(o)

@@ -15,8 +15,10 @@ import (
 // The paper (Section 5.2) keeps memory blocks in a balanced binary tree and
 // attributes the dominant small-block overhead to its O(log2 n) search on
 // every page fault. This file implements that structure as a red-black
-// interval tree keyed by block start address, with a visit counter so the
-// fault path can charge a per-node search cost.
+// interval tree keyed by block start address. Lookups are pure (no tree
+// mutation), so concurrent fault handlers may search under a shared lock;
+// the fault path uses search, which reports the nodes visited so the
+// caller can charge a per-node search cost.
 
 type rbColor bool
 
@@ -34,23 +36,15 @@ type rbNode struct {
 }
 
 // rbTree is an interval tree over non-overlapping [addr, addr+size) ranges.
+// The tree does not lock itself: the manager guards it with an RWMutex so
+// the fault path's searches proceed in parallel.
 type rbTree struct {
 	root   *rbNode
 	length int
-	// visited counts nodes touched by lookups since the last call to
-	// takeVisits; the manager converts it into virtual search time.
-	visited int64
 }
 
 // Len returns the number of stored intervals.
 func (t *rbTree) Len() int { return t.length }
-
-// takeVisits returns and resets the lookup visit counter.
-func (t *rbTree) takeVisits() int64 {
-	v := t.visited
-	t.visited = 0
-	return v
-}
 
 // insert adds the interval [addr, addr+size). It returns an error if the
 // interval overlaps an existing one: shared objects never overlap.
@@ -81,18 +75,26 @@ func (t *rbTree) insert(addr mem.Addr, size int64, value any) error {
 
 // lookup returns the value of the interval containing addr, or nil.
 func (t *rbTree) lookup(addr mem.Addr) any {
+	v, _ := t.search(addr)
+	return v
+}
+
+// search is lookup plus the number of nodes visited, which the fault
+// handler converts into the §5.2 O(log2 n) virtual search cost.
+func (t *rbTree) search(addr mem.Addr) (any, int64) {
 	n := t.root
+	var visits int64
 	for n != nil {
-		t.visited++
+		visits++
 		if addr < n.addr {
 			n = n.left
 		} else if addr >= n.addr+mem.Addr(n.size) {
 			n = n.right
 		} else {
-			return n.value
+			return n.value, visits
 		}
 	}
-	return nil
+	return nil, visits
 }
 
 // remove deletes the interval that starts exactly at addr and returns its

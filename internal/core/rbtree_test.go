@@ -129,15 +129,16 @@ func TestRBTreeVisitCounter(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	tr.takeVisits()
-	tr.lookup(0x200500)
-	v := tr.takeVisits()
+	val, v := tr.search(0x200500)
+	if val != 0x200 {
+		t.Fatalf("search returned %v, want 0x200", val)
+	}
 	// A balanced tree of 1024 nodes has height <= 2*log2(1025) ~ 20.
 	if v < 1 || v > 21 {
-		t.Fatalf("lookup visited %d nodes, want O(log n)", v)
+		t.Fatalf("search visited %d nodes, want O(log n)", v)
 	}
-	if tr.takeVisits() != 0 {
-		t.Fatal("takeVisits did not reset")
+	if miss, mv := tr.search(0x10000000); miss != nil || mv < 1 {
+		t.Fatalf("miss returned (%v, %d)", miss, mv)
 	}
 }
 

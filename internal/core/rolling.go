@@ -1,5 +1,7 @@
 package core
 
+import "sync"
+
 // rollingCache is the bounded FIFO of Dirty blocks at the heart of the
 // rolling-update protocol (§4.3). At most `capacity` blocks may be Dirty on
 // the CPU; pushing one more evicts the oldest, which the manager flushes
@@ -9,7 +11,12 @@ package core
 // delta (default 2 blocks), so each allocated object can keep at least one
 // block dirty — the paper's heuristic for applications that touch all their
 // data structures concurrently. Experiments may pin it instead (Figure 12).
+//
+// The cache has its own lock — faults on different objects push and evict
+// concurrently — and it owns every block's queued flag: the flag is only
+// read or written while holding rc.mu.
 type rollingCache struct {
+	mu       sync.Mutex
 	queue    []*Block
 	capacity int
 	delta    int
@@ -25,20 +32,39 @@ func newRollingCache(start, delta int, fixed bool) *rollingCache {
 
 // onAlloc grows the rolling size, unless it is pinned.
 func (rc *rollingCache) onAlloc() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
 	if !rc.fixed {
 		rc.capacity += rc.delta
 	}
 }
 
 // Capacity returns the current rolling size.
-func (rc *rollingCache) Capacity() int { return rc.capacity }
+func (rc *rollingCache) Capacity() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.capacity
+}
 
 // Len returns the number of queued dirty blocks.
-func (rc *rollingCache) Len() int { return len(rc.queue) }
+func (rc *rollingCache) Len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return len(rc.queue)
+}
+
+// isQueued reports whether b currently sits in the rolling cache.
+func (rc *rollingCache) isQueued(b *Block) bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return b.queued
+}
 
 // push enqueues a newly dirty block and returns the block evicted to make
 // room, or nil if the cache has capacity. The caller flushes the victim.
 func (rc *rollingCache) push(b *Block) *Block {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
 	if b.queued {
 		return nil
 	}
@@ -55,6 +81,8 @@ func (rc *rollingCache) push(b *Block) *Block {
 
 // drain removes and returns all queued blocks (kernel invocation flush).
 func (rc *rollingCache) drain() []*Block {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
 	out := rc.queue
 	rc.queue = nil
 	for _, b := range out {
@@ -63,9 +91,11 @@ func (rc *rollingCache) drain() []*Block {
 	return out
 }
 
-// forgetBlock removes one block from the queue (bulk operations made it
-// invalid without an eviction).
+// forgetBlock removes one block from the queue if it is queued (bulk
+// operations made it invalid without an eviction).
 func (rc *rollingCache) forgetBlock(b *Block) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
 	if !b.queued {
 		return
 	}
@@ -80,6 +110,8 @@ func (rc *rollingCache) forgetBlock(b *Block) {
 
 // forget removes any queued blocks belonging to obj (object being freed).
 func (rc *rollingCache) forget(obj *Object) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
 	kept := rc.queue[:0]
 	for _, b := range rc.queue {
 		if b.obj == obj {

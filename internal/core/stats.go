@@ -60,3 +60,23 @@ func (s Stats) Sub(base Stats) Stats {
 	}
 	return out
 }
+
+// Add returns the sum s + other, counter by counter: the mirror of Sub,
+// used by multi-accelerator front ends to aggregate per-device managers.
+// Like Sub it walks the struct with reflection, so a counter added to Stats
+// can never be silently dropped from the aggregate.
+func (s Stats) Add(other Stats) Stats {
+	var out Stats
+	sv := reflect.ValueOf(s)
+	bv := reflect.ValueOf(other)
+	ov := reflect.ValueOf(&out).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Field(i)
+		if f.Kind() != reflect.Int64 {
+			panic(fmt.Sprintf("core: Stats.Add cannot sum field %s of kind %v",
+				sv.Type().Field(i).Name, f.Kind()))
+		}
+		ov.Field(i).SetInt(f.Int() + bv.Field(i).Int())
+	}
+	return out
+}

@@ -30,3 +30,29 @@ func TestStatsSubCoversEveryField(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsAddCoversEveryField is the mirror guard for Add, which
+// MultiContext.Stats uses to aggregate per-device counters: every field
+// must sum, none silently dropped.
+func TestStatsAddCoversEveryField(t *testing.T) {
+	var a, b Stats
+	av := reflect.ValueOf(&a).Elem()
+	bv := reflect.ValueOf(&b).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		if av.Field(i).Kind() != reflect.Int64 {
+			t.Fatalf("Stats field %s has kind %v; Add only handles integer counters",
+				av.Type().Field(i).Name, av.Field(i).Kind())
+		}
+		av.Field(i).SetInt(int64(100 + 5*i))
+		bv.Field(i).SetInt(int64(11 * i))
+	}
+	s := a.Add(b)
+	sv := reflect.ValueOf(s)
+	for i := 0; i < sv.NumField(); i++ {
+		want := int64(100+5*i) + int64(11*i)
+		if got := sv.Field(i).Int(); got != want {
+			t.Errorf("Add dropped field %s: got %d, want %d",
+				sv.Type().Field(i).Name, got, want)
+		}
+	}
+}

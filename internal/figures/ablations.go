@@ -32,18 +32,20 @@ func AblationAnnotations() (*Table, error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		ctx.RegisterKernel(&gmac.Kernel{
-			Name: "ablate.scan",
-			// args: tablePtr, outPtr — reduces the table into out.
-			Run: func(dev *gmac.DeviceMemory, args []uint64) {
-				table, out := gmac.Ptr(args[0]), gmac.Ptr(args[1])
-				var acc uint32
-				for off := int64(0); off < tableBytes; off += 4096 {
-					acc += dev.Uint32(table + gmac.Ptr(off))
-				}
-				dev.SetUint32(out, acc)
-			},
-			Cost: func([]uint64) (float64, int64) { return tableBytes / 4, tableBytes },
+		ctx.Register(func() *gmac.Kernel {
+			return &gmac.Kernel{
+				Name: "ablate.scan",
+				// args: tablePtr, outPtr — reduces the table into out.
+				Run: func(dev *gmac.DeviceMemory, args []uint64) {
+					table, out := gmac.Ptr(args[0]), gmac.Ptr(args[1])
+					var acc uint32
+					for off := int64(0); off < tableBytes; off += 4096 {
+						acc += dev.Uint32(table + gmac.Ptr(off))
+					}
+					dev.SetUint32(out, acc)
+				},
+				Cost: func([]uint64) (float64, int64) { return tableBytes / 4, tableBytes },
+			}
 		})
 		table, err := ctx.Alloc(tableBytes)
 		if err != nil {
@@ -61,11 +63,11 @@ func AblationAnnotations() (*Table, error) {
 		small := make([]byte, outBytes)
 		for i := 0; i < iters; i++ {
 			var callErr error
+			args := []uint64{uint64(table), uint64(out)}
 			if annotated {
-				callErr = ctx.CallAnnotated("ablate.scan", []gmac.Ptr{out},
-					uint64(table), uint64(out))
+				callErr = ctx.Call("ablate.scan", args, gmac.Writes(out), gmac.Async())
 			} else {
-				callErr = ctx.Call("ablate.scan", uint64(table), uint64(out))
+				callErr = ctx.Call("ablate.scan", args, gmac.Async())
 			}
 			if callErr != nil {
 				return 0, 0, callErr
@@ -189,7 +191,7 @@ func AblationVirtualMemory() (*Table, error) {
 				identity++
 			case errors.Is(allocErr, core.ErrAddrConflict):
 				conflicts++
-				sp, safeErr := ctx.SafeAlloc(1 << 20)
+				sp, safeErr := ctx.Alloc(1<<20, gmac.Safe())
 				if safeErr != nil {
 					return 0, 0, 0, safeErr
 				}

@@ -14,6 +14,7 @@ package hostmmu
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -94,13 +95,20 @@ type Stats struct {
 
 // MMU is the software memory-protection unit. All times are charged to the
 // virtual clock; the breakdown receives the Signal category.
+//
+// The MMU is safe for concurrent use: protection checks from several host
+// goroutines read the page table under a shared lock, and fault delivery
+// runs with no MMU lock held (the handler re-enters via Mprotect), exactly
+// as a real kernel delivers signals outside the page-table spinlock.
 type MMU struct {
 	pageSize   int64
+	mu         sync.RWMutex // guards pages
 	pages      map[mem.Addr]Prot
 	handler    FaultHandler
 	clock      *sim.Clock
 	breakdown  *sim.Breakdown
 	signalCost sim.Time // cost of one fault delivery (kernel + user handler entry)
+	statsMu    sync.Mutex
 	stats      Stats
 }
 
@@ -128,10 +136,18 @@ func New(cfg Config, clock *sim.Clock, breakdown *sim.Breakdown) *MMU {
 func (m *MMU) PageSize() int64 { return m.pageSize }
 
 // SetHandler installs the fault handler (GMAC's signal handler).
-func (m *MMU) SetHandler(h FaultHandler) { m.handler = h }
+func (m *MMU) SetHandler(h FaultHandler) {
+	m.mu.Lock()
+	m.handler = h
+	m.mu.Unlock()
+}
 
 // Stats returns a copy of the accumulated counters.
-func (m *MMU) Stats() Stats { return m.stats }
+func (m *MMU) Stats() Stats {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	return m.stats
+}
 
 func (m *MMU) pageBase(addr mem.Addr) mem.Addr {
 	return addr &^ mem.Addr(m.pageSize-1)
@@ -143,6 +159,8 @@ func (m *MMU) Map(addr mem.Addr, size int64, prot Prot) {
 	if addr != m.pageBase(addr) {
 		panic(fmt.Sprintf("hostmmu: unaligned map at %#x", uint64(addr)))
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for off := int64(0); off < size; off += m.pageSize {
 		m.pages[addr+mem.Addr(off)] = prot
 	}
@@ -153,6 +171,8 @@ func (m *MMU) Unmap(addr mem.Addr, size int64) {
 	if addr != m.pageBase(addr) {
 		panic(fmt.Sprintf("hostmmu: unaligned unmap at %#x", uint64(addr)))
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for off := int64(0); off < size; off += m.pageSize {
 		delete(m.pages, addr+mem.Addr(off))
 	}
@@ -163,21 +183,28 @@ func (m *MMU) Unmap(addr mem.Addr, size int64) {
 func (m *MMU) Mprotect(addr mem.Addr, size int64, prot Prot) error {
 	base := m.pageBase(addr)
 	end := addr + mem.Addr(size)
+	m.mu.Lock()
 	for p := base; p < end; p += mem.Addr(m.pageSize) {
 		if _, ok := m.pages[p]; !ok {
+			m.mu.Unlock()
 			return fmt.Errorf("%w: mprotect %#x", ErrUnmapped, uint64(p))
 		}
 	}
 	for p := base; p < end; p += mem.Addr(m.pageSize) {
 		m.pages[p] = prot
 	}
+	m.mu.Unlock()
+	m.statsMu.Lock()
 	m.stats.Mprotects++
+	m.statsMu.Unlock()
 	return nil
 }
 
 // Protection returns the protection of the page containing addr, and
 // whether that page is mapped.
 func (m *MMU) Protection(addr mem.Addr) (Prot, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	p, ok := m.pages[m.pageBase(addr)]
 	return p, ok
 }
@@ -213,7 +240,9 @@ func (m *MMU) check(addr mem.Addr, size int64, access Access) error {
 		// handler returns, so loop until the page permits the access; the
 		// handler must make progress or we report a fault loop.
 		for tries := 0; ; tries++ {
+			m.mu.RLock()
 			prot, ok := m.pages[page]
+			m.mu.RUnlock()
 			if !ok {
 				return fmt.Errorf("%w: %#x", ErrUnmapped, uint64(page))
 			}
@@ -232,7 +261,10 @@ func (m *MMU) check(addr mem.Addr, size int64, access Access) error {
 	return nil
 }
 
+// deliver runs the fault handler with no MMU lock held: the handler
+// re-enters the MMU through Mprotect to upgrade the page.
 func (m *MMU) deliver(f Fault) error {
+	m.statsMu.Lock()
 	m.stats.Faults++
 	if f.Access == AccessWrite {
 		m.stats.WriteFaults++
@@ -240,14 +272,18 @@ func (m *MMU) deliver(f Fault) error {
 		m.stats.ReadFaults++
 	}
 	m.stats.SignalTime += m.signalCost
+	m.statsMu.Unlock()
 	m.clock.Advance(m.signalCost)
 	if m.breakdown != nil {
 		m.breakdown.Add(sim.CatSignal, m.signalCost)
 	}
-	if m.handler == nil {
+	m.mu.RLock()
+	h := m.handler
+	m.mu.RUnlock()
+	if h == nil {
 		return fmt.Errorf("%w: %s at %#x (no handler)", ErrSegfault, f.Access, uint64(f.Addr))
 	}
-	if err := m.handler(f); err != nil {
+	if err := h(f); err != nil {
 		return fmt.Errorf("%w: %s at %#x: %v", ErrSegfault, f.Access, uint64(f.Addr), err)
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // ErrOutOfMemory is returned when an allocation cannot be satisfied.
@@ -16,11 +17,13 @@ var ErrBadFree = errors.New("mem: free of unallocated address")
 // Allocator hands out address ranges from a fixed arena using first-fit
 // with coalescing on free. The simulated accelerator uses one Allocator for
 // its on-board memory; GMAC's adsmAlloc allocates through it exactly as the
-// real implementation allocates through cudaMalloc.
+// real implementation allocates through cudaMalloc. It is safe for
+// concurrent use, like the driver allocator it models.
 type Allocator struct {
 	base  Addr
 	size  int64
 	align int64
+	mu    sync.Mutex
 	free  []span         // sorted by addr, non-adjacent (coalesced)
 	live  map[Addr]int64 // allocation start -> size
 }
@@ -59,6 +62,8 @@ func (a *Allocator) Alloc(size int64) (Addr, error) {
 		return 0, fmt.Errorf("mem: invalid allocation size %d", size)
 	}
 	need := a.roundUp(size)
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	for i, s := range a.free {
 		if s.size < need {
 			continue
@@ -88,6 +93,8 @@ func (a *Allocator) largestHole() int64 {
 
 // Free releases the allocation that begins at addr.
 func (a *Allocator) Free(addr Addr) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	size, ok := a.live[addr]
 	if !ok {
 		return fmt.Errorf("%w: %#x", ErrBadFree, uint64(addr))
@@ -115,13 +122,23 @@ func (a *Allocator) insertFree(s span) {
 
 // SizeOf returns the (alignment-rounded) size of the live allocation at
 // addr, or 0 if addr is not a live allocation start.
-func (a *Allocator) SizeOf(addr Addr) int64 { return a.live[addr] }
+func (a *Allocator) SizeOf(addr Addr) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.live[addr]
+}
 
 // Live returns the number of live allocations.
-func (a *Allocator) Live() int { return len(a.live) }
+func (a *Allocator) Live() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.live)
+}
 
 // FreeBytes returns the total free capacity.
 func (a *Allocator) FreeBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	var n int64
 	for _, s := range a.free {
 		n += s.size
@@ -134,6 +151,8 @@ func (a *Allocator) FreeBytes() int64 {
 // together with live allocations cover exactly the arena. It is used by the
 // property tests.
 func (a *Allocator) CheckInvariants() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	var total int64
 	prevEnd := Addr(0)
 	for i, s := range a.free {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // ErrAddrInUse is returned by MapFixed when the requested virtual range
@@ -23,8 +24,10 @@ type Mapping struct {
 // OS abstraction layer that GMAC drives through mmap. It supports
 // mmap-at-a-fixed-address (used to mirror the accelerator's allocation at
 // the same numeric address) and mmap-anywhere (used by adsmSafeAlloc).
+// Like the kernel's mmap path, it is safe for concurrent use.
 type VASpace struct {
-	lo, hi   Addr // allocatable window for MapAnywhere
+	lo, hi   Addr       // allocatable window for MapAnywhere
+	mu       sync.Mutex // guards mappings, nextHint, reserved
 	mappings []*Mapping
 	nextHint Addr
 	// reserved ranges simulate program sections (ELF text/data, stacks,
@@ -44,6 +47,8 @@ func NewVASpace(lo, hi Addr) *VASpace {
 // Reserve marks [addr, addr+size) as occupied by a non-GMAC mapping.
 // Experiments use it to inject the address-conflict scenario of §4.2.
 func (v *VASpace) Reserve(addr Addr, size int64) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if v.overlaps(addr, size) {
 		return fmt.Errorf("%w: [%#x,+%d)", ErrAddrInUse, uint64(addr), size)
 	}
@@ -73,6 +78,8 @@ func (v *VASpace) MapFixed(addr Addr, size int64) (*Mapping, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("mem: invalid mapping size %d", size)
 	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if v.overlaps(addr, size) {
 		return nil, fmt.Errorf("%w: [%#x,+%d)", ErrAddrInUse, uint64(addr), size)
 	}
@@ -87,6 +94,8 @@ func (v *VASpace) MapAnywhere(size int64) (*Mapping, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("mem: invalid mapping size %d", size)
 	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	// First-fit scan from the hint, wrapping once.
 	for pass := 0; pass < 2; pass++ {
 		addr := v.nextHint
@@ -143,6 +152,8 @@ func (v *VASpace) insert(m *Mapping) {
 
 // Unmap removes the mapping that begins at addr.
 func (v *VASpace) Unmap(addr Addr) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	for i, m := range v.mappings {
 		if m.Addr == addr {
 			v.mappings = append(v.mappings[:i], v.mappings[i+1:]...)
@@ -154,6 +165,8 @@ func (v *VASpace) Unmap(addr Addr) error {
 
 // Lookup returns the mapping containing addr, or nil.
 func (v *VASpace) Lookup(addr Addr) *Mapping {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	i := sort.Search(len(v.mappings), func(i int) bool { return v.mappings[i].Addr > addr })
 	if i == 0 {
 		return nil
@@ -166,4 +179,8 @@ func (v *VASpace) Lookup(addr Addr) *Mapping {
 }
 
 // Mappings returns the number of live mappings.
-func (v *VASpace) Mappings() int { return len(v.mappings) }
+func (v *VASpace) Mappings() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.mappings)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Category labels one slice of the execution-time breakdown reported in
@@ -37,8 +38,11 @@ func Categories() []Category {
 }
 
 // Breakdown accumulates virtual time per category. The zero value is ready
-// to use after a call to NewBreakdown (map initialisation).
+// to use after a call to NewBreakdown (map initialisation). All methods are
+// safe for concurrent use; charges from several host goroutines accumulate
+// without loss.
 type Breakdown struct {
+	mu      sync.Mutex
 	buckets map[Category]Time
 }
 
@@ -52,14 +56,26 @@ func (b *Breakdown) Add(cat Category, d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative breakdown charge %d to %s", d, cat))
 	}
+	b.mu.Lock()
 	b.buckets[cat] += d
+	b.mu.Unlock()
 }
 
 // Get returns the accumulated time for cat.
-func (b *Breakdown) Get(cat Category) Time { return b.buckets[cat] }
+func (b *Breakdown) Get(cat Category) Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buckets[cat]
+}
 
 // Total returns the sum over all categories.
 func (b *Breakdown) Total() Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.totalLocked()
+}
+
+func (b *Breakdown) totalLocked() Time {
 	var t Time
 	for _, v := range b.buckets {
 		t += v
@@ -70,7 +86,9 @@ func (b *Breakdown) Total() Time {
 // Fraction returns cat's share of the total, in [0,1]. A breakdown with no
 // recorded time reports 0 for every category.
 func (b *Breakdown) Fraction(cat Category) float64 {
-	total := b.Total()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := b.totalLocked()
 	if total == 0 {
 		return 0
 	}
@@ -80,6 +98,8 @@ func (b *Breakdown) Fraction(cat Category) float64 {
 // Map returns a copy of the non-zero buckets, for export (the Figure 10
 // breakdown section of snapshots and the -json benchmark summaries).
 func (b *Breakdown) Map() map[Category]Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	out := make(map[Category]Time, len(b.buckets))
 	for cat, t := range b.buckets {
 		if t != 0 {
@@ -91,8 +111,10 @@ func (b *Breakdown) Map() map[Category]Time {
 
 // Merge adds every bucket of other into b.
 func (b *Breakdown) Merge(other *Breakdown) {
-	for cat, v := range other.buckets {
+	for cat, v := range other.Map() {
+		b.mu.Lock()
 		b.buckets[cat] += v
+		b.mu.Unlock()
 	}
 }
 
@@ -105,6 +127,8 @@ func (b *Breakdown) Clone() *Breakdown {
 
 // Reset clears all buckets.
 func (b *Breakdown) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for cat := range b.buckets {
 		delete(b.buckets, cat)
 	}
@@ -117,7 +141,7 @@ func (b *Breakdown) String() string {
 		t   Time
 	}
 	var items []kv
-	for cat, t := range b.buckets {
+	for cat, t := range b.Map() {
 		if t != 0 {
 			items = append(items, kv{cat, t})
 		}

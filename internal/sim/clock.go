@@ -9,7 +9,10 @@
 // DMA transfers manifests in the paper's measurements.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Time is a point in (or duration of) virtual time, in nanoseconds.
 type Time int64
@@ -45,32 +48,59 @@ func (t Time) String() string {
 func DurationFromSeconds(s float64) Time { return Time(s * 1e9) }
 
 // Clock is the logical CPU timeline. The zero value is a clock at time 0.
+//
+// The clock is safe for concurrent use: with several host goroutines in
+// flight (concurrent fault handling, parallel multi-GPU dispatch) each
+// goroutine's charges land atomically, so the timeline stays monotonic and
+// no charge is lost. Single-threaded runs see exactly the sequential
+// semantics.
 type Clock struct {
-	now Time
+	now   atomic.Int64
+	lanes laneSet
 }
 
 // NewClock returns a clock starting at virtual time zero.
 func NewClock() *Clock { return &Clock{} }
 
-// Now returns the current virtual time.
-func (c *Clock) Now() Time { return c.now }
+// Now returns the current virtual time: the calling goroutine's lane time
+// if it entered a lane (see EnterLane), the shared time otherwise.
+func (c *Clock) Now() Time {
+	if l := c.lanes.current(); l != nil {
+		return Time(l.now)
+	}
+	return Time(c.now.Load())
+}
 
 // Advance moves the clock forward by d, which must be non-negative.
-// It models serial CPU work of duration d.
+// It models serial CPU work of duration d on the calling goroutine's
+// timeline (its lane if one is active, the shared timeline otherwise).
 func (c *Clock) Advance(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative clock advance %d", d))
 	}
-	c.now += d
+	if l := c.lanes.current(); l != nil {
+		l.now += int64(d)
+		return
+	}
+	c.now.Add(int64(d))
 }
 
 // AdvanceTo moves the clock forward to t. If t is in the past the clock is
 // unchanged: waiting for an already-completed event costs nothing.
 func (c *Clock) AdvanceTo(t Time) {
-	if t > c.now {
-		c.now = t
+	if l := c.lanes.current(); l != nil {
+		if int64(t) > l.now {
+			l.now = int64(t)
+		}
+		return
+	}
+	for {
+		now := c.now.Load()
+		if int64(t) <= now || c.now.CompareAndSwap(now, int64(t)) {
+			return
+		}
 	}
 }
 
 // Reset rewinds the clock to zero. Only experiment harnesses use this.
-func (c *Clock) Reset() { c.now = 0 }
+func (c *Clock) Reset() { c.now.Store(0) }

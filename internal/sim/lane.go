@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// A lane is a private timeline for one simulated host hardware thread.
+//
+// The base Clock models a single-threaded host: Advance sums every
+// goroutine's CPU charges onto one timeline. The paper's testbed, however,
+// is a four-core machine, and GMAC's fault handling runs on whichever core
+// touched the shared object — concurrent fault storms on different objects
+// overlap on real hardware. EnterLane opts the calling goroutine into that
+// model: its charges accumulate on a private cursor seeded from the shared
+// time, and only merge back (AdvanceTo-max, i.e. parallel composition) at
+// ExitLane. Goroutines that never call EnterLane keep the exact sequential
+// semantics, so existing deterministic experiments are unaffected.
+//
+// Lanes are keyed by goroutine, so the Clock API is unchanged for all
+// charging code: Manager, MMU, devices and engines charge the same Clock
+// and transparently land on the caller's lane when one is active.
+type lane struct {
+	now int64
+}
+
+// goid returns the calling goroutine's id, parsed from the runtime stack
+// header ("goroutine 123 [running]:"). Only taken on lane-aware paths, and
+// only when at least one lane is active.
+func goid() uint64 {
+	var buf [40]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine " (10 bytes), then read digits.
+	var id uint64
+	for _, ch := range buf[10:n] {
+		if ch < '0' || ch > '9' {
+			break
+		}
+		id = id*10 + uint64(ch-'0')
+	}
+	return id
+}
+
+// laneSet tracks the active lanes of a Clock. nactive lets the common
+// no-lanes case skip the goroutine-id lookup entirely.
+type laneSet struct {
+	nactive atomic.Int64
+	lanes   sync.Map // goid -> *lane
+}
+
+func (s *laneSet) current() *lane {
+	if s.nactive.Load() == 0 {
+		return nil
+	}
+	if v, ok := s.lanes.Load(goid()); ok {
+		return v.(*lane)
+	}
+	return nil
+}
+
+// EnterLane gives the calling goroutine a private timeline seeded at the
+// current shared time, modelling one host hardware thread among several.
+// Until ExitLane, this goroutine's Advance/AdvanceTo charges accumulate on
+// the lane and its Now observes the lane, so independent goroutines'
+// charges compose in parallel rather than in series. Each EnterLane must
+// be paired with ExitLane on the same goroutine; lanes do not nest.
+func (c *Clock) EnterLane() { c.EnterLaneAt(Time(c.now.Load())) }
+
+// EnterLaneAt is EnterLane with an explicit seed time, for spawners that
+// capture one common base before starting their workers — that makes the
+// workers' timelines independent of goroutine scheduling order, keeping
+// runs deterministic.
+func (c *Clock) EnterLaneAt(t Time) {
+	c.lanes.lanes.Store(goid(), &lane{now: int64(t)})
+	c.lanes.nactive.Add(1)
+}
+
+// ExitLane merges the calling goroutine's lane back into the shared
+// timeline: the shared clock advances to the lane's time if that is later
+// (waiting for the slowest hardware thread), and subsequent charges from
+// this goroutine revert to the shared timeline. It returns the lane's end
+// time so a coordinating goroutine can AdvanceTo the slowest worker on its
+// own timeline.
+func (c *Clock) ExitLane() Time {
+	v, ok := c.lanes.lanes.LoadAndDelete(goid())
+	if !ok {
+		return Time(c.now.Load())
+	}
+	c.lanes.nactive.Add(-1)
+	end := Time(v.(*lane).now)
+	// Merge on the shared timeline directly: the lane is gone, so this
+	// goroutine's AdvanceTo would otherwise race with a lane re-entry.
+	for {
+		now := c.now.Load()
+		if int64(end) <= now || c.now.CompareAndSwap(now, int64(end)) {
+			return end
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLanesOverlapCharges: N goroutines each charging d in their own lane
+// model N hardware threads working in parallel — the shared clock ends at
+// ~d (max), not N*d (sum).
+func TestLanesOverlapCharges(t *testing.T) {
+	c := NewClock()
+	c.Advance(10 * Microsecond) // pre-existing history
+	base := c.Now()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.EnterLaneAt(base)
+			defer c.ExitLane()
+			c.Advance(100 * Microsecond)
+		}()
+	}
+	wg.Wait()
+
+	if got, want := c.Now(), 110*Microsecond; got != want {
+		t.Fatalf("shared clock after 4 parallel lanes = %v, want %v (max, not sum)", got, want)
+	}
+}
+
+// TestLaneIsolation: a lane's charges are invisible to the shared timeline
+// and to other goroutines until ExitLane merges them.
+func TestLaneIsolation(t *testing.T) {
+	c := NewClock()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan Time)
+
+	go func() {
+		c.EnterLane()
+		c.Advance(50 * Microsecond)
+		if got := c.Now(); got != 50*Microsecond {
+			t.Errorf("lane Now = %v, want 50us", got)
+		}
+		close(entered)
+		<-release
+		done <- c.ExitLane()
+	}()
+
+	<-entered
+	if got := c.Now(); got != 0 {
+		t.Fatalf("shared Now = %v while lane active, want 0", got)
+	}
+	close(release)
+	if end := <-done; end != 50*Microsecond {
+		t.Fatalf("ExitLane returned %v, want 50us", end)
+	}
+	if got := c.Now(); got != 50*Microsecond {
+		t.Fatalf("shared Now after merge = %v, want 50us", got)
+	}
+}
+
+// TestLaneAdvanceTo: AdvanceTo inside a lane moves only the lane cursor,
+// and the past is still free.
+func TestLaneAdvanceTo(t *testing.T) {
+	c := NewClock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.EnterLane()
+		c.AdvanceTo(30 * Microsecond)
+		c.AdvanceTo(20 * Microsecond) // in the past: no-op
+		if got := c.Now(); got != 30*Microsecond {
+			t.Errorf("lane Now = %v, want 30us", got)
+		}
+		c.ExitLane()
+	}()
+	<-done
+	if got := c.Now(); got != 30*Microsecond {
+		t.Fatalf("shared Now = %v, want 30us", got)
+	}
+}
+
+// TestNoLaneSequentialSemantics: goroutines that never enter a lane keep
+// the exact serial semantics — Advance sums.
+func TestNoLaneSequentialSemantics(t *testing.T) {
+	c := NewClock()
+	c.Advance(3 * Microsecond)
+	c.Advance(4 * Microsecond)
+	if got := c.Now(); got != 7*Microsecond {
+		t.Fatalf("sequential Advance = %v, want 7us (sum)", got)
+	}
+}
+
+// TestExitLaneWithoutEnter: ExitLane on a goroutine with no lane is a
+// harmless no-op returning the shared time.
+func TestExitLaneWithoutEnter(t *testing.T) {
+	c := NewClock()
+	c.Advance(9 * Microsecond)
+	if got := c.ExitLane(); got != 9*Microsecond {
+		t.Fatalf("ExitLane without lane returned %v, want 9us", got)
+	}
+	if got := c.Now(); got != 9*Microsecond {
+		t.Fatalf("shared Now perturbed to %v", got)
+	}
+}

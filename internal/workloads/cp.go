@@ -138,7 +138,7 @@ func (c *CP) RunCUDA(m *machine.Machine, rt *cudart.Runtime) (float64, error) {
 }
 
 // RunGMAC implements Benchmark.
-func (c *CP) RunGMAC(ctx *gmac.Context) (float64, error) {
+func (c *CP) RunGMAC(ctx gmac.Session) (float64, error) {
 	m := ctx.Machine()
 	atomBytes := c.Atoms * 16
 	gridBytes := c.GX * c.GY * 4
@@ -160,8 +160,8 @@ func (c *CP) RunGMAC(ctx *gmac.Context) (float64, error) {
 	var sum float64
 	for p := 0; p < c.Planes; p++ {
 		z := math.Float32bits(float32(p) * 2)
-		if err := ctx.CallSync("cp.potential", uint64(grid), uint64(atoms),
-			uint64(c.Atoms), uint64(c.GX), uint64(c.GY), uint64(z)); err != nil {
+		if err := ctx.Call("cp.potential", []uint64{uint64(grid), uint64(atoms),
+			uint64(c.Atoms), uint64(c.GX), uint64(c.GY), uint64(z)}); err != nil {
 			return 0, err
 		}
 		// The shared pointer goes straight into the write path (§4.4).

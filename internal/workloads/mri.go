@@ -227,7 +227,7 @@ func (b *MRI) RunCUDA(m *machine.Machine, rt *cudart.Runtime) (float64, error) {
 }
 
 // RunGMAC implements Benchmark.
-func (b *MRI) RunGMAC(ctx *gmac.Context) (float64, error) {
+func (b *MRI) RunGMAC(ctx gmac.Session) (float64, error) {
 	m := ctx.Machine()
 	kBytes := b.K * 5 * 4
 	vBytes := b.X * 3 * 4
@@ -264,11 +264,11 @@ func (b *MRI) RunGMAC(ctx *gmac.Context) (float64, error) {
 			return 0, err
 		}
 	}
-	if err := ctx.Call(b.Name()+".weights", uint64(kd), uint64(b.K)); err != nil {
+	if err := ctx.Call(b.Name()+".weights", []uint64{uint64(kd), uint64(b.K)}, gmac.Async()); err != nil {
 		return 0, err
 	}
-	if err := ctx.Call(b.Name()+".accumulate", uint64(kd), uint64(vox), uint64(outp),
-		uint64(b.K), uint64(b.X)); err != nil {
+	if err := ctx.Call(b.Name()+".accumulate", []uint64{uint64(kd), uint64(vox), uint64(outp),
+		uint64(b.K), uint64(b.X)}, gmac.Async()); err != nil {
 		return 0, err
 	}
 	if err := ctx.Sync(); err != nil {

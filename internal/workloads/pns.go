@@ -162,7 +162,7 @@ func (p *PNS) RunCUDA(m *machine.Machine, rt *cudart.Runtime) (float64, error) {
 }
 
 // RunGMAC implements Benchmark.
-func (p *PNS) RunGMAC(ctx *gmac.Context) (float64, error) {
+func (p *PNS) RunGMAC(ctx gmac.Session) (float64, error) {
 	m := ctx.Machine()
 	stateBytes := p.Places * 4
 	state, err := ctx.Alloc(stateBytes)
@@ -179,15 +179,15 @@ func (p *PNS) RunGMAC(ctx *gmac.Context) (float64, error) {
 	if err := ctx.Memset(stats, 0, pnsStatsWords*4); err != nil {
 		return 0, err
 	}
-	if err := ctx.Call("pns.seed", uint64(state), uint64(p.Places)); err != nil {
+	if err := ctx.Call("pns.seed", []uint64{uint64(state), uint64(p.Places)}, gmac.Async()); err != nil {
 		return 0, err
 	}
 
 	var converged uint64
 	probe := make([]byte, 64)
 	for s := 0; s < p.Steps; s++ {
-		if err := ctx.CallSync("pns.step", uint64(state), uint64(stats),
-			uint64(p.Places), uint64(s)); err != nil {
+		if err := ctx.Call("pns.step", []uint64{uint64(state), uint64(stats),
+			uint64(p.Places), uint64(s)}); err != nil {
 			return 0, err
 		}
 		if (s+1)%p.CheckEvery == 0 {

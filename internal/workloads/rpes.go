@@ -147,7 +147,7 @@ func (r *RPES) RunCUDA(m *machine.Machine, rt *cudart.Runtime) (float64, error) 
 }
 
 // RunGMAC implements Benchmark.
-func (r *RPES) RunGMAC(ctx *gmac.Context) (float64, error) {
+func (r *RPES) RunGMAC(ctx gmac.Session) (float64, error) {
 	m := ctx.Machine()
 	dataBytes := r.Pairs * 16
 	pairs, err := ctx.Alloc(dataBytes)
@@ -172,8 +172,8 @@ func (r *RPES) RunGMAC(ctx *gmac.Context) (float64, error) {
 
 	probe := make([]byte, 8)
 	for b := 0; b < r.Batches; b++ {
-		if err := ctx.CallSync("rpes.integrals", uint64(pairs), uint64(out),
-			uint64(prog), uint64(r.Pairs), uint64(b), uint64(r.Batches)); err != nil {
+		if err := ctx.Call("rpes.integrals", []uint64{uint64(pairs), uint64(out),
+			uint64(prog), uint64(r.Pairs), uint64(b), uint64(r.Batches)}); err != nil {
 			return 0, err
 		}
 		m.CPUCompute(float64(r.Pairs/int64(r.Batches)) * 12) // host-side integral screening of the batch

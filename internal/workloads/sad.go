@@ -212,7 +212,7 @@ func (s *SAD) RunCUDA(m *machine.Machine, rt *cudart.Runtime) (float64, error) {
 }
 
 // RunGMAC implements Benchmark.
-func (s *SAD) RunGMAC(ctx *gmac.Context) (float64, error) {
+func (s *SAD) RunGMAC(ctx gmac.Session) (float64, error) {
 	m := ctx.Machine()
 	frameBytes := s.W * s.H
 	o4, o8, o16 := s.outSizes()
@@ -248,13 +248,13 @@ func (s *SAD) RunGMAC(ctx *gmac.Context) (float64, error) {
 			return 0, err
 		}
 	}
-	if err := ctx.Call("sad.mb4", uint64(cur), uint64(ref), uint64(r4)); err != nil {
+	if err := ctx.Call("sad.mb4", []uint64{uint64(cur), uint64(ref), uint64(r4)}, gmac.Async()); err != nil {
 		return 0, err
 	}
-	if err := ctx.Call("sad.mb8", uint64(r4), uint64(r8)); err != nil {
+	if err := ctx.Call("sad.mb8", []uint64{uint64(r4), uint64(r8)}, gmac.Async()); err != nil {
 		return 0, err
 	}
-	if err := ctx.Call("sad.mb16", uint64(r8), uint64(r16)); err != nil {
+	if err := ctx.Call("sad.mb16", []uint64{uint64(r8), uint64(r16)}, gmac.Async()); err != nil {
 		return 0, err
 	}
 	if err := ctx.Sync(); err != nil {

@@ -160,7 +160,7 @@ func (s *Stencil3D) RunCUDA(m *machine.Machine, rt *cudart.Runtime) (float64, er
 }
 
 // RunGMAC implements Benchmark: identical logic, no transfers anywhere.
-func (s *Stencil3D) RunGMAC(ctx *gmac.Context) (float64, error) {
+func (s *Stencil3D) RunGMAC(ctx gmac.Session) (float64, error) {
 	m := ctx.Machine()
 	vb := s.volBytes()
 	volIn, err := ctx.Alloc(vb)
@@ -189,7 +189,7 @@ func (s *Stencil3D) RunGMAC(ctx *gmac.Context) (float64, error) {
 			return 0, err
 		}
 		m.CPUTouch(int64(len(src)))
-		if err := ctx.CallSync("stencil.step", uint64(volIn), uint64(volOut)); err != nil {
+		if err := ctx.Call("stencil.step", []uint64{uint64(volIn), uint64(volOut)}); err != nil {
 			return 0, err
 		}
 		volIn, volOut = volOut, volIn

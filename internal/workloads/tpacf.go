@@ -225,7 +225,7 @@ func (t *TPACF) RunCUDA(m *machine.Machine, rt *cudart.Runtime) (float64, error)
 }
 
 // RunGMAC implements Benchmark.
-func (t *TPACF) RunGMAC(ctx *gmac.Context) (float64, error) {
+func (t *TPACF) RunGMAC(ctx gmac.Session) (float64, error) {
 	m := ctx.Machine()
 	setBytes := t.setBytes()
 	histBytes := t.Bins * 4
@@ -251,7 +251,7 @@ func (t *TPACF) RunGMAC(ctx *gmac.Context) (float64, error) {
 	if err := ctx.Memset(hist, 0, histBytes); err != nil {
 		return 0, err
 	}
-	if err := ctx.CallSync("tpacf.dd", uint64(data), 0, uint64(hist), 1); err != nil {
+	if err := ctx.Call("tpacf.dd", []uint64{uint64(data), 0, uint64(hist), 1}); err != nil {
 		return 0, err
 	}
 
@@ -271,10 +271,10 @@ func (t *TPACF) RunGMAC(ctx *gmac.Context) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		if err := ctx.Call("tpacf.dr", uint64(data), uint64(rnd), uint64(hist), uint64(s+2)); err != nil {
+		if err := ctx.Call("tpacf.dr", []uint64{uint64(data), uint64(rnd), uint64(hist), uint64(s + 2)}, gmac.Async()); err != nil {
 			return 0, err
 		}
-		if err := ctx.Call("tpacf.rr", uint64(rnd), 0, uint64(hist), uint64(s+3)); err != nil {
+		if err := ctx.Call("tpacf.rr", []uint64{uint64(rnd), 0, uint64(hist), uint64(s + 3)}, gmac.Async()); err != nil {
 			return 0, err
 		}
 		if err := ctx.Sync(); err != nil {

@@ -134,7 +134,7 @@ func (v *VecAdd) RunCUDA(m *machine.Machine, rt *cudart.Runtime) (float64, error
 }
 
 // RunGMAC implements Benchmark: no explicit transfers anywhere.
-func (v *VecAdd) RunGMAC(ctx *gmac.Context) (float64, error) {
+func (v *VecAdd) RunGMAC(ctx gmac.Session) (float64, error) {
 	bytes := v.N * 4
 	a, err := ctx.Alloc(bytes)
 	if err != nil {
@@ -168,7 +168,7 @@ func (v *VecAdd) RunGMAC(ctx *gmac.Context) (float64, error) {
 		}
 		m.CPUTouch(2 * n)
 	}
-	if err := ctx.Call("vecadd.add", uint64(a), uint64(b), uint64(c), uint64(v.N)); err != nil {
+	if err := ctx.Call("vecadd.add", []uint64{uint64(a), uint64(b), uint64(c), uint64(v.N)}, gmac.Async()); err != nil {
 		return 0, err
 	}
 	if err := ctx.Sync(); err != nil {

@@ -75,7 +75,9 @@ type Benchmark interface {
 	// output checksum.
 	RunCUDA(m *machine.Machine, rt *cudart.Runtime) (float64, error)
 	// RunGMAC executes the ADSM version and returns the output checksum.
-	RunGMAC(ctx *gmac.Context) (float64, error)
+	// It is written against the Session interface, so the same code runs
+	// on a single accelerator (Context) or across several (MultiContext).
+	RunGMAC(s gmac.Session) (float64, error)
 }
 
 // Options configures a GMAC run.
