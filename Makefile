@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all check fmt vet build test race bench smoke clean
+.PHONY: all check fmt vet build test race bench smoke fuzz chaos clean
 
 all: check
 
@@ -29,6 +30,18 @@ bench:
 # Fast end-to-end sanity: one small figure run with the JSON summary.
 smoke:
 	$(GO) run ./cmd/gmacbench -small -json /tmp/gmacbench-smoke.json fig8
+
+# Native fuzzing of the interval tree and the manager op stream, FUZZTIME
+# per target (see docs/testing.md).
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzRBTree$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzManagerOps$$' -fuzztime $(FUZZTIME) ./internal/core
+
+# The chaos conformance suite under the race detector: fault-schedule
+# matrix, replay determinism, degraded-mode recovery, I/O fault paths.
+chaos:
+	$(GO) test -race -count=1 ./internal/fault/
+	$(GO) test -race -count=1 -run 'Chaos|Fault|Inject|DeviceLost|Degrade' ./...
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/gmac"
+	"repro/internal/fault"
+	"repro/internal/workloads"
+	"repro/machine"
+)
+
+// faultSchedule is the deterministic schedule the -faults mode injects:
+// periodic transient DMA failures in both directions, a guaranteed early
+// DMA failure so even tiny runs inject something, and a timeout on the
+// first kernel launch. Every fault is recoverable, so the run must produce
+// the same checksum as the clean run — the mode measures the virtual-time
+// cost of transparent recovery.
+func faultSchedule() []fault.Rule {
+	return []fault.Rule{
+		fault.Nth(fault.OpDMAH2D, 2, fault.KindTransient),
+		fault.EveryK(fault.OpDMAH2D, 5, fault.KindTransient),
+		fault.EveryK(fault.OpDMAD2H, 4, fault.KindTransient),
+		fault.Nth(fault.OpLaunch, 1, fault.KindTimeout),
+	}
+}
+
+// runFaults runs the vecadd workload under each coherence protocol twice —
+// clean and with the fault schedule armed — and reports the recovery
+// overhead and counters.
+func runFaults(small bool, seed int64) error {
+	bench := func() workloads.Benchmark {
+		if small {
+			return workloads.SmallVecAdd()
+		}
+		return workloads.DefaultVecAdd()
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Fault injection overhead (seed %d)\n", seed)
+	fmt.Fprintln(w, "workload\tclean\tfaulted\toverhead\tinjected\tretries\tgiveups")
+	for _, p := range []struct {
+		name  string
+		proto gmac.Protocol
+	}{
+		{"gmac-batch", gmac.BatchUpdate},
+		{"gmac-lazy", gmac.LazyUpdate},
+		{"gmac-rolling", gmac.RollingUpdate},
+	} {
+		clean, err := workloads.RunGMAC(bench(), workloads.Options{Protocol: p.proto})
+		if err != nil {
+			return fmt.Errorf("faults: clean %s: %w", p.name, err)
+		}
+		var inj *fault.Injector
+		faulted, err := workloads.RunGMAC(bench(), workloads.Options{
+			Protocol:   p.proto,
+			MaxRetries: 8,
+			Machine: func() *machine.Machine {
+				m := machine.PaperTestbed()
+				inj = fault.NewInjector(seed, m.Clock, faultSchedule()...)
+				m.Device().SetFaultInjector(inj)
+				return m
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("faults: faulted %s: %w", p.name, err)
+		}
+		if faulted.Checksum != clean.Checksum {
+			return fmt.Errorf("faults: %s checksum diverged under injection: %g vs %g",
+				p.name, faulted.Checksum, clean.Checksum)
+		}
+		overhead := 100 * (float64(faulted.Time) - float64(clean.Time)) / float64(clean.Time)
+		fmt.Fprintf(w, "vecadd/%s\t%v\t%v\t%+.1f%%\t%d\t%d\t%d\n",
+			p.name, clean.Time, faulted.Time, overhead,
+			inj.Total(), faulted.GMAC.Retries, faulted.GMAC.RetryGiveups)
+	}
+	return w.Flush()
+}

@@ -34,6 +34,8 @@ import (
 
 func main() {
 	small := flag.Bool("small", false, "run at unit-test scale (fast smoke run)")
+	faults := flag.Bool("faults", false, "run workloads under a deterministic fault-injection schedule and report recovery overhead")
+	faultSeed := flag.Int64("faults.seed", 1, "injector `seed` for -faults (replays exactly)")
 	hostThreads := flag.Int("hostthreads", 0, "run the concurrent fault-throughput benchmark with `N` host goroutines")
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark summary to `file`")
 	debugAddr := flag.String("debug.addr", "", "serve live introspection endpoints on `addr` (e.g. localhost:6060)")
@@ -44,6 +46,15 @@ func main() {
 	}
 	flag.Parse()
 	args := flag.Args()
+	if *faults {
+		if err := runFaults(*small, *faultSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "gmacbench:", err)
+			os.Exit(1)
+		}
+		if len(args) == 0 && *hostThreads == 0 {
+			return
+		}
+	}
 	if *hostThreads > 0 {
 		if err := runHostThreads(*hostThreads, *small); err != nil {
 			fmt.Fprintln(os.Stderr, "gmacbench:", err)
@@ -105,6 +116,9 @@ type benchEntry struct {
 	TransfersD2H int64   `json:"transfers_d2h"`
 	Faults       int64   `json:"faults"`
 	Evictions    int64   `json:"evictions"`
+	Retries      int64   `json:"retries"`
+	RetryGiveups int64   `json:"retry_giveups"`
+	Degraded     int64   `json:"degraded_objects"`
 	Checksum     float64 `json:"checksum"`
 }
 
@@ -138,6 +152,9 @@ func entriesFromRuns(runs []figures.EvalRun) []benchEntry {
 				TransfersD2H: rep.GMAC.TransfersD2H,
 				Faults:       rep.GMAC.Faults,
 				Evictions:    rep.GMAC.Evictions,
+				Retries:      rep.GMAC.Retries,
+				RetryGiveups: rep.GMAC.RetryGiveups,
+				Degraded:     rep.GMAC.DegradedObjects,
 				Checksum:     rep.Checksum,
 			})
 		}

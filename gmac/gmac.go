@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -84,6 +85,10 @@ type Config struct {
 	RollingDelta int
 	// FixedRolling pins the rolling size instead of adapting it.
 	FixedRolling int
+	// MaxRetries bounds the runtime's transparent retries of injected
+	// transfer/launch faults (chaos testing): 0 selects the core default,
+	// negative disables retrying.
+	MaxRetries int
 }
 
 // DefaultBlockSize is the rolling-update block size used when Config leaves
@@ -107,8 +112,15 @@ func managerConfig(cfg Config) core.Config {
 		LaunchCost:   2 * sim.Microsecond,
 		TreeNodeCost: 30 * sim.Nanosecond,
 		MprotectCost: 300 * sim.Nanosecond,
+		MaxRetries:   cfg.MaxRetries,
 	}
 }
+
+// ErrDeviceLost matches (with errors.Is) every error caused by a lost
+// accelerator, whether injected directly or escalated from exhausted
+// retries. Objects on a lost device degrade to host-resident semantics:
+// reads and writes keep working, Call/Sync/Alloc fail fast.
+var ErrDeviceLost = fault.ErrDeviceLost
 
 // Context is one application's GMAC session bound to the machine's primary
 // accelerator: the Table 1 API plus the interposed I/O and bulk-memory
@@ -133,6 +145,15 @@ func NewContext(m *machine.Machine, cfg Config) (*Context, error) {
 
 // Stats returns the runtime's activity counters.
 func (c *Context) Stats() Stats { return c.mgr.Stats() }
+
+// LostDevices returns how many of the session's accelerators have been
+// declared lost (0 or 1 for a single-device context).
+func (c *Context) LostDevices() int {
+	if c.mgr.DeviceLost() {
+		return 1
+	}
+	return 0
+}
 
 // Protocol returns the active coherence protocol.
 func (c *Context) Protocol() Protocol { return c.mgr.Protocol() }

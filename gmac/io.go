@@ -40,6 +40,11 @@ func (s *sessionCore) ReadFile(f *osabs.File, p Ptr, n int64) (int64, error) {
 			want = rem
 		}
 		got, err := f.Read(buf[:want])
+		if got == 0 && err == nil {
+			// A conforming reader never returns (0, nil) before EOF;
+			// surface it instead of spinning forever.
+			return total, io.ErrNoProgress
+		}
 		if got > 0 {
 			var werr error
 			if s.m.Config().PeerDMA {
@@ -92,6 +97,11 @@ func (s *sessionCore) WriteFile(f *osabs.File, p Ptr, n int64) (int64, error) {
 		}
 		wrote, err := f.Write(buf[:want])
 		total += int64(wrote)
+		if err == nil && int64(wrote) < want {
+			// Short write with no error: report it rather than silently
+			// re-reading the same shared range out of order.
+			err = io.ErrShortWrite
+		}
 		if err != nil {
 			return total, err
 		}

@@ -71,6 +71,12 @@ type Session interface {
 	Uint32s(p Ptr, n int64) (Uint32View, error)
 	// Stats returns the aggregated activity counters.
 	Stats() Stats
+	// Degraded reports whether the object containing p has fallen back to
+	// host-resident semantics after its device was lost (chaos recovery).
+	Degraded(p Ptr) bool
+	// LostDevices returns how many of the session's accelerators have been
+	// declared lost.
+	LostDevices() int
 }
 
 // Compile-time checks that both session types implement Session.
@@ -254,6 +260,15 @@ func (s *sessionCore) Memset(p Ptr, b byte, n int64) error {
 		return fmt.Errorf("gmac: memset of unshared %#x", uint64(p))
 	}
 	return mgr.BulkSet(p, b, n)
+}
+
+// Degraded reports whether the object containing p is running in
+// host-resident degraded mode after a device loss. Reads and writes of a
+// degraded object keep working against the host copy; kernel calls fail
+// with ErrDeviceLost.
+func (s *sessionCore) Degraded(p Ptr) bool {
+	mgr := s.owner(p)
+	return mgr != nil && mgr.Degraded(p)
 }
 
 // hostBytes exposes the live backing slice for the typed views.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/testutil"
 	"repro/machine"
 )
 
@@ -99,6 +100,7 @@ func TestConcurrentStormContext(t *testing.T) {
 		blockSize  = 4 << 10
 		objBytes   = 32 << 10
 	)
+	base := testutil.Seed(t, 1)
 	for _, p := range []Protocol{BatchUpdate, LazyUpdate, RollingUpdate} {
 		t.Run(p.String(), func(t *testing.T) {
 			m := machine.SmallTestbed()
@@ -124,7 +126,7 @@ func TestConcurrentStormContext(t *testing.T) {
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
-					errs[i] = stormWorker(ctx, kernels[i], objs[i], int64(i+1), rounds, objBytes, blockSize, fullSync)
+					errs[i] = stormWorker(ctx, kernels[i], objs[i], base+int64(i), rounds, objBytes, blockSize, fullSync)
 				}(i)
 			}
 			wg.Wait()
@@ -177,6 +179,7 @@ func TestConcurrentStormMulti(t *testing.T) {
 		blockSize  = 4 << 10
 		objBytes   = 32 << 10
 	)
+	base := testutil.Seed(t, 100)
 	m := machine.DualGPUTestbed(true)
 	mc, err := NewMultiContext(m, Config{Protocol: RollingUpdate, BlockSize: blockSize})
 	if err != nil {
@@ -200,7 +203,7 @@ func TestConcurrentStormMulti(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = stormWorker(mc, kernels[i], objs[i], int64(100+i), rounds, objBytes, blockSize, true)
+			errs[i] = stormWorker(mc, kernels[i], objs[i], base+int64(i), rounds, objBytes, blockSize, true)
 		}(i)
 	}
 	wg.Wait()

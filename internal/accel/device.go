@@ -11,9 +11,12 @@
 package accel
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/interconnect"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -71,6 +74,14 @@ type Device struct {
 	// kernels launch after in-flight DMAs and vice versa, matching CUDA's
 	// default-stream ordering.
 	pending sim.Completion
+	// inj, when set, is consulted by the fault-aware entry points
+	// (TryMemcpy*, Launch, Stream.Launch). The infallible Memcpy* methods
+	// never fault: the CUDA-baseline workloads use them and model a
+	// programmer who ignores errors.
+	inj *fault.Injector
+	// lost flips once a KindDeviceLost fault fires; from then on every
+	// fault-aware operation fails fast with fault.ErrDeviceLost.
+	lost atomic.Bool
 }
 
 // devMetrics caches the transfer latency/size histogram handles. Devices
@@ -97,6 +108,9 @@ type Stats struct {
 	Launches             int64
 	Allocs, Frees        int64
 	KernelTime           sim.Time
+	// DMAFaults and LaunchFaults count injected failures observed by the
+	// fault-aware entry points (zero outside chaos runs).
+	DMAFaults, LaunchFaults int64
 }
 
 // New creates a device bound to the host virtual clock.
@@ -188,11 +202,74 @@ func (d *Device) AllocSize(addr mem.Addr) int64 { return d.alloc.SizeOf(addr) }
 // LiveAllocs returns the number of live device allocations.
 func (d *Device) LiveAllocs() int { return d.alloc.Live() }
 
-// MemcpyH2DAsync copies src into device memory at dst without blocking the
-// host. Data moves immediately (the simulation is sequential), but the
-// virtual completion time respects DMA queueing and link bandwidth.
-func (d *Device) MemcpyH2DAsync(dst mem.Addr, src []byte) sim.Completion {
-	dur := d.cfg.H2D.TransferTime(int64(len(src)))
+// SetFaultInjector arms the device and both directions of its host
+// interconnect with a fault injector (chaos tests, gmacbench -faults).
+// Only the fault-aware entry points — TryMemcpy*, Launch and
+// Stream.Launch — consult it. Install before the run starts.
+func (d *Device) SetFaultInjector(in *fault.Injector) {
+	d.inj = in
+	d.cfg.H2D.SetInjector(in, fault.OpDMAH2D)
+	d.cfg.D2H.SetInjector(in, fault.OpDMAD2H)
+}
+
+// Lost reports whether the device has been declared lost by a permanent
+// injected fault. Once lost, every fault-aware operation fails fast.
+func (d *Device) Lost() bool { return d.lost.Load() }
+
+// checkLost fails fast when the device is gone.
+func (d *Device) checkLost() error {
+	if d.lost.Load() {
+		return fmt.Errorf("accel %s: %w", d.cfg.Name, fault.ErrDeviceLost)
+	}
+	return nil
+}
+
+// noteFault reacts to an injected fault: permanent kinds mark the device
+// lost, and the DMA fault counter is bumped when dma is set.
+func (d *Device) noteFault(err error, dma bool) {
+	if errors.Is(err, fault.ErrDeviceLost) {
+		d.lost.Store(true)
+	}
+	d.mu.Lock()
+	if dma {
+		d.stats.DMAFaults++
+	} else {
+		d.stats.LaunchFaults++
+	}
+	d.mu.Unlock()
+}
+
+// launchFault consults the injector for a kernel launch. It must run
+// BEFORE the kernel body (the simulator executes bodies at launch time):
+// a faulted launch never mutates device memory. Timeout faults charge
+// their delay to the host clock before surfacing.
+func (d *Device) launchFault() error {
+	if err := d.checkLost(); err != nil {
+		return err
+	}
+	if d.inj == nil {
+		return nil
+	}
+	err := d.inj.Decide(fault.OpLaunch)
+	if err == nil {
+		return nil
+	}
+	var fe *fault.Error
+	if errors.As(err, &fe) && fe.Delay > 0 {
+		d.clock.Advance(fe.Delay)
+	}
+	d.noteFault(err, false)
+	return fmt.Errorf("accel %s: launch: %w", d.cfg.Name, err)
+}
+
+// corruptPattern is the deterministic garbage a KindCorrupt fault
+// scribbles over the destination of a failed transfer: retries that fail
+// to fully overwrite it show up as byte mismatches in the chaos oracle.
+const corruptPattern = 0xDB
+
+// memcpyH2DAsyncAt lands an H2D copy whose link duration has already been
+// computed (and booked) by the caller.
+func (d *Device) memcpyH2DAsyncAt(dst mem.Addr, src []byte, dur sim.Time) sim.Completion {
 	d.mu.Lock()
 	d.memory.Write(dst, src)
 	done := d.dmaH2D.SubmitNow(dur)
@@ -205,6 +282,42 @@ func (d *Device) MemcpyH2DAsync(dst mem.Addr, src []byte) sim.Completion {
 	return done
 }
 
+// MemcpyH2DAsync copies src into device memory at dst without blocking the
+// host. Data moves immediately (the simulation is sequential), but the
+// virtual completion time respects DMA queueing and link bandwidth.
+func (d *Device) MemcpyH2DAsync(dst mem.Addr, src []byte) sim.Completion {
+	return d.memcpyH2DAsyncAt(dst, src, d.cfg.H2D.TransferTime(int64(len(src))))
+}
+
+// TryMemcpyH2DAsync is the fault-aware MemcpyH2DAsync. On an injected
+// fault the attempt still occupies the DMA engine for its duration
+// (returned in the completion) but no data lands — except under
+// KindCorrupt, which scribbles the destination range — and the error
+// describes the fault. The caller owns retrying.
+func (d *Device) TryMemcpyH2DAsync(dst mem.Addr, src []byte) (sim.Completion, error) {
+	if err := d.checkLost(); err != nil {
+		return sim.Completion{At: d.clock.Now()}, err
+	}
+	dur, ferr := d.cfg.H2D.Transfer(int64(len(src)))
+	if ferr == nil {
+		return d.memcpyH2DAsyncAt(dst, src, dur), nil
+	}
+	d.noteFault(ferr, true)
+	d.mu.Lock()
+	var fe *fault.Error
+	if errors.As(ferr, &fe) && fe.Kind == fault.KindCorrupt {
+		garbage := make([]byte, len(src))
+		for i := range garbage {
+			garbage[i] = corruptPattern
+		}
+		d.memory.Write(dst, garbage)
+	}
+	done := d.dmaH2D.SubmitNow(dur)
+	d.pending = sim.MaxCompletion(d.pending, done)
+	d.mu.Unlock()
+	return done, fmt.Errorf("accel %s: H2D copy: %w", d.cfg.Name, ferr)
+}
+
 // MemcpyH2D is the synchronous variant: the host stalls until the copy
 // completes.
 func (d *Device) MemcpyH2D(dst mem.Addr, src []byte) sim.Time {
@@ -212,9 +325,17 @@ func (d *Device) MemcpyH2D(dst mem.Addr, src []byte) sim.Time {
 	return done.Wait(d.clock)
 }
 
-// MemcpyD2HAsync copies device memory at src into dst without blocking.
-func (d *Device) MemcpyD2HAsync(dst []byte, src mem.Addr) sim.Completion {
-	dur := d.cfg.D2H.TransferTime(int64(len(dst)))
+// TryMemcpyH2D is the fault-aware synchronous H2D copy: the host waits
+// out even a failed attempt (the engine was occupied) before seeing the
+// error.
+func (d *Device) TryMemcpyH2D(dst mem.Addr, src []byte) (sim.Time, error) {
+	done, err := d.TryMemcpyH2DAsync(dst, src)
+	return done.Wait(d.clock), err
+}
+
+// memcpyD2HAsyncAt lands a D2H copy whose link duration has already been
+// computed (and booked) by the caller.
+func (d *Device) memcpyD2HAsyncAt(dst []byte, src mem.Addr, dur sim.Time) sim.Completion {
 	d.mu.Lock()
 	d.memory.Read(src, dst)
 	done := d.dmaD2H.SubmitNow(dur)
@@ -227,10 +348,46 @@ func (d *Device) MemcpyD2HAsync(dst []byte, src mem.Addr) sim.Completion {
 	return done
 }
 
+// MemcpyD2HAsync copies device memory at src into dst without blocking.
+func (d *Device) MemcpyD2HAsync(dst []byte, src mem.Addr) sim.Completion {
+	return d.memcpyD2HAsyncAt(dst, src, d.cfg.D2H.TransferTime(int64(len(dst))))
+}
+
+// TryMemcpyD2HAsync is the fault-aware MemcpyD2HAsync; see
+// TryMemcpyH2DAsync for the failure semantics (here KindCorrupt scribbles
+// the host destination buffer).
+func (d *Device) TryMemcpyD2HAsync(dst []byte, src mem.Addr) (sim.Completion, error) {
+	if err := d.checkLost(); err != nil {
+		return sim.Completion{At: d.clock.Now()}, err
+	}
+	dur, ferr := d.cfg.D2H.Transfer(int64(len(dst)))
+	if ferr == nil {
+		return d.memcpyD2HAsyncAt(dst, src, dur), nil
+	}
+	d.noteFault(ferr, true)
+	var fe *fault.Error
+	if errors.As(ferr, &fe) && fe.Kind == fault.KindCorrupt {
+		for i := range dst {
+			dst[i] = corruptPattern
+		}
+	}
+	d.mu.Lock()
+	done := d.dmaD2H.SubmitNow(dur)
+	d.pending = sim.MaxCompletion(d.pending, done)
+	d.mu.Unlock()
+	return done, fmt.Errorf("accel %s: D2H copy: %w", d.cfg.Name, ferr)
+}
+
 // MemcpyD2H is the synchronous variant of MemcpyD2HAsync.
 func (d *Device) MemcpyD2H(dst []byte, src mem.Addr) sim.Time {
 	done := d.MemcpyD2HAsync(dst, src)
 	return done.Wait(d.clock)
+}
+
+// TryMemcpyD2H is the fault-aware synchronous D2H copy.
+func (d *Device) TryMemcpyD2H(dst []byte, src mem.Addr) (sim.Time, error) {
+	done, err := d.TryMemcpyD2HAsync(dst, src)
+	return done.Wait(d.clock), err
 }
 
 // MemcpyD2D copies within device memory (cudaMemcpyDeviceToDevice).
@@ -313,6 +470,9 @@ func (d *Device) Launch(name string, args ...uint64) (sim.Completion, error) {
 		return sim.Completion{}, fmt.Errorf("accel %s: unknown kernel %q", d.cfg.Name, name)
 	}
 	d.clock.Advance(d.cfg.LaunchOverhead)
+	if err := d.launchFault(); err != nil {
+		return sim.Completion{At: d.clock.Now()}, err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	k.Run(d.memory, args)

@@ -87,6 +87,9 @@ func (s *Stream) Launch(name string, args ...uint64) (sim.Completion, error) {
 		return sim.Completion{}, fmt.Errorf("accel %s: unknown kernel %q", s.dev.cfg.Name, name)
 	}
 	s.dev.clock.Advance(s.dev.cfg.LaunchOverhead)
+	if err := s.dev.launchFault(); err != nil {
+		return sim.Completion{At: s.dev.clock.Now()}, err
+	}
 	s.dev.mu.Lock()
 	k.Run(s.dev.memory, args)
 	dur := k.cost(s.dev, args)

@@ -31,8 +31,9 @@ func (m *Manager) BulkRead(addr mem.Addr, dst []byte) error {
 	if o.dead {
 		return errDead(addr)
 	}
-	if m.cfg.Protocol == BatchUpdate {
-		// Batch keeps the host copy authoritative between kernel calls.
+	if m.cfg.Protocol == BatchUpdate || m.degradedLocked(o) {
+		// Batch (and degraded objects) keep the host copy authoritative
+		// between kernel calls.
 		o.mapping.Space.Read(addr, dst)
 		return nil
 	}
@@ -43,14 +44,24 @@ func (m *Manager) BulkRead(addr mem.Addr, dst []byte) error {
 			n = int64(len(dst))
 		}
 		if b.state == StateInvalid {
-			t0 := m.clock.Now()
-			m.dev.MemcpyD2H(dst[:n], o.devAddr+(addr-o.addr))
-			d := m.clock.Now() - t0
-			m.book(sim.CatCopy, d)
+			cur := dst[:n]
+			src := o.devAddr + (addr - o.addr)
+			err := m.retry(sim.CatCopy, "bulk read", func() error {
+				t0 := m.clock.Now()
+				_, terr := m.dev.TryMemcpyD2H(cur, src)
+				d := m.clock.Now() - t0
+				m.book(sim.CatCopy, d)
+				m.statsMu.Lock()
+				m.stats.D2HWait += d
+				m.statsMu.Unlock()
+				return terr
+			})
+			if err != nil {
+				// The only valid copy was on the lost device; the read
+				// cannot be satisfied.
+				return m.escalateLocked(o, "bulk read", err)
+			}
 			m.recordD2H(o, n)
-			m.statsMu.Lock()
-			m.stats.D2HWait += d
-			m.statsMu.Unlock()
 		} else {
 			o.mapping.Space.Read(addr, dst[:n])
 		}
@@ -75,8 +86,9 @@ func (m *Manager) BulkWrite(addr mem.Addr, src []byte) error {
 		o.mu.Unlock()
 		return errDead(addr)
 	}
-	if m.cfg.Protocol == BatchUpdate {
-		// The host copy is re-sent wholesale at the next invoke anyway.
+	if m.cfg.Protocol == BatchUpdate || m.degradedLocked(o) {
+		// The host copy is authoritative (re-sent wholesale at the next
+		// invoke under batch; never transferred again when degraded).
 		o.mapping.Space.Write(addr, src)
 		o.mu.Unlock()
 		return nil
@@ -89,14 +101,28 @@ func (m *Manager) BulkWrite(addr mem.Addr, src []byte) error {
 		}
 		if addr == b.addr && n == b.size {
 			// Whole block: device write + host invalidation.
-			t0 := m.clock.Now()
-			m.dev.MemcpyH2D(b.devAddr(), src[:n])
-			d := m.clock.Now() - t0
-			m.book(sim.CatCopy, d)
+			cur := src[:n]
+			err := m.retry(sim.CatCopy, "bulk write", func() error {
+				t0 := m.clock.Now()
+				_, terr := m.dev.TryMemcpyH2D(b.devAddr(), cur)
+				d := m.clock.Now() - t0
+				m.book(sim.CatCopy, d)
+				m.statsMu.Lock()
+				m.stats.H2DWait += d
+				m.statsMu.Unlock()
+				return terr
+			})
+			if err != nil {
+				// Escalate (degrading o to host-resident mode) and land the
+				// remaining bytes in host memory: the write still succeeds,
+				// just against the now-authoritative host copy.
+				_ = m.escalateLocked(o, "bulk write", err)
+				werr := m.hostWriteLocked(o, addr, src)
+				o.mu.Unlock()
+				m.drainEvictions()
+				return werr
+			}
 			m.recordH2D(o, n)
-			m.statsMu.Lock()
-			m.stats.H2DWait += d
-			m.statsMu.Unlock()
 			// Leave the rolling bookkeeping consistent: the block is no
 			// longer dirty on the host.
 			m.rolling.forgetBlock(b)
@@ -129,7 +155,7 @@ func (m *Manager) BulkSet(addr mem.Addr, val byte, n int64) error {
 		o.mu.Unlock()
 		return errDead(addr)
 	}
-	if m.cfg.Protocol == BatchUpdate {
+	if m.cfg.Protocol == BatchUpdate || m.degradedLocked(o) {
 		o.mapping.Space.Memset(addr, val, n)
 		o.mu.Unlock()
 		return nil

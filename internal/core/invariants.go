@@ -36,6 +36,7 @@ func (m *Manager) CheckInvariants() error {
 		if o.dead {
 			return
 		}
+		degraded := o.degraded.Load()
 		var off int64
 		for _, b := range o.blocks {
 			if int64(b.addr) != int64(o.addr)+off {
@@ -53,6 +54,20 @@ func (m *Manager) CheckInvariants() error {
 			if e := m.checkBlockProt(b); e != nil {
 				err = e
 				return
+			}
+			if degraded {
+				// Degraded objects are host-resident: every block Dirty and
+				// writable, nothing in the rolling cache.
+				if b.state != StateDirty {
+					err = fmt.Errorf("core: degraded object %#x has %v block %#x",
+						uint64(o.addr), b.state, uint64(b.addr))
+					return
+				}
+				if m.rolling.isQueued(b) {
+					err = fmt.Errorf("core: degraded block %#x still queued", uint64(b.addr))
+					return
+				}
+				continue
 			}
 			if b.state == StateDirty {
 				dirty++

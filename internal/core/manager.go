@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/accel"
+	"repro/internal/fault"
 	"repro/internal/hostmmu"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -82,6 +84,14 @@ type Config struct {
 	TreeNodeCost sim.Time
 	// MprotectCost is charged per protection change.
 	MprotectCost sim.Time
+
+	// MaxRetries bounds the transparent retries of injected transfer and
+	// launch faults: 0 selects DefaultMaxRetries, negative disables
+	// retrying (the first transient fault escalates).
+	MaxRetries int
+	// RetryBase is the backoff of the first retry in virtual time; attempt
+	// i backs off RetryBase<<i. 0 selects DefaultRetryBase.
+	RetryBase sim.Time
 }
 
 // Manager is the GMAC shared-memory manager: it owns the shared address
@@ -151,6 +161,9 @@ type Manager struct {
 	// invokeKernel is the kernel currently being dispatched; protocols use
 	// it to honour §3.3 object-to-kernel bindings. Guarded by callMu.
 	invokeKernel string
+	// lost latches once the accelerator is declared lost (fault escalation,
+	// recover.go); objects then degrade to host-resident semantics.
+	lost atomic.Bool
 }
 
 // NewManager wires a manager to the host MMU, the host virtual address
@@ -311,6 +324,9 @@ func (m *Manager) Alloc(size int64) (mem.Addr, error) {
 // assigned to the given kernels, so invocations of other kernels neither
 // flush nor invalidate it — the CPU keeps working on it undisturbed.
 func (m *Manager) AllocFor(size int64, kernels ...string) (mem.Addr, error) {
+	if err := m.checkDeviceLost("alloc"); err != nil {
+		return 0, err
+	}
 	m.charge(sim.CatMalloc, m.cfg.MallocCost)
 
 	t0 := m.clock.Now()
@@ -363,6 +379,9 @@ func (m *Manager) SafeAlloc(size int64) (mem.Addr, error) {
 
 // SafeAllocFor is SafeAlloc with a §3.3 kernel binding.
 func (m *Manager) SafeAllocFor(size int64, kernels ...string) (mem.Addr, error) {
+	if err := m.checkDeviceLost("alloc"); err != nil {
+		return 0, err
+	}
 	m.charge(sim.CatMalloc, m.cfg.MallocCost)
 
 	t0 := m.clock.Now()
@@ -540,6 +559,9 @@ func (m *Manager) invoke(kernel string, writes objectSet, args []uint64) error {
 	// Settle deferred cross-object evictions before the release sweep so the
 	// rolling cache and block states are consistent at the call boundary.
 	m.drainEvictions()
+	if err := m.checkDeviceLost("invoke"); err != nil {
+		return err
+	}
 	sp := m.beginSpan("invoke", kernel)
 	defer m.endSpan(sp)
 	m.emit(trace.Event{Kind: trace.EvInvoke, Note: kernel})
@@ -556,9 +578,17 @@ func (m *Manager) invoke(kernel string, writes objectSet, args []uint64) error {
 		m.statsMu.Unlock()
 	}
 	m.charge(sim.CatLaunch, m.cfg.LaunchCost)
-	t0 := m.clock.Now()
-	_, err := m.dev.Launch(kernel, args...)
-	m.book(sim.CatCudaLaunch, m.clock.Now()-t0)
+	err := m.retry(sim.CatLaunch, "launch "+kernel, func() error {
+		t0 := m.clock.Now()
+		_, lerr := m.dev.Launch(kernel, args...)
+		m.book(sim.CatCudaLaunch, m.clock.Now()-t0)
+		return lerr
+	})
+	if err != nil && errors.Is(err, fault.ErrInjected) {
+		// Retries exhausted or the launch fault was permanent: the device
+		// is gone. Objects degrade lazily at the next entry point.
+		err = m.escalateDevice("launch "+kernel, err)
+	}
 	m.statsMu.Lock()
 	m.stats.Invokes++
 	m.statsMu.Unlock()
@@ -571,6 +601,9 @@ func (m *Manager) invoke(kernel string, writes objectSet, args []uint64) error {
 func (m *Manager) Sync() error {
 	m.callMu.Lock()
 	defer m.callMu.Unlock()
+	if err := m.checkDeviceLost("sync"); err != nil {
+		return err
+	}
 	sp := m.beginSpan("sync", "")
 	defer m.endSpan(sp)
 	stall := m.dev.Synchronize()
@@ -756,53 +789,81 @@ func (m *Manager) boundsCheck(addr mem.Addr, n int64) (*Object, error) {
 // blocking on the transfer itself, but waiting first for the DMA engine to
 // be free: §5.2 observes that "evictions must wait for the previous
 // transfer to finish before continuing". The wait is the eager-transfer
-// overlap cost plotted in Figure 11.
-func (m *Manager) flushBlockEager(b *Block) {
+// overlap cost plotted in Figure 11. Injected faults are retried; an
+// unrecoverable failure escalates (device lost, b's object degraded) and
+// is returned. The caller holds b.obj.mu.
+func (m *Manager) flushBlockEager(b *Block) error {
 	sp := m.beginSpan("flush", "eager")
 	defer m.endSpan(sp)
-	wait := m.dev.H2DFreeAt() - m.clock.Now()
-	if wait > 0 {
-		m.clock.Advance(wait)
-		m.statsMu.Lock()
-		m.stats.H2DWait += wait
-		m.statsMu.Unlock()
-		m.book(sim.CatCopy, wait)
+	err := m.retry(sim.CatCopy, "flush", func() error {
+		wait := m.dev.H2DFreeAt() - m.clock.Now()
+		if wait > 0 {
+			m.clock.Advance(wait)
+			m.statsMu.Lock()
+			m.stats.H2DWait += wait
+			m.statsMu.Unlock()
+			m.book(sim.CatCopy, wait)
+		}
+		_, terr := m.dev.TryMemcpyH2DAsync(b.devAddr(), b.hostBytes())
+		return terr
+	})
+	if err != nil {
+		return m.escalateLocked(b.obj, "flush", err)
 	}
-	m.dev.MemcpyH2DAsync(b.devAddr(), b.hostBytes())
 	m.recordH2D(b.obj, b.size)
 	m.emit(trace.Event{Kind: trace.EvFlush, Addr: b.addr, Size: b.size, Note: "eager"})
+	return nil
 }
 
 // flushBlockSync transfers a dirty block to the accelerator and stalls the
-// CPU until it completes (batch-update's conservative behaviour).
-func (m *Manager) flushBlockSync(b *Block) {
+// CPU until it completes (batch-update's conservative behaviour). Faults
+// are retried and escalate like flushBlockEager. The caller holds
+// b.obj.mu.
+func (m *Manager) flushBlockSync(b *Block) error {
 	sp := m.beginSpan("flush", "sync")
 	defer m.endSpan(sp)
-	t0 := m.clock.Now()
-	m.dev.MemcpyH2D(b.devAddr(), b.hostBytes())
-	d := m.clock.Now() - t0
-	m.statsMu.Lock()
-	m.stats.H2DWait += d
-	m.statsMu.Unlock()
-	m.book(sim.CatCopy, d)
+	err := m.retry(sim.CatCopy, "flush", func() error {
+		t0 := m.clock.Now()
+		_, terr := m.dev.TryMemcpyH2D(b.devAddr(), b.hostBytes())
+		d := m.clock.Now() - t0
+		m.statsMu.Lock()
+		m.stats.H2DWait += d
+		m.statsMu.Unlock()
+		m.book(sim.CatCopy, d)
+		return terr
+	})
+	if err != nil {
+		return m.escalateLocked(b.obj, "flush", err)
+	}
 	m.recordH2D(b.obj, b.size)
 	m.emit(trace.Event{Kind: trace.EvFlush, Addr: b.addr, Size: b.size, Note: "sync"})
+	return nil
 }
 
 // fetchBlockSync transfers a block from the accelerator to host memory,
-// stalling the CPU (the faulting access needs the data now).
-func (m *Manager) fetchBlockSync(b *Block) {
+// stalling the CPU (the faulting access needs the data now). Faults are
+// retried — a corrupt attempt scribbles the host block, so the retry's
+// full-block copy must overwrite it — and escalate like flushBlockEager.
+// The caller holds b.obj.mu.
+func (m *Manager) fetchBlockSync(b *Block) error {
 	sp := m.beginSpan("fetch", "")
 	defer m.endSpan(sp)
-	t0 := m.clock.Now()
-	m.dev.MemcpyD2H(b.hostBytes(), b.devAddr())
-	d := m.clock.Now() - t0
-	m.statsMu.Lock()
-	m.stats.D2HWait += d
-	m.statsMu.Unlock()
-	m.book(sim.CatCopy, d)
+	err := m.retry(sim.CatCopy, "fetch", func() error {
+		t0 := m.clock.Now()
+		_, terr := m.dev.TryMemcpyD2H(b.hostBytes(), b.devAddr())
+		d := m.clock.Now() - t0
+		m.statsMu.Lock()
+		m.stats.D2HWait += d
+		m.statsMu.Unlock()
+		m.book(sim.CatCopy, d)
+		return terr
+	})
+	if err != nil {
+		return m.escalateLocked(b.obj, "fetch", err)
+	}
 	m.recordD2H(b.obj, b.size)
 	m.emit(trace.Event{Kind: trace.EvFetch, Addr: b.addr, Size: b.size})
+	return nil
 }
 
 // recordH2D books one host-to-device transfer of n bytes against the
@@ -848,15 +909,20 @@ func (m *Manager) noteEviction(victim *Block) {
 }
 
 // flushEvicted writes an evicted rolling-cache victim back to the
-// accelerator and downgrades it to ReadOnly. The caller must hold
+// accelerator and downgrades it to ReadOnly. On an unrecoverable fault the
+// flush has already escalated (victim's object degraded, block left Dirty
+// and writable) and the error is returned. The caller must hold
 // victim.obj.mu.
-func (m *Manager) flushEvicted(victim *Block) {
+func (m *Manager) flushEvicted(victim *Block) error {
 	if victim.state != StateDirty {
-		return
+		return nil
 	}
-	m.flushBlockEager(victim)
+	if err := m.flushBlockEager(victim); err != nil {
+		return err
+	}
 	victim.state = StateReadOnly
 	m.setProt(victim, hostmmu.ProtRead)
+	return nil
 }
 
 // deferEviction queues a victim whose object lock the current goroutine
@@ -874,14 +940,22 @@ func (m *Manager) deferEviction(victim *Block) {
 // is left alone (the cache owns it again); one flushed by a racing drain is
 // skipped via the state check.
 func (m *Manager) drainEvictions() {
+	if m.lost.Load() {
+		// The device is gone: deferred flushes are moot, and any object not
+		// yet degraded switches to host-resident mode here, the sweep every
+		// entry point passes through.
+		m.degradeAll()
+	}
 	m.evictMu.Lock()
 	victims := m.evictQ
 	m.evictQ = nil
 	m.evictMu.Unlock()
 	for _, v := range victims {
 		v.obj.mu.Lock()
-		if !v.obj.dead && v.state == StateDirty && !m.rolling.isQueued(v) {
-			m.flushEvicted(v)
+		if !v.obj.dead && !v.obj.degraded.Load() && v.state == StateDirty && !m.rolling.isQueued(v) {
+			// An unrecoverable flush has already escalated (the object is
+			// degraded and keeps its data host-side); nothing further to do.
+			_ = m.flushEvicted(v)
 		}
 		v.obj.mu.Unlock()
 	}

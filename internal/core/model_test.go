@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/mem"
+	"repro/internal/testutil"
 )
 
 // TestCoherenceAgainstReferenceModel drives a shared object with a random
@@ -42,7 +43,7 @@ func TestCoherenceAgainstReferenceModel(t *testing.T) {
 	for _, tc := range configs {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			for seed := int64(1); seed <= 6; seed++ {
+			for _, seed := range testutil.Seeds(t, 1, 6) {
 				if err := runModel(t, tc.cfg, seed, objSize); err != nil {
 					t.Fatalf("seed %d: %v", seed, err)
 				}
@@ -54,7 +55,14 @@ func TestCoherenceAgainstReferenceModel(t *testing.T) {
 // runModel executes one random schedule against one manager configuration.
 func runModel(t *testing.T, cfg Config, seed int64, objSize int64) error {
 	t.Helper()
-	r := newRig(t, cfg)
+	return runModelOn(newRig(t, cfg), seed, objSize)
+}
+
+// runModelOn executes one random schedule against a pre-built rig, so the
+// chaos suite can arm the rig's device with a fault injector first. The
+// flat reference model is fault-free by construction: a run under a
+// recoverable fault schedule must still match it byte for byte.
+func runModelOn(r *rig, seed int64, objSize int64) error {
 	rng := rand.New(rand.NewSource(seed))
 
 	// The device kernel XORs a pattern over a range of the object:

@@ -144,12 +144,21 @@ type Object struct {
 	// kernels restricts which accelerator kernels use this object (§3.3's
 	// "more elaborate scheme"); nil means every kernel (the minimal API).
 	kernels map[string]bool
+	// degraded marks an object that fell back to host-resident batch-update
+	// semantics after its device was lost: all blocks Dirty and writable,
+	// never transferred again. Set under mu; atomic because introspection
+	// snapshots read it from HTTP goroutines without the lock.
+	degraded atomic.Bool
 	// counters attribute faults, transfers and evictions to this object.
 	counters objCounters
 }
 
 // Stats returns a copy of the object's activity counters.
 func (o *Object) Stats() ObjStats { return o.counters.load() }
+
+// Degraded reports whether the object has fallen back to host-resident
+// semantics after a device loss.
+func (o *Object) Degraded() bool { return o.degraded.Load() }
 
 // Addr returns the object's host virtual address.
 func (o *Object) Addr() mem.Addr { return o.addr }

@@ -26,6 +26,8 @@ type metricSet struct {
 	transfersH2D, transfersD2H      *metrics.Counter
 	evictions                       *metrics.Counter
 	allocs, frees, invokes, syncs   *metrics.Counter
+	retries, retryGiveups           *metrics.Counter
+	degraded, deviceLost            *metrics.Counter
 
 	faultNs     *metrics.Histogram
 	searchDepth *metrics.Histogram
@@ -49,6 +51,10 @@ func newMetricSet(r *metrics.Registry, proto ProtocolKind) *metricSet {
 		frees:        r.Counter(lbl("adsm_frees_total")),
 		invokes:      r.Counter(lbl("adsm_invokes_total")),
 		syncs:        r.Counter(lbl("adsm_syncs_total")),
+		retries:      r.Counter(lbl("adsm_retries_total")),
+		retryGiveups: r.Counter(lbl("adsm_retry_giveups_total")),
+		degraded:     r.Counter(lbl("adsm_degraded_objects_total")),
+		deviceLost:   r.Counter(lbl("adsm_device_lost_total")),
 		faultNs:      r.Histogram(lbl("adsm_fault_service_ns"), metrics.LatencyBuckets),
 		searchDepth:  r.Histogram(lbl("adsm_search_depth_nodes"), metrics.DepthBuckets),
 		rollingOcc:   r.Gauge(lbl("adsm_rolling_occupancy")),
@@ -66,8 +72,10 @@ type ObjectSnapshot struct {
 	Kernels int      `json:"kernels,omitempty"`
 	// Freed marks an object that has been released; its final counters are
 	// retained (bounded) so short-lived runs stay attributable.
-	Freed bool     `json:"freed,omitempty"`
-	Stats ObjStats `json:"stats"`
+	Freed bool `json:"freed,omitempty"`
+	// Degraded marks an object running host-resident after a device loss.
+	Degraded bool     `json:"degraded,omitempty"`
+	Stats    ObjStats `json:"stats"`
 }
 
 // maxRetiredObjects bounds the per-manager ring of freed-object rows.
@@ -81,13 +89,14 @@ func (s ObjectSnapshot) traffic() int64 {
 // snapshotObject builds one table row from a live object.
 func snapshotObject(o *Object) ObjectSnapshot {
 	return ObjectSnapshot{
-		Addr:    o.addr,
-		DevAddr: o.devAddr,
-		Size:    o.size,
-		Blocks:  len(o.blocks),
-		Safe:    o.safe,
-		Kernels: len(o.kernels),
-		Stats:   o.counters.load(),
+		Addr:     o.addr,
+		DevAddr:  o.devAddr,
+		Size:     o.size,
+		Blocks:   len(o.blocks),
+		Safe:     o.safe,
+		Kernels:  len(o.kernels),
+		Degraded: o.degraded.Load(),
+		Stats:    o.counters.load(),
 	}
 }
 

@@ -26,8 +26,9 @@ func (m *Manager) PeerWrite(addr mem.Addr, src []byte) error {
 	if o.dead {
 		return errDead(addr)
 	}
-	if m.cfg.Protocol == BatchUpdate {
-		// Batch keeps the host copy authoritative; peer DMA cannot help.
+	if m.cfg.Protocol == BatchUpdate || m.degradedLocked(o) {
+		// Batch (and degraded objects) keep the host copy authoritative;
+		// peer DMA cannot help.
 		o.mapping.Space.Write(addr, src)
 		return nil
 	}
@@ -38,8 +39,13 @@ func (m *Manager) PeerWrite(addr mem.Addr, src []byte) error {
 			n = int64(len(src))
 		}
 		if b.state == StateDirty {
-			// Preserve host bytes outside the written range.
-			m.flushBlockEager(b)
+			// Preserve host bytes outside the written range. A permanent
+			// flush failure degrades o to host-resident mode: land the
+			// remaining peer bytes in the authoritative host copy instead.
+			if err := m.flushBlockEager(b); err != nil {
+				o.mapping.Space.Write(addr, src)
+				return nil
+			}
 			m.rolling.forgetBlock(b)
 		}
 		// The I/O device writes accelerator memory directly; the transfer
@@ -73,7 +79,7 @@ func (m *Manager) PeerRead(addr mem.Addr, dst []byte) error {
 	if o.dead {
 		return errDead(addr)
 	}
-	if m.cfg.Protocol == BatchUpdate {
+	if m.cfg.Protocol == BatchUpdate || m.degradedLocked(o) {
 		o.mapping.Space.Read(addr, dst)
 		return nil
 	}

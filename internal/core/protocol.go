@@ -59,11 +59,19 @@ func (p *batchProtocol) onInvoke(writes objectSet) error {
 	// copies ("system memory gets invalidated on kernel calls"). Objects
 	// already invalidated by a preceding call in the same call/return
 	// window are not re-sent — re-sending would clobber in-flight kernel
-	// output.
+	// output. Degraded objects stay host-resident; a transfer failure
+	// aborts the sweep with the object already degraded.
+	var err error
 	p.m.eachInvokeObject(func(o *Object) {
+		if err != nil || o.degraded.Load() {
+			return
+		}
 		for _, b := range o.blocks {
 			if b.state == StateDirty {
-				p.m.flushBlockSync(b)
+				if e := p.m.flushBlockSync(b); e != nil {
+					err = e
+					return
+				}
 			}
 			// Non-written objects keep their Dirty state: batch-update has
 			// no access detection, so it cannot know whether the CPU will
@@ -73,7 +81,7 @@ func (p *batchProtocol) onInvoke(writes objectSet) error {
 			}
 		}
 	})
-	return nil
+	return err
 }
 
 func (p *batchProtocol) onReturn() error {
@@ -81,13 +89,20 @@ func (p *batchProtocol) onReturn() error {
 	// implicitly invalidating the accelerator copy. Objects bound to other
 	// kernels never went to the device for this call, so fetching them
 	// would clobber the host's authoritative copy.
+	var err error
 	p.m.eachInvokeObject(func(o *Object) {
+		if err != nil || o.degraded.Load() {
+			return
+		}
 		for _, b := range o.blocks {
-			p.m.fetchBlockSync(b)
+			if e := p.m.fetchBlockSync(b); e != nil {
+				err = e
+				return
+			}
 			b.state = StateDirty
 		}
 	})
-	return nil
+	return err
 }
 
 // --- lazy-update ---
@@ -109,11 +124,18 @@ func (p *lazyProtocol) onFault(b *Block, access hostmmu.Access) error {
 }
 
 func (p *lazyProtocol) onInvoke(writes objectSet) error {
+	var err error
 	p.m.eachInvokeObject(func(o *Object) {
+		if err != nil || o.degraded.Load() {
+			return
+		}
 		written := writes.contains(o)
 		for _, b := range o.blocks {
 			if b.state == StateDirty {
-				p.m.flushBlockEager(b)
+				if e := p.m.flushBlockEager(b); e != nil {
+					err = e
+					return
+				}
 				b.state = StateReadOnly
 				if !written {
 					// Both copies now match; catch the next CPU write.
@@ -128,7 +150,7 @@ func (p *lazyProtocol) onInvoke(writes objectSet) error {
 			p.m.setProtObject(o, hostmmu.ProtNone)
 		}
 	})
-	return nil
+	return err
 }
 
 func (p *lazyProtocol) onReturn() error {
@@ -155,12 +177,14 @@ func (p *rollingProtocol) onFault(b *Block, access hostmmu.Access) error {
 	if err := resolveFault(p.m, b, access); err != nil {
 		return err
 	}
-	if b.state == StateDirty {
+	if b.state == StateDirty && !b.obj.degraded.Load() {
 		if victim := p.m.rolling.push(b); victim != nil {
 			p.m.noteEviction(victim)
 			if victim.obj == b.obj {
 				// Same object: this fault already holds its lock.
-				p.m.flushEvicted(victim)
+				if err := p.m.flushEvicted(victim); err != nil {
+					return err
+				}
 			} else {
 				// Flushing now would need a second Object.mu; defer to the
 				// entry point, which drains after releasing its own lock.
@@ -181,11 +205,19 @@ func (p *rollingProtocol) onInvoke(writes objectSet) error {
 	// flushing early is always safe and keeps the cache bookkeeping
 	// simple — but they are not invalidated below.
 	defer p.m.mets.rollingOcc.Set(0)
+	var err error
 	for _, b := range p.m.rolling.drain() {
 		o := b.obj
 		o.mu.Lock()
-		if !o.dead && b.state == StateDirty {
-			p.m.flushBlockEager(b)
+		if !o.dead && !o.degraded.Load() && b.state == StateDirty {
+			if e := p.m.flushBlockEager(b); e != nil {
+				// Escalated: o is degraded and keeps its data host-side.
+				// Finish the walk so other objects' blocks are not left
+				// dirty-but-unqueued, then fail the invocation.
+				err = e
+				o.mu.Unlock()
+				continue
+			}
 			b.state = StateReadOnly // both copies identical until invalidated below
 			// Unless the sweep below will invalidate the object (it is in
 			// the call's §3.3 scope AND in the write annotation), the block
@@ -197,13 +229,22 @@ func (p *rollingProtocol) onInvoke(writes objectSet) error {
 		}
 		o.mu.Unlock()
 	}
+	if err != nil {
+		return err
+	}
 	p.m.eachInvokeObject(func(o *Object) {
+		if err != nil || o.degraded.Load() {
+			return
+		}
 		written := writes.contains(o)
 		for _, b := range o.blocks {
 			if b.state == StateDirty {
 				// A dirty block outside the rolling cache would be a
 				// bookkeeping bug; flush defensively.
-				p.m.flushBlockEager(b)
+				if e := p.m.flushBlockEager(b); e != nil {
+					err = e
+					return
+				}
 				b.state = StateReadOnly
 				if !written {
 					p.m.setProt(b, hostmmu.ProtRead)
@@ -217,7 +258,7 @@ func (p *rollingProtocol) onInvoke(writes objectSet) error {
 			p.m.setProtObject(o, hostmmu.ProtNone)
 		}
 	})
-	return nil
+	return err
 }
 
 func (p *rollingProtocol) onReturn() error { return nil }
@@ -233,9 +274,17 @@ func resolveFault(m *Manager, b *Block, access hostmmu.Access) error {
 				From: before.String(), To: b.state.String()})
 		}
 	}()
+	// A fault on an object whose device is already known-lost degrades it in
+	// place: the host copy (stale or not) becomes authoritative, matching the
+	// drainEvictions sweep instead of failing the access.
+	if m.degradedLocked(b.obj) {
+		return nil
+	}
 	switch b.state {
 	case StateInvalid:
-		m.fetchBlockSync(b)
+		if err := m.fetchBlockSync(b); err != nil {
+			return err
+		}
 		if access == hostmmu.AccessWrite {
 			b.state = StateDirty
 			m.setProt(b, hostmmu.ProtReadWrite)

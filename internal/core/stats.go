@@ -38,6 +38,12 @@ type Stats struct {
 
 	// API call counts.
 	Allocs, Frees, Invokes, Syncs int64
+
+	// Fault-recovery activity (the chaos harness): transparent retries of
+	// injected transfer/launch faults, retry budgets exhausted, objects
+	// degraded to host-resident mode, and device-loss transitions.
+	Retries, RetryGiveups             int64
+	DegradedObjects, DeviceLostEvents int64
 }
 
 // Sub returns the difference s - base, counter by counter. Experiment

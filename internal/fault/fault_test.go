@@ -1,0 +1,123 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNthAndEveryKSchedules(t *testing.T) {
+	in := NewInjector(1, nil,
+		Nth(OpDMAH2D, 3, KindTransient),
+		EveryK(OpLaunch, 2, KindTransient),
+	)
+	var h2dFails, launchFails []int64
+	for i := int64(1); i <= 8; i++ {
+		if err := in.Decide(OpDMAH2D); err != nil {
+			h2dFails = append(h2dFails, i)
+		}
+		if err := in.Decide(OpLaunch); err != nil {
+			launchFails = append(launchFails, i)
+		}
+	}
+	if !reflect.DeepEqual(h2dFails, []int64{3}) {
+		t.Errorf("Nth(3) failed ops %v, want [3]", h2dFails)
+	}
+	if !reflect.DeepEqual(launchFails, []int64{2, 4, 6, 8}) {
+		t.Errorf("EveryK(2) failed ops %v, want [2 4 6 8]", launchFails)
+	}
+	if in.Count(OpDMAH2D) != 1 || in.Count(OpLaunch) != 4 || in.Total() != 5 {
+		t.Errorf("counts: h2d=%d launch=%d total=%d", in.Count(OpDMAH2D), in.Count(OpLaunch), in.Total())
+	}
+}
+
+func TestAfterIsPermanent(t *testing.T) {
+	in := NewInjector(1, nil, After(OpDMAD2H, 4, KindDeviceLost))
+	for i := int64(1); i <= 6; i++ {
+		err := in.Decide(OpDMAD2H)
+		if i < 4 && err != nil {
+			t.Fatalf("op %d unexpectedly failed: %v", i, err)
+		}
+		if i >= 4 {
+			if err == nil {
+				t.Fatalf("op %d unexpectedly succeeded", i)
+			}
+			if !errors.Is(err, ErrDeviceLost) || !errors.Is(err, ErrInjected) {
+				t.Fatalf("op %d error %v does not match the sentinels", i, err)
+			}
+		}
+	}
+}
+
+func TestErrorSentinels(t *testing.T) {
+	transient := &Error{Op: OpDMAH2D, Kind: KindTransient, Seq: 1}
+	if !errors.Is(transient, ErrInjected) {
+		t.Error("transient fault does not match ErrInjected")
+	}
+	if errors.Is(transient, ErrDeviceLost) {
+		t.Error("transient fault matches ErrDeviceLost")
+	}
+	lost := &Error{Op: OpLaunch, Kind: KindDeviceLost, Seq: 2}
+	if !errors.Is(lost, ErrDeviceLost) || !errors.Is(lost, ErrInjected) {
+		t.Error("device-lost fault does not match both sentinels")
+	}
+}
+
+func TestTimeoutCarriesDelay(t *testing.T) {
+	in := NewInjector(1, nil, Nth(OpFileRead, 1, KindTimeout))
+	err := in.Decide(OpFileRead)
+	var fe *Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("Decide returned %v, want *Error", err)
+	}
+	if fe.Delay != DefaultTimeoutDelay {
+		t.Errorf("timeout delay = %v, want default %v", fe.Delay, DefaultTimeoutDelay)
+	}
+	custom := Nth(OpFileRead, 1, KindTimeout)
+	custom.Delay = 5 * sim.Microsecond
+	in2 := NewInjector(1, nil, custom)
+	err = in2.Decide(OpFileRead)
+	if !errors.As(err, &fe) || fe.Delay != 5*sim.Microsecond {
+		t.Errorf("custom delay not honoured: %v", err)
+	}
+}
+
+// TestProbReplay is the package-level half of the determinism acceptance
+// criterion: the same seed and schedule reproduce the same decisions.
+func TestProbReplay(t *testing.T) {
+	run := func(seed int64) []Injection {
+		clock := sim.NewClock()
+		in := NewInjector(seed, clock, Prob(OpDMAH2D, 0.3, KindTransient))
+		for i := 0; i < 200; i++ {
+			clock.Advance(sim.Microsecond)
+			in.Decide(OpDMAH2D)
+		}
+		return in.Log()
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("probabilistic schedule injected nothing in 200 ops")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different injection logs:\n%v\n%v", a, b)
+	}
+	c := run(43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical logs (suspicious)")
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	in := NewInjector(1, nil,
+		Nth(OpLaunch, 2, KindCorrupt),
+		EveryK(OpLaunch, 2, KindTransient),
+	)
+	in.Decide(OpLaunch) // #1: no rule
+	err := in.Decide(OpLaunch)
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Kind != KindCorrupt {
+		t.Fatalf("op #2 got %v, want the first rule's corrupt fault", err)
+	}
+}

@@ -10,9 +10,11 @@
 package interconnect
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -32,6 +34,20 @@ type Link struct {
 	// plain struct-literal links keep working.
 	instrument         sync.Once
 	nTransfers, nBytes *metrics.Counter
+	nFaults            *metrics.Counter
+
+	// inj, when set via SetInjector, is consulted by Transfer (the
+	// fault-aware entry point); TransferTime stays infallible for the
+	// analytic cost-model paths. Installed once at machine setup.
+	inj   *fault.Injector
+	injOp fault.Op
+}
+
+// SetInjector arms the link with a fault injector; every Transfer call
+// consults it under the given operation class. Pass nil to disarm.
+func (l *Link) SetInjector(in *fault.Injector, op fault.Op) {
+	l.inj = in
+	l.injOp = op
 }
 
 // TransferTime returns the virtual time needed to move n bytes across the
@@ -42,10 +58,32 @@ func (l *Link) TransferTime(n int64) sim.Time {
 		r := metrics.Default()
 		l.nTransfers = r.Counter(metrics.Label("link_transfers_total", "link", l.Name))
 		l.nBytes = r.Counter(metrics.Label("link_bytes_total", "link", l.Name))
+		l.nFaults = r.Counter(metrics.Label("link_faults_total", "link", l.Name))
 	})
 	l.nTransfers.Inc()
 	l.nBytes.Add(n)
 	return l.transferTime(n)
+}
+
+// Transfer is the fault-aware variant of TransferTime: it books the
+// transfer, consults the link's injector, and returns the attempt's
+// duration plus any injected error. A failed attempt still crosses the
+// wire — the returned duration covers it (plus the timeout penalty for
+// timeout faults) — but the data must not be considered delivered.
+func (l *Link) Transfer(n int64) (sim.Time, error) {
+	d := l.TransferTime(n)
+	if l.inj == nil {
+		return d, nil
+	}
+	if err := l.inj.Decide(l.injOp); err != nil {
+		var fe *fault.Error
+		if errors.As(err, &fe) {
+			d += fe.Delay
+		}
+		l.nFaults.Inc()
+		return d, fmt.Errorf("interconnect %s: %w", l.Name, err)
+	}
+	return d, nil
 }
 
 // transferTime is the pure cost model, shared with the analytic helpers

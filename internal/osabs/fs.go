@@ -12,6 +12,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/interconnect"
 	"repro/internal/sim"
 )
@@ -30,6 +31,9 @@ type FS struct {
 	clock *sim.Clock
 	bd    *sim.Breakdown
 	stats IOStats
+	// inj, when set, is consulted before every Read/Write (I/O fault
+	// testing); a faulted operation touches no data.
+	inj *fault.Injector
 }
 
 type inode struct {
@@ -54,6 +58,28 @@ func NewFS(disk *interconnect.Link, clock *sim.Clock, bd *sim.Breakdown) *FS {
 
 // Stats returns a copy of the traffic counters.
 func (fs *FS) Stats() IOStats { return fs.stats }
+
+// SetFaultInjector arms the filesystem with a fault injector consulted by
+// every Read and Write under fault.OpFileRead/OpFileWrite. Pass nil to
+// disarm.
+func (fs *FS) SetFaultInjector(in *fault.Injector) { fs.inj = in }
+
+// injectIO consults the injector for one I/O operation; a timeout fault
+// charges its delay to the clock before surfacing.
+func (fs *FS) injectIO(op fault.Op) error {
+	if fs.inj == nil {
+		return nil
+	}
+	err := fs.inj.Decide(op)
+	if err == nil {
+		return nil
+	}
+	var fe *fault.Error
+	if errors.As(err, &fe) && fe.Delay > 0 && fs.clock != nil {
+		fs.clock.Advance(fe.Delay)
+	}
+	return fmt.Errorf("osabs: %w", err)
+}
 
 // Create makes (or truncates) a file and returns a handle positioned at 0.
 func (fs *FS) Create(name string) *File {
@@ -170,6 +196,9 @@ func (f *File) Read(p []byte) (int, error) {
 	if f.closed {
 		return 0, ErrClosed
 	}
+	if err := f.fs.injectIO(fault.OpFileRead); err != nil {
+		return 0, err
+	}
 	if f.off >= int64(len(f.ino.data)) {
 		return 0, io.EOF
 	}
@@ -188,6 +217,9 @@ func (f *File) Read(p []byte) (int, error) {
 func (f *File) Write(p []byte) (int, error) {
 	if f.closed {
 		return 0, ErrClosed
+	}
+	if err := f.fs.injectIO(fault.OpFileWrite); err != nil {
+		return 0, err
 	}
 	end := f.off + int64(len(p))
 	if end > int64(len(f.ino.data)) {

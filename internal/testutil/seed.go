@@ -1,0 +1,58 @@
+// Package testutil holds shared helpers for the repository's randomized
+// tests: deterministic seed management with environment override, so any
+// chaos/model/stress failure can be replayed exactly.
+package testutil
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// SeedEnv is the environment variable overriding randomized tests' seeds.
+const SeedEnv = "ADSM_TEST_SEED"
+
+// Seed returns the base seed a randomized test should use: the value of
+// ADSM_TEST_SEED when set, otherwise fallback. A cleanup hook prints the
+// seed if the test fails, so the failure replays with
+//
+//	ADSM_TEST_SEED=<seed> go test -run <TestName> ...
+func Seed(t *testing.T, fallback int64) int64 {
+	t.Helper()
+	seed := fallback
+	if v := os.Getenv(SeedEnv); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("testutil: bad %s=%q: %v", SeedEnv, v, err)
+		}
+		seed = n
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("replay with %s=%d", SeedEnv, seed)
+		}
+	})
+	return seed
+}
+
+// Seeds returns the seeds a multi-seed randomized test should sweep:
+// [first, first+n) normally, or just the ADSM_TEST_SEED value when the
+// override is set (replaying one failing seed). Like Seed, the seeds are
+// printed if the test fails.
+func Seeds(t *testing.T, first int64, n int) []int64 {
+	t.Helper()
+	if v := os.Getenv(SeedEnv); v != "" {
+		return []int64{Seed(t, first)}
+	}
+	out := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, first+int64(i))
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("replay a single seed with %s=<seed> (swept %d..%d)",
+				SeedEnv, first, first+int64(n)-1)
+		}
+	})
+	return out
+}

@@ -28,6 +28,9 @@ const (
 	EvEvict
 	EvInvoke
 	EvSync
+	EvRetry
+	EvDegrade
+	EvDeviceLost
 )
 
 func (k Kind) String() string {
@@ -50,6 +53,12 @@ func (k Kind) String() string {
 		return "invoke"
 	case EvSync:
 		return "sync"
+	case EvRetry:
+		return "retry"
+	case EvDegrade:
+		return "degrade"
+	case EvDeviceLost:
+		return "device-lost"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

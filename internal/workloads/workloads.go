@@ -88,6 +88,9 @@ type Options struct {
 	BlockSize int64
 	// FixedRolling pins the rolling size (Figure 12); 0 means adaptive.
 	FixedRolling int
+	// MaxRetries bounds transparent retries of injected faults (the
+	// gmacbench -faults mode); 0 selects the runtime default.
+	MaxRetries int
 	// Machine builds the testbed (default machine.PaperTestbed).
 	Machine func() *machine.Machine
 }
@@ -133,6 +136,7 @@ func RunGMAC(b Benchmark, opt Options) (Report, error) {
 		Protocol:     opt.Protocol,
 		BlockSize:    opt.BlockSize,
 		FixedRolling: opt.FixedRolling,
+		MaxRetries:   opt.MaxRetries,
 	})
 	if err != nil {
 		return Report{}, err
