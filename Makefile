@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all check fmt vet build test race bench smoke fuzz chaos clean
+.PHONY: all check fmt vet build test race bench bench-micro bench-gate baseline smoke fuzz chaos clean
 
 all: check
 
@@ -26,6 +26,21 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Hot-path microbenchmarks (fault service, eviction, registry lookup),
+# repeated so benchstat can tell noise from signal.
+bench-micro:
+	$(GO) test -bench 'BenchmarkFault|BenchmarkRollingEvict|BenchmarkBlockLookup' \
+		-benchmem -benchtime=100x -count=3 -run '^$$' ./internal/benchgate ./internal/core
+
+# The benchmark-regression gate: re-run the micro + figure suites and
+# compare against the committed baseline (see docs/performance.md).
+bench-gate:
+	$(GO) run ./cmd/gmacbench -small -benchtime 0.3s -check BENCH_PR4.json
+
+# Refresh the committed baseline after an intentional model change.
+baseline:
+	$(GO) run ./cmd/gmacbench -small -benchtime 0.5s -baseline BENCH_PR4.json
 
 # Fast end-to-end sanity: one small figure run with the JSON summary.
 smoke:

@@ -24,6 +24,14 @@ func reportVariant(b *testing.B, rep workloads.Report, prefix string) {
 	b.ReportMetric(rep.Time.Seconds()*1e3, prefix+"-vms")
 	b.ReportMetric(float64(rep.GMAC.BytesH2D)/1024, prefix+"-h2dKB")
 	b.ReportMetric(float64(rep.GMAC.BytesD2H)/1024, prefix+"-d2hKB")
+	// Transfer counts, not just bytes: eviction coalescing batches adjacent
+	// dirty blocks into single DMA transfers, so the same h2dKB moving in
+	// fewer transfers is the optimisation showing up.
+	b.ReportMetric(float64(rep.GMAC.TransfersH2D), prefix+"-h2dxfers")
+	b.ReportMetric(float64(rep.GMAC.TransfersD2H), prefix+"-d2hxfers")
+	if rep.GMAC.Evictions > 0 {
+		b.ReportMetric(float64(rep.GMAC.Evictions), prefix+"-evictions")
+	}
 }
 
 // BenchmarkFig2 regenerates the analytic bandwidth-requirements table.

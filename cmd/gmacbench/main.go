@@ -14,6 +14,12 @@
 // trajectory can be tracked across changes; if no evaluation experiment
 // was requested, the evaluation sweep is run for the summary alone.
 //
+// -baseline FILE runs the benchmark-regression suite (hot-path
+// microbenchmarks plus the evaluation sweep) and writes a benchgate
+// summary; -check FILE runs the same suite and compares against a
+// committed baseline, exiting non-zero on any tolerance violation. See
+// docs/performance.md.
+//
 // -debug.addr ADDR starts the live introspection endpoint (see
 // docs/observability.md): curl ADDR/adsm/stats while the run is in
 // flight. -debug.hold keeps the process (and the endpoint) alive after
@@ -28,6 +34,7 @@ import (
 	"strings"
 
 	"repro/gmac"
+	"repro/internal/benchgate"
 	"repro/internal/figures"
 	"repro/internal/workloads"
 )
@@ -38,6 +45,9 @@ func main() {
 	faultSeed := flag.Int64("faults.seed", 1, "injector `seed` for -faults (replays exactly)")
 	hostThreads := flag.Int("hostthreads", 0, "run the concurrent fault-throughput benchmark with `N` host goroutines")
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark summary to `file`")
+	baseline := flag.String("baseline", "", "run the regression suite and write a benchgate baseline to `file`")
+	check := flag.String("check", "", "run the regression suite and compare against the baseline in `file`")
+	benchtime := flag.String("benchtime", "", "benchmarking `duration` per microbenchmark for -baseline/-check (e.g. 1s, 100x; default 1s)")
 	debugAddr := flag.String("debug.addr", "", "serve live introspection endpoints on `addr` (e.g. localhost:6060)")
 	debugHold := flag.Bool("debug.hold", false, "with -debug.addr: keep serving after the run finishes")
 	flag.Usage = func() {
@@ -57,6 +67,15 @@ func main() {
 	}
 	if *hostThreads > 0 {
 		if err := runHostThreads(*hostThreads, *small); err != nil {
+			fmt.Fprintln(os.Stderr, "gmacbench:", err)
+			os.Exit(1)
+		}
+		if len(args) == 0 {
+			return
+		}
+	}
+	if *baseline != "" || *check != "" {
+		if err := runGate(*baseline, *check, *small, *benchtime); err != nil {
 			fmt.Fprintln(os.Stderr, "gmacbench:", err)
 			os.Exit(1)
 		}
@@ -180,6 +199,43 @@ func writeBenchJSON(path string, small bool, entries []benchEntry) error {
 	return f.Close()
 }
 
+// runGate runs the benchmark-regression suite: microbenchmarks (wall clock,
+// allocations, per-op virtual metrics) plus the figure-level evaluation
+// sweep. With baselinePath it writes the summary for committing; with
+// checkPath it compares against the committed baseline and fails on any
+// tolerance violation.
+func runGate(baselinePath, checkPath string, small bool, benchtime string) error {
+	sum, err := benchgate.BuildSummary(small, benchtime)
+	if err != nil {
+		return err
+	}
+	if baselinePath != "" {
+		if err := sum.WriteFile(baselinePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "gmacbench: wrote benchmark baseline to %s\n", baselinePath)
+	}
+	if checkPath != "" {
+		base, err := benchgate.ReadSummary(checkPath)
+		if err != nil {
+			return err
+		}
+		if base.Scale != sum.Scale {
+			return fmt.Errorf("baseline %s is %q scale but this run is %q; pass matching -small", checkPath, base.Scale, sum.Scale)
+		}
+		regs := benchgate.Compare(base, sum, benchgate.DefaultTolerance)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "gmacbench: REGRESSION:", r)
+			}
+			return fmt.Errorf("%d benchmark regression(s) against %s", len(regs), checkPath)
+		}
+		fmt.Fprintf(os.Stderr, "gmacbench: benchmark check passed against %s (%d micro, %d figure entries)\n",
+			checkPath, len(sum.Micro), len(sum.Figures))
+	}
+	return nil
+}
+
 func run(want map[string]bool, small bool, jsonOut string) error {
 	known := map[string]bool{
 		"fig2": true, "table2": true, "porting": true, "fig7": true,
@@ -228,10 +284,7 @@ func run(want map[string]bool, small bool, jsonOut string) error {
 		}
 	}
 	if want["fig9"] {
-		sizes, blocks := figures.Fig9Sizes, figures.Fig9Blocks
-		if small {
-			sizes, blocks = []int64{16, 24}, []int64{4 << 10, 64 << 10}
-		}
+		sizes, blocks := figures.Fig9Params(small)
 		rows, err := figures.Fig9Rows(sizes, blocks)
 		if err != nil {
 			return err
@@ -240,11 +293,7 @@ func run(want map[string]bool, small bool, jsonOut string) error {
 		fmt.Println(figures.Fig9PlotFrom(rows, blocks).Render())
 	}
 	if want["fig11"] {
-		n := int64(8 << 20)
-		blocks := figures.Fig11Blocks
-		if small {
-			n, blocks = 128<<10, []int64{4 << 10, 64 << 10, 512 << 10}
-		}
+		n, blocks := figures.Fig11Params(small)
 		rows, err := figures.Fig11(n, blocks)
 		if err != nil {
 			return err
@@ -253,13 +302,7 @@ func run(want map[string]bool, small bool, jsonOut string) error {
 		fmt.Println(figures.Fig11Plot(rows).Render())
 	}
 	if want["fig12"] {
-		var bench = figures.Fig12DefaultBench()
-		blocks, sizes := figures.Fig12Blocks, figures.Fig12RollingSizes
-		if small {
-			bench.Points = 16 << 10
-			bench.Sets = 2
-			blocks = []int64{16 << 10, 64 << 10, 256 << 10}
-		}
+		bench, blocks, sizes := figures.Fig12Params(small)
 		rows, err := figures.Fig12(bench, blocks, sizes)
 		if err != nil {
 			return err

@@ -3,6 +3,7 @@ package gmac
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/osabs"
 )
@@ -23,6 +24,36 @@ func (s *sessionCore) ioChunk() int64 {
 	return staging
 }
 
+// ioBufPool recycles the chunk-sized staging buffers of ReadFile/WriteFile:
+// I/O-heavy workloads (the mri benchmarks stream their whole input through
+// here) would otherwise allocate 256 KiB per call.
+var ioBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 256<<10)
+		return &b
+	},
+}
+
+// getIOBuf returns a staging buffer of n bytes plus the pool token to hand
+// back to putIOBuf (a closure here would itself allocate per call, defeating
+// the pool). Oversized requests fall back to a one-shot allocation with a
+// nil token so the pool only ever holds chunk-sized buffers.
+func getIOBuf(n int64) ([]byte, *[]byte) {
+	if n > 256<<10 {
+		return make([]byte, n), nil
+	}
+	bp := ioBufPool.Get().(*[]byte)
+	return (*bp)[:n], bp
+}
+
+// putIOBuf returns a pooled staging buffer. Safe on the nil token of an
+// oversized one-shot buffer.
+func putIOBuf(bp *[]byte) {
+	if bp != nil {
+		ioBufPool.Put(bp)
+	}
+}
+
 // ReadFile reads up to n bytes from f into shared memory at p, returning
 // the number of bytes read. It is the interposed read(2); in a
 // multi-device session the data lands on the device hosting p.
@@ -32,7 +63,8 @@ func (s *sessionCore) ReadFile(f *osabs.File, p Ptr, n int64) (int64, error) {
 		return 0, fmt.Errorf("gmac: ReadFile target %#x is not shared (use f.Read directly)", uint64(p))
 	}
 	chunk := s.ioChunk()
-	buf := make([]byte, chunk)
+	buf, tok := getIOBuf(chunk)
+	defer putIOBuf(tok)
 	var total int64
 	for total < n {
 		want := chunk
@@ -79,7 +111,8 @@ func (s *sessionCore) WriteFile(f *osabs.File, p Ptr, n int64) (int64, error) {
 		return 0, fmt.Errorf("gmac: WriteFile source %#x is not shared (use f.Write directly)", uint64(p))
 	}
 	chunk := s.ioChunk()
-	buf := make([]byte, chunk)
+	buf, tok := getIOBuf(chunk)
+	defer putIOBuf(tok)
 	var total int64
 	for total < n {
 		want := chunk

@@ -1,0 +1,144 @@
+package benchgate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tolerance configures how much worse the current run may be than the
+// baseline before the gate fails. Ratios are one-sided: improvements always
+// pass; only "current > baseline * ratio" (or + slack) is a regression.
+type Tolerance struct {
+	// NsRatio bounds wall-clock ns/op growth. Wall time is the noisiest
+	// signal (machine load, CPU model), so the default is loose — it still
+	// catches a 2x regression with confidence.
+	NsRatio float64
+	// AllocSlack is the absolute allocs/op increase allowed. The fault hot
+	// path is allocation-free by design, so the default allows none beyond
+	// rounding.
+	AllocSlack float64
+	// MetricRatio bounds growth of the per-op virtual metrics of the
+	// microbenchmarks (virt-ns/op, faults/op, transfer counts). These are
+	// near-deterministic — only iteration-count edge effects move them —
+	// so the bound is tight.
+	MetricRatio float64
+	// FigureRatio bounds growth of the figure benchmarks' virtual metrics,
+	// which are fully deterministic at a fixed scale.
+	FigureRatio float64
+	// ChecksumEps is the relative error allowed on workload checksums, a
+	// pure correctness signal (two-sided).
+	ChecksumEps float64
+}
+
+// DefaultTolerance is the gate CI runs with.
+var DefaultTolerance = Tolerance{
+	NsRatio:     1.5,
+	AllocSlack:  0.5,
+	MetricRatio: 1.10,
+	FigureRatio: 1.001,
+	ChecksumEps: 1e-9,
+}
+
+// Regression is one tolerance violation found by Compare.
+type Regression struct {
+	Entry    string  `json:"entry"`
+	Field    string  `json:"field"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	Limit    float64 `json:"limit"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s regressed: baseline %.4g, current %.4g (limit %.4g)",
+		r.Entry, r.Field, r.Baseline, r.Current, r.Limit)
+}
+
+// ratioCheck flags current exceeding baseline*ratio. Baselines at zero use
+// a small absolute floor so a metric appearing from nothing still trips.
+func ratioCheck(out *[]Regression, entry, field string, base, cur, ratio float64) {
+	limit := base * ratio
+	if base == 0 {
+		limit = ratio - 1 // e.g. 10% tolerance -> 0.1 absolute
+	}
+	if cur > limit {
+		*out = append(*out, Regression{Entry: entry, Field: field,
+			Baseline: base, Current: cur, Limit: limit})
+	}
+}
+
+// Compare diffs current against baseline under the tolerances and returns
+// every regression, sorted by entry name. Entries present in the baseline
+// but missing from the current run are regressions (the gate must not pass
+// because a benchmark silently disappeared); new entries in current are
+// ignored — they have no baseline yet.
+func Compare(baseline, current *Summary, tol Tolerance) []Regression {
+	var out []Regression
+
+	cm := make(map[string]Entry, len(current.Micro))
+	for _, e := range current.Micro {
+		cm[e.Name] = e
+	}
+	for _, base := range baseline.Micro {
+		cur, ok := cm[base.Name]
+		if !ok {
+			out = append(out, Regression{Entry: base.Name, Field: "missing",
+				Baseline: 1, Current: 0, Limit: 1})
+			continue
+		}
+		ratioCheck(&out, base.Name, "ns/op", base.NsPerOp, cur.NsPerOp, tol.NsRatio)
+		if cur.AllocsPerOp > base.AllocsPerOp+tol.AllocSlack {
+			out = append(out, Regression{Entry: base.Name, Field: "allocs/op",
+				Baseline: base.AllocsPerOp, Current: cur.AllocsPerOp,
+				Limit: base.AllocsPerOp + tol.AllocSlack})
+		}
+		for name, bv := range base.Metrics {
+			ratioCheck(&out, base.Name, name, bv, cur.Metrics[name], tol.MetricRatio)
+		}
+	}
+
+	cf := make(map[string]FigureEntry, len(current.Figures))
+	for _, e := range current.Figures {
+		cf[e.Name] = e
+	}
+	for _, base := range baseline.Figures {
+		cur, ok := cf[base.Name]
+		if !ok {
+			out = append(out, Regression{Entry: base.Name, Field: "missing",
+				Baseline: 1, Current: 0, Limit: 1})
+			continue
+		}
+		name := base.Name
+		ratioCheck(&out, name, "time_ns", float64(base.TimeNs), float64(cur.TimeNs), tol.FigureRatio)
+		ratioCheck(&out, name, "bytes_h2d", float64(base.BytesH2D), float64(cur.BytesH2D), tol.FigureRatio)
+		ratioCheck(&out, name, "bytes_d2h", float64(base.BytesD2H), float64(cur.BytesD2H), tol.FigureRatio)
+		ratioCheck(&out, name, "transfers_h2d", float64(base.TransfersH2D), float64(cur.TransfersH2D), tol.FigureRatio)
+		ratioCheck(&out, name, "transfers_d2h", float64(base.TransfersD2H), float64(cur.TransfersD2H), tol.FigureRatio)
+		ratioCheck(&out, name, "faults", float64(base.Faults), float64(cur.Faults), tol.FigureRatio)
+		ratioCheck(&out, name, "evictions", float64(base.Evictions), float64(cur.Evictions), tol.FigureRatio)
+		if eps := checksumErr(base.Checksum, cur.Checksum); eps > tol.ChecksumEps {
+			out = append(out, Regression{Entry: name, Field: "checksum",
+				Baseline: base.Checksum, Current: cur.Checksum, Limit: tol.ChecksumEps})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Entry != out[j].Entry {
+			return out[i].Entry < out[j].Entry
+		}
+		return out[i].Field < out[j].Field
+	})
+	return out
+}
+
+// checksumErr is the two-sided relative error between workload checksums.
+func checksumErr(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / scale
+}

@@ -1,0 +1,188 @@
+package benchgate
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testSummary is a realistic baseline fixture: values shaped like a real
+// small-scale run.
+func testSummary() *Summary {
+	return &Summary{
+		Schema: Schema,
+		Scale:  "small",
+		Micro: []Entry{
+			{
+				Name: "BenchmarkFaultRead", Iterations: 1000000,
+				NsPerOp: 1169, AllocsPerOp: 0, BytesPerOp: 40,
+				Metrics: map[string]float64{
+					"virt-ns/op": 8052, "faults/op": 1, "h2d-transfers/op": 0.001,
+				},
+			},
+			{
+				Name: "BenchmarkRollingEvict", Iterations: 2000000,
+				NsPerOp: 867, AllocsPerOp: 0, BytesPerOp: 11,
+				Metrics: map[string]float64{
+					"virt-ns/op": 11000, "faults/op": 1,
+					"h2d-transfers/op": 0.0625, "evictions/op": 1,
+				},
+			},
+		},
+		Figures: []FigureEntry{
+			{
+				Name: "mri-fhd/rolling", Workload: "mri-fhd", Variant: "rolling",
+				TimeNs: 123456789, Seconds: 0.123456789,
+				BytesH2D: 4 << 20, BytesD2H: 1 << 20,
+				TransfersH2D: 120, TransfersD2H: 40,
+				Faults: 800, Evictions: 640, Checksum: 3.14159,
+			},
+		},
+	}
+}
+
+func findRegression(t *testing.T, regs []Regression, entry, field string) Regression {
+	t.Helper()
+	for _, r := range regs {
+		if r.Entry == entry && r.Field == field {
+			return r
+		}
+	}
+	t.Fatalf("no regression for %s/%s in %v", entry, field, regs)
+	return Regression{}
+}
+
+func TestCompareIdenticalSummariesPass(t *testing.T) {
+	if regs := Compare(testSummary(), testSummary(), DefaultTolerance); len(regs) != 0 {
+		t.Fatalf("identical summaries flagged: %v", regs)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	cur := testSummary()
+	cur.Micro[0].NsPerOp /= 2
+	cur.Micro[1].Metrics["h2d-transfers/op"] /= 4
+	cur.Figures[0].TimeNs /= 2
+	cur.Figures[0].BytesH2D /= 2
+	if regs := Compare(testSummary(), cur, DefaultTolerance); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}
+
+// TestCompareFlagsSyntheticTwoXRegression is the gate's acceptance check: a
+// synthetic 2x slowdown in any monitored dimension must fail the comparison.
+func TestCompareFlagsSyntheticTwoXRegression(t *testing.T) {
+	cur := testSummary()
+	cur.Micro[0].NsPerOp *= 2               // wall clock 2x
+	cur.Micro[1].Metrics["virt-ns/op"] *= 2 // virtual time 2x
+	cur.Figures[0].TimeNs *= 2              // figure time 2x
+	cur.Figures[0].TransfersH2D *= 2        // coalescing lost
+	regs := Compare(testSummary(), cur, DefaultTolerance)
+
+	r := findRegression(t, regs, "BenchmarkFaultRead", "ns/op")
+	if r.Current != 2*r.Baseline {
+		t.Errorf("ns/op regression misreported: %+v", r)
+	}
+	findRegression(t, regs, "BenchmarkRollingEvict", "virt-ns/op")
+	findRegression(t, regs, "mri-fhd/rolling", "time_ns")
+	findRegression(t, regs, "mri-fhd/rolling", "transfers_h2d")
+	if len(regs) != 4 {
+		t.Errorf("want exactly 4 regressions, got %d: %v", len(regs), regs)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	cur := testSummary()
+	cur.Micro[0].AllocsPerOp = 1 // hot path gained one allocation per fault
+	regs := Compare(testSummary(), cur, DefaultTolerance)
+	r := findRegression(t, regs, "BenchmarkFaultRead", "allocs/op")
+	if r.Limit != DefaultTolerance.AllocSlack {
+		t.Errorf("alloc limit = %v, want %v", r.Limit, DefaultTolerance.AllocSlack)
+	}
+	if len(regs) != 1 {
+		t.Errorf("want exactly 1 regression, got %v", regs)
+	}
+}
+
+func TestCompareFlagsMissingEntries(t *testing.T) {
+	cur := testSummary()
+	cur.Micro = cur.Micro[:1]
+	cur.Figures = nil
+	regs := Compare(testSummary(), cur, DefaultTolerance)
+	findRegression(t, regs, "BenchmarkRollingEvict", "missing")
+	findRegression(t, regs, "mri-fhd/rolling", "missing")
+	if len(regs) != 2 {
+		t.Errorf("want exactly 2 regressions, got %v", regs)
+	}
+}
+
+func TestCompareIgnoresNewEntries(t *testing.T) {
+	cur := testSummary()
+	cur.Micro = append(cur.Micro, Entry{Name: "BenchmarkBrandNew", NsPerOp: 1e9})
+	if regs := Compare(testSummary(), cur, DefaultTolerance); len(regs) != 0 {
+		t.Fatalf("new entry without baseline flagged: %v", regs)
+	}
+}
+
+func TestCompareFlagsChecksumDrift(t *testing.T) {
+	cur := testSummary()
+	cur.Figures[0].Checksum *= 1.0001 // far beyond 1e-9 relative error
+	regs := Compare(testSummary(), cur, DefaultTolerance)
+	findRegression(t, regs, "mri-fhd/rolling", "checksum")
+
+	// Checksum drift is two-sided: a smaller value is just as wrong.
+	cur = testSummary()
+	cur.Figures[0].Checksum *= 0.9999
+	regs = Compare(testSummary(), cur, DefaultTolerance)
+	findRegression(t, regs, "mri-fhd/rolling", "checksum")
+}
+
+func TestCompareZeroBaselineFloor(t *testing.T) {
+	base := testSummary()
+	base.Micro[0].Metrics["d2h-transfers/op"] = 0
+	cur := testSummary()
+	cur.Micro[0].Metrics["d2h-transfers/op"] = 1 // traffic appearing from nothing
+	regs := Compare(base, cur, DefaultTolerance)
+	findRegression(t, regs, "BenchmarkFaultRead", "d2h-transfers/op")
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := testSummary()
+	if err := want.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Compare(want, got, DefaultTolerance); len(regs) != 0 {
+		t.Fatalf("round-trip changed values: %v", regs)
+	}
+	if regs := Compare(got, want, DefaultTolerance); len(regs) != 0 {
+		t.Fatalf("round-trip changed values (reverse): %v", regs)
+	}
+}
+
+func TestReadSummaryRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	s := testSummary()
+	s.Schema = "gmacbench/v1"
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSummary(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong schema accepted: err=%v", err)
+	}
+}
+
+func TestRegressionString(t *testing.T) {
+	r := Regression{Entry: "BenchmarkFaultRead", Field: "ns/op",
+		Baseline: 1000, Current: 2500, Limit: 1500}
+	s := r.String()
+	for _, want := range []string{"BenchmarkFaultRead", "ns/op", "1000", "2500", "1500"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Regression.String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package benchgate
+
+import "testing"
+
+// go test -bench entry points for the microbenchmarks; cmd/gmacbench runs
+// the same bodies through RunMicro, so both paths measure identical code.
+
+func BenchmarkFaultRead(b *testing.B)    { BenchFaultRead(b) }
+func BenchmarkFaultWrite(b *testing.B)   { BenchFaultWrite(b) }
+func BenchmarkRollingEvict(b *testing.B) { BenchRollingEvict(b) }
+
+func BenchmarkBlockLookup(b *testing.B) {
+	for _, n := range BlockLookupSizes {
+		n := n
+		b.Run(BlockLookupName(n), func(b *testing.B) { BenchBlockLookup(b, n) })
+	}
+}

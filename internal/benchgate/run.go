@@ -1,0 +1,136 @@
+package benchgate
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/workloads"
+)
+
+// microBenches are the hot-path microbenchmarks the gate runs. The same
+// bodies back the go-test BenchmarkXxx wrappers (micro_test.go), so
+// `go test -bench` and `gmacbench -baseline/-check` measure identical code.
+var microBenches = []struct {
+	Name string
+	Fn   func(*testing.B)
+}{
+	{"BenchmarkFaultRead", BenchFaultRead},
+	{"BenchmarkFaultWrite", BenchFaultWrite},
+	{"BenchmarkRollingEvict", BenchRollingEvict},
+}
+
+// RunMicro executes every microbenchmark through testing.Benchmark and
+// returns the summary rows. benchtime, when non-empty, overrides the
+// benchmarking duration ("0.3s", "100x", ...) via the testing package's
+// flag machinery.
+func RunMicro(benchtime string) ([]Entry, error) {
+	if benchtime != "" {
+		testing.Init()
+		if err := flag.Set("test.benchtime", benchtime); err != nil {
+			return nil, fmt.Errorf("benchgate: bad benchtime %q: %w", benchtime, err)
+		}
+	}
+	out := make([]Entry, 0, len(microBenches)+len(BlockLookupSizes))
+	for _, mb := range microBenches {
+		res := testing.Benchmark(mb.Fn)
+		e, err := entryFromResult(mb.Name, res)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	for _, n := range BlockLookupSizes {
+		n := n
+		res := testing.Benchmark(func(b *testing.B) { BenchBlockLookup(b, n) })
+		e, err := entryFromResult("BenchmarkBlockLookup/"+BlockLookupName(n), res)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func entryFromResult(name string, res testing.BenchmarkResult) (Entry, error) {
+	if res.N == 0 {
+		return Entry{}, fmt.Errorf("benchgate: %s failed (zero iterations)", name)
+	}
+	e := Entry{
+		Name:        name,
+		Iterations:  res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: float64(res.MemAllocs) / float64(res.N),
+		BytesPerOp:  float64(res.MemBytes) / float64(res.N),
+	}
+	if len(res.Extra) > 0 {
+		e.Metrics = make(map[string]float64, len(res.Extra))
+		for k, v := range res.Extra {
+			e.Metrics[k] = v
+		}
+	}
+	return e, nil
+}
+
+// RunFigures runs the figure-benchmark evaluation sweep (the Figure 7/8/10
+// workloads) and returns one row per workload/variant.
+func RunFigures(small bool) ([]FigureEntry, error) {
+	runs, err := figures.RunEvaluation(small)
+	if err != nil {
+		return nil, err
+	}
+	return FigureEntries(runs), nil
+}
+
+// FigureEntries converts evaluation runs into summary rows.
+func FigureEntries(runs []figures.EvalRun) []FigureEntry {
+	var out []FigureEntry
+	for _, r := range runs {
+		for _, v := range []workloads.Variant{
+			workloads.VariantCUDA, workloads.VariantBatch,
+			workloads.VariantLazy, workloads.VariantRolling,
+		} {
+			rep, ok := r.Reports[v]
+			if !ok {
+				continue
+			}
+			out = append(out, FigureEntry{
+				Name:         r.Benchmark + "/" + string(v),
+				Workload:     r.Benchmark,
+				Variant:      string(v),
+				TimeNs:       int64(rep.Time),
+				Seconds:      rep.Time.Seconds(),
+				BytesH2D:     rep.Dev.BytesH2D,
+				BytesD2H:     rep.Dev.BytesD2H,
+				TransfersH2D: rep.GMAC.TransfersH2D,
+				TransfersD2H: rep.GMAC.TransfersD2H,
+				Faults:       rep.GMAC.Faults,
+				Evictions:    rep.GMAC.Evictions,
+				Retries:      rep.GMAC.Retries,
+				RetryGiveups: rep.GMAC.RetryGiveups,
+				Degraded:     rep.GMAC.DegradedObjects,
+				Checksum:     rep.Checksum,
+			})
+		}
+	}
+	return out
+}
+
+// BuildSummary runs the microbenchmarks and the figure sweep into one
+// summary document.
+func BuildSummary(small bool, benchtime string) (*Summary, error) {
+	micro, err := RunMicro(benchtime)
+	if err != nil {
+		return nil, err
+	}
+	figs, err := RunFigures(small)
+	if err != nil {
+		return nil, err
+	}
+	scale := "full"
+	if small {
+		scale = "small"
+	}
+	return &Summary{Schema: Schema, Scale: scale, Micro: micro, Figures: figs}, nil
+}

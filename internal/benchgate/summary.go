@@ -1,0 +1,86 @@
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Schema identifies the benchmark-summary file format this package reads
+// and writes (BENCH_*.json at the repo root).
+const Schema = "benchgate/v1"
+
+// Entry is one microbenchmark row of a summary: Go benchmark measurements
+// plus the per-op virtual-time metrics attached by reportVirtual.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Metrics holds the per-op virtual metrics (virt-ns/op, faults/op,
+	// h2d-transfers/op, ...). Unlike wall-clock ns_per_op these are
+	// near-deterministic, so the gate holds them to tight tolerances.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// FigureEntry is one figure-benchmark row: a workload under one
+// programming-model variant at a fixed scale, in purely virtual metrics
+// (fully deterministic — the gate compares them tightly).
+type FigureEntry struct {
+	Name         string  `json:"name"`
+	Workload     string  `json:"workload"`
+	Variant      string  `json:"variant"`
+	TimeNs       int64   `json:"time_ns"`
+	Seconds      float64 `json:"seconds"`
+	BytesH2D     int64   `json:"bytes_h2d"`
+	BytesD2H     int64   `json:"bytes_d2h"`
+	TransfersH2D int64   `json:"transfers_h2d"`
+	TransfersD2H int64   `json:"transfers_d2h"`
+	Faults       int64   `json:"faults"`
+	Evictions    int64   `json:"evictions"`
+	Retries      int64   `json:"retries"`
+	RetryGiveups int64   `json:"retry_giveups"`
+	Degraded     int64   `json:"degraded_objects"`
+	Checksum     float64 `json:"checksum"`
+}
+
+// Summary is the BENCH_*.json document: the committed baseline and the
+// output of `gmacbench -baseline`.
+type Summary struct {
+	Schema  string        `json:"schema"`
+	Scale   string        `json:"scale"` // figure-benchmark scale: "small" or "full"
+	Micro   []Entry       `json:"micro"`
+	Figures []FigureEntry `json:"figures"`
+}
+
+// WriteFile writes the summary as indented JSON.
+func (s *Summary) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSummary loads and validates a summary file.
+func ReadSummary(path string) (*Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchgate: parsing %s: %w", path, err)
+	}
+	if s.Schema != Schema {
+		return nil, fmt.Errorf("benchgate: %s has schema %q, want %q", path, s.Schema, Schema)
+	}
+	return &s, nil
+}

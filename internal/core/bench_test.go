@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/accel"
@@ -50,6 +51,42 @@ func BenchmarkBlockTreeLookup(b *testing.B) {
 		if tr.lookup(mem.Addr(i%blocks)<<12+128) == nil {
 			b.Fatal("lookup miss")
 		}
+	}
+}
+
+// BenchmarkBlockLookup compares the two registry read paths at several
+// populations: the red-black tree (writer-side structure, lock aside) and
+// the RCU span index the fault handler actually searches.
+func BenchmarkBlockLookup(b *testing.B) {
+	for _, objects := range []int{16, 1 << 10, 64 << 10} {
+		tr := &rbTree{}
+		for i := 0; i < objects; i++ {
+			if err := tr.insert(mem.Addr(i)<<12, 4096, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var ix spanIndex
+		ix.rebuild(tr, ix.gen.Load(), 0)
+		name := func(kind string) string {
+			return fmt.Sprintf("%s/%dobjects", kind, objects)
+		}
+		b.Run(name("rbtree"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if tr.lookup(mem.Addr(i%objects)<<12+128) == nil {
+					b.Fatal("lookup miss")
+				}
+			}
+		})
+		b.Run(name("spanindex"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v, _, ok := ix.search(mem.Addr(i%objects)<<12 + 128)
+				if !ok || v == nil {
+					b.Fatal("search miss")
+				}
+			}
+		})
 	}
 }
 

@@ -371,9 +371,14 @@ func TestTraceRecordsProtocolLifecycle(t *testing.T) {
 	if kinds(trace.EvInvoke) != 1 || kinds(trace.EvSync) != 1 {
 		t.Fatalf("invoke/sync events: %d/%d", kinds(trace.EvInvoke), kinds(trace.EvSync))
 	}
-	// Both dirty blocks flushed at invoke; one block fetched after.
-	if kinds(trace.EvFlush) != 2 || kinds(trace.EvFetch) != 1 {
-		t.Fatalf("flush/fetch events: %d/%d\n%s", kinds(trace.EvFlush), kinds(trace.EvFetch), lg)
+	// Both dirty blocks flushed at invoke — coalesced into one contiguous
+	// DMA covering the whole object; one block fetched after.
+	flushes := lg.Filter(trace.EvFlush)
+	if len(flushes) != 1 || kinds(trace.EvFetch) != 1 {
+		t.Fatalf("flush/fetch events: %d/%d\n%s", len(flushes), kinds(trace.EvFetch), lg)
+	}
+	if flushes[0].Size != 128<<10 {
+		t.Fatalf("coalesced flush size = %d, want %d", flushes[0].Size, 128<<10)
 	}
 	// Timestamps are monotone.
 	evs := lg.Events()

@@ -110,6 +110,35 @@ func FuzzRBTree(f *testing.F) {
 				t.Fatalf("each() visited [%#x,+%d)=%v, oracle %+v (present %v)", uint64(addr), size, value, iv, ok)
 			}
 		})
+
+		// The fault path no longer searches the tree directly: it binary-
+		// searches an RCU snapshot built from it (index.go). Cross-check the
+		// snapshot against the same oracle over the whole address range the
+		// ops could touch, including gaps and the interval edges.
+		var ix spanIndex
+		ix.invalidate()
+		ix.rebuild(tree, ix.gen.Load(), 0)
+		for a := mem.Addr(0); a <= 256*8; a++ {
+			got, probes, ok := ix.search(a)
+			if !ok {
+				t.Fatalf("snapshot stale immediately after rebuild at %#x", uint64(a))
+			}
+			if probes <= 0 {
+				t.Fatalf("search(%#x) charged %d probes", uint64(a), probes)
+			}
+			if _, iv, hit := find(a); hit {
+				if got == nil || got.(int64) != iv.val {
+					t.Fatalf("index find(%#x) = %v, oracle %d", uint64(a), got, iv.val)
+				}
+			} else if got != nil {
+				t.Fatalf("index find(%#x) = %v, oracle says absent", uint64(a), got)
+			}
+		}
+		// Invalidation must force the slow path.
+		ix.invalidate()
+		if _, _, ok := ix.search(0); ok {
+			t.Fatal("search succeeded against an invalidated snapshot")
+		}
 	})
 }
 

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/mem"
+)
+
+// This file is the read path of the object/block registry. The red-black
+// trees (rbtree.go) remain the writer-side source of truth — Alloc and Free
+// mutate them under treeMu — but the fault handler must not take treeMu nor
+// chase tree pointers on every page fault. Instead each tree is shadowed by
+// a spanIndex: an immutable sorted span array published through an atomic
+// pointer, RCU style. Readers binary-search the current snapshot with no
+// lock at all; writers just bump a generation counter, and the next reader
+// that notices the stale snapshot rebuilds it under the tree's read lock.
+//
+// The §5.2 virtual-cost model survives the swap: the binary search reports
+// its probe count exactly as rbTree.search reports visited nodes, and both
+// are O(log2 n), so the TreeNodeCost charge per fault is unchanged in shape.
+
+// span is one [addr, addr+size) interval of a snapshot, carrying its
+// registry payload (*Block or *Object).
+type span struct {
+	addr mem.Addr
+	end  mem.Addr
+	val  any
+}
+
+// indexSnapshot is an immutable sorted span array tagged with the registry
+// generation it was built from.
+type indexSnapshot struct {
+	gen   uint64
+	spans []span
+}
+
+// find binary-searches the snapshot and returns the payload of the span
+// containing addr (nil if none) plus the number of probes, the fault
+// handler's search-cost charge.
+func (s *indexSnapshot) find(addr mem.Addr) (any, int64) {
+	lo, hi := 0, len(s.spans)
+	probes := int64(0)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		probes++
+		sp := &s.spans[mid]
+		switch {
+		case addr < sp.addr:
+			hi = mid
+		case addr >= sp.end:
+			lo = mid + 1
+		default:
+			return sp.val, probes
+		}
+	}
+	if probes == 0 {
+		probes = 1 // even the empty registry costs one probe to miss
+	}
+	return nil, probes
+}
+
+// spanIndex publishes snapshots of one rbTree. Writers call invalidate
+// under the registry write lock; readers call search lock-free and fall
+// back to rebuild (under the registry read lock) when the snapshot is
+// stale.
+type spanIndex struct {
+	gen  atomic.Uint64
+	snap atomic.Pointer[indexSnapshot]
+}
+
+// invalidate marks every published snapshot stale. The caller holds the
+// registry write lock (treeMu), so the bump is ordered against the tree
+// mutation it covers.
+func (ix *spanIndex) invalidate() { ix.gen.Add(1) }
+
+// search returns the payload containing addr and the probe count, if the
+// current snapshot is fresh; ok=false sends the caller to the rebuild slow
+// path. This is the per-fault fast path: two atomic loads and a binary
+// search, no lock, no allocation.
+func (ix *spanIndex) search(addr mem.Addr) (v any, probes int64, ok bool) {
+	snap := ix.snap.Load()
+	if snap == nil || snap.gen != ix.gen.Load() {
+		return nil, 0, false
+	}
+	v, probes = snap.find(addr)
+	return v, probes, true
+}
+
+// rebuild constructs and publishes a snapshot of t at generation g, then
+// resolves addr against it. The caller must hold the registry read lock so
+// that g cannot move while the tree is walked (writers bump gen only under
+// the write lock). Concurrent rebuilds at the same generation are
+// idempotent — both publish equivalent snapshots.
+func (ix *spanIndex) rebuild(t *rbTree, g uint64, addr mem.Addr) (any, int64) {
+	snap := &indexSnapshot{gen: g, spans: make([]span, 0, t.Len())}
+	t.each(func(a mem.Addr, size int64, v any) {
+		snap.spans = append(snap.spans, span{addr: a, end: a + mem.Addr(size), val: v})
+	})
+	ix.snap.Store(snap)
+	return snap.find(addr)
+}

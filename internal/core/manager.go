@@ -76,6 +76,12 @@ type Config struct {
 	RollingDelta int
 	// FixedRolling pins the rolling size for the Figure 12 experiment.
 	FixedRolling int
+	// DisableCoalescing turns off batched eviction DMA: every evicted
+	// block is flushed with its own transfer instead of merging
+	// address-contiguous victims into one. For A/B comparison in
+	// experiments; the default (coalescing on) reduces the interconnect
+	// transfer count on streaming write patterns.
+	DisableCoalescing bool
 
 	// Host-side costs of the GMAC API entry points.
 	MallocCost, FreeCost, LaunchCost sim.Time
@@ -128,20 +134,26 @@ type Manager struct {
 	dev   *accel.Device
 
 	protocol protocol
-	// treeMu guards objects, blocks and nobjects. Fault-path searches take
-	// it shared, so lookups on different objects proceed in parallel.
+	// treeMu guards objects, blocks and nobjects. The trees are the
+	// writer-side registry; readers go through the span indexes below and
+	// only take treeMu (shared) to rebuild a stale snapshot.
 	treeMu   sync.RWMutex
 	objects  *rbTree // Object intervals, host VA order
 	blocks   *rbTree // Block intervals: the fault handler's search tree
 	nobjects int
-	rolling  *rollingCache
+	// objIdx and blkIdx are the RCU-style read path over the two trees:
+	// immutable sorted snapshots swapped atomically, so the fault handler's
+	// per-fault lookup takes no lock at all (index.go).
+	objIdx  spanIndex
+	blkIdx  spanIndex
+	rolling *rollingCache
 	// statsMu guards stats (the aggregate counters; per-object counters
 	// are atomic).
 	statsMu sync.Mutex
 	stats   Stats
-	// evictMu guards evictQ, the deferred cross-object eviction victims.
+	// evictMu guards evictQ, the deferred cross-object eviction victim runs.
 	evictMu sync.Mutex
-	evictQ  []*Block
+	evictQ  []evictRun
 	// callMu serialises kernel invocation and synchronisation and guards
 	// invokeKernel.
 	callMu sync.Mutex
@@ -189,7 +201,7 @@ func NewManager(cfg Config, clock *sim.Clock, bd *sim.Breakdown,
 		dev:     dev,
 		objects: &rbTree{},
 		blocks:  &rbTree{},
-		rolling: newRollingCache(cfg.FixedRolling, cfg.RollingDelta, cfg.FixedRolling > 0),
+		rolling: newRollingCache(cfg.FixedRolling, cfg.RollingDelta, cfg.FixedRolling > 0, !cfg.DisableCoalescing),
 		mets:    newMetricSet(metrics.Default(), cfg.Protocol),
 		intro:   make(map[mem.Addr]*Object),
 	}
@@ -428,6 +440,8 @@ func (m *Manager) finishAlloc(o *Object) (mem.Addr, error) {
 		}
 	}
 	m.nobjects++
+	m.objIdx.invalidate()
+	m.blkIdx.invalidate()
 	m.treeMu.Unlock()
 
 	m.statsMu.Lock()
@@ -463,6 +477,8 @@ func (m *Manager) Free(addr mem.Addr) error {
 		m.blocks.remove(b.addr)
 	}
 	m.nobjects--
+	m.objIdx.invalidate()
+	m.blkIdx.invalidate()
 	m.treeMu.Unlock()
 	m.mmu.Unmap(o.addr, m.pageAlignedSize(o.size))
 	if err := m.va.Unmap(o.addr); err != nil {
@@ -487,15 +503,38 @@ func (m *Manager) Free(addr mem.Addr) error {
 	return err
 }
 
-// objectAt returns the shared object containing addr, or nil.
+// objectAt returns the shared object containing addr, or nil. The common
+// case is a lock-free binary search of the current object snapshot; a stale
+// snapshot (registry changed since it was built) is rebuilt under the read
+// lock, then searched.
 func (m *Manager) objectAt(addr mem.Addr) *Object {
-	m.treeMu.RLock()
-	v := m.objects.lookup(addr)
-	m.treeMu.RUnlock()
+	v, _, ok := m.objIdx.search(addr)
+	if !ok {
+		v, _ = m.rebuildObjIdx(addr)
+	}
 	if v == nil {
 		return nil
 	}
 	return v.(*Object)
+}
+
+// rebuildObjIdx refreshes the object snapshot under the registry read lock
+// and resolves addr against it.
+func (m *Manager) rebuildObjIdx(addr mem.Addr) (any, int64) {
+	m.treeMu.RLock()
+	defer m.treeMu.RUnlock()
+	return m.objIdx.rebuild(m.objects, m.objIdx.gen.Load(), addr)
+}
+
+// blockAt resolves the fault handler's block lookup: the payload containing
+// addr (nil if unshared) and the probe count charged as §5.2 search cost.
+func (m *Manager) blockAt(addr mem.Addr) (any, int64) {
+	if v, probes, ok := m.blkIdx.search(addr); ok {
+		return v, probes
+	}
+	m.treeMu.RLock()
+	defer m.treeMu.RUnlock()
+	return m.blkIdx.rebuild(m.blocks, m.blkIdx.gen.Load(), addr)
 }
 
 // IsShared reports whether addr falls inside a live shared object.
@@ -635,6 +674,11 @@ func (m *Manager) handleFault(f hostmmu.Fault) error {
 		m.mets.faultNs.Observe(int64(m.clock.Now() - t0))
 		m.endSpan(sp)
 	}()
+	v, visits := m.blockAt(f.Addr)
+	m.mets.searchDepth.Observe(visits)
+	search := sim.Time(visits) * m.cfg.TreeNodeCost
+	// One stats critical section per fault: the counters and the search
+	// charge land together.
 	m.statsMu.Lock()
 	m.stats.Faults++
 	if f.Access == hostmmu.AccessWrite {
@@ -642,6 +686,7 @@ func (m *Manager) handleFault(f hostmmu.Fault) error {
 	} else {
 		m.stats.ReadFaults++
 	}
+	m.stats.SearchTime += search
 	m.statsMu.Unlock()
 	m.mets.faults.Inc()
 	if f.Access == hostmmu.AccessWrite {
@@ -649,14 +694,6 @@ func (m *Manager) handleFault(f hostmmu.Fault) error {
 	} else {
 		m.mets.readFaults.Inc()
 	}
-	m.treeMu.RLock()
-	v, visits := m.blocks.search(f.Addr)
-	m.treeMu.RUnlock()
-	m.mets.searchDepth.Observe(visits)
-	search := sim.Time(visits) * m.cfg.TreeNodeCost
-	m.statsMu.Lock()
-	m.stats.SearchTime += search
-	m.statsMu.Unlock()
 	m.charge(sim.CatSignal, search)
 	if v == nil {
 		return fmt.Errorf("%w: fault at %#x", ErrNotShared, uint64(f.Addr))
@@ -668,9 +705,30 @@ func (m *Manager) handleFault(f hostmmu.Fault) error {
 	} else {
 		b.obj.counters.readFaults.Add(1)
 	}
-	m.emit(trace.Event{Kind: trace.EvFault, Addr: b.addr, Size: b.size,
-		Note: f.Access.String() + " in " + b.state.String()})
+	if m.tracer != nil {
+		m.emit(trace.Event{Kind: trace.EvFault, Addr: b.addr, Size: b.size,
+			Note: faultNote(f.Access, b.state)})
+	}
 	return m.protocol.onFault(b, f.Access)
+}
+
+// faultNotes are the precomputed trace annotations for fault events, so the
+// traced path concatenates no strings (and the untraced path never reaches
+// here at all).
+var faultNotes = [2][3]string{
+	{"read in Invalid", "read in ReadOnly", "read in Dirty"},
+	{"write in Invalid", "write in ReadOnly", "write in Dirty"},
+}
+
+func faultNote(access hostmmu.Access, s State) string {
+	a := 0
+	if access == hostmmu.AccessWrite {
+		a = 1
+	}
+	if int(s) < len(faultNotes[a]) {
+		return faultNotes[a][s]
+	}
+	return access.String() + " in " + s.String()
 }
 
 // HostRead performs a CPU read of [addr, addr+len(dst)) through the MMU,
@@ -785,33 +843,63 @@ func (m *Manager) boundsCheck(addr mem.Addr, n int64) (*Object, error) {
 
 // --- transfer helpers used by the protocols ---
 
+// runSize returns the byte length of the run of n consecutive blocks
+// starting at first (contiguous by construction: consecutive indices of one
+// object are adjacent in both host and device address space).
+func runSize(first *Block, n int) int64 {
+	last := first.obj.blocks[first.index+n-1]
+	return int64(last.addr-first.addr) + last.size
+}
+
+// waitH2DEngine stalls until the device's H2D DMA engine is free — §5.2:
+// "evictions must wait for the previous transfer to finish before
+// continuing" — and books the wait, the eager-transfer overlap cost
+// plotted in Figure 11.
+func (m *Manager) waitH2DEngine() {
+	wait := m.dev.H2DFreeAt() - m.clock.Now()
+	if wait <= 0 {
+		return
+	}
+	m.clock.Advance(wait)
+	m.statsMu.Lock()
+	m.stats.H2DWait += wait
+	m.statsMu.Unlock()
+	m.book(sim.CatCopy, wait)
+}
+
 // flushBlockEager transfers a dirty block to the accelerator without
 // blocking on the transfer itself, but waiting first for the DMA engine to
-// be free: §5.2 observes that "evictions must wait for the previous
-// transfer to finish before continuing". The wait is the eager-transfer
-// overlap cost plotted in Figure 11. Injected faults are retried; an
-// unrecoverable failure escalates (device lost, b's object degraded) and
-// is returned. The caller holds b.obj.mu.
+// be free. Injected faults are retried (inline, no closure — this runs on
+// the fault path); an unrecoverable failure escalates (device lost, b's
+// object degraded) and is returned. The caller holds b.obj.mu.
 func (m *Manager) flushBlockEager(b *Block) error {
+	return m.flushRunEager(b, 1)
+}
+
+// flushRunEager is flushBlockEager over n consecutive dirty blocks with a
+// single DMA transfer: one engine wait, one recorded transfer of the run's
+// total bytes. Coalesced rolling evictions come through here. The caller
+// holds first.obj.mu.
+func (m *Manager) flushRunEager(first *Block, n int) error {
 	sp := m.beginSpan("flush", "eager")
 	defer m.endSpan(sp)
-	err := m.retry(sim.CatCopy, "flush", func() error {
-		wait := m.dev.H2DFreeAt() - m.clock.Now()
-		if wait > 0 {
-			m.clock.Advance(wait)
-			m.statsMu.Lock()
-			m.stats.H2DWait += wait
-			m.statsMu.Unlock()
-			m.book(sim.CatCopy, wait)
+	o := first.obj
+	size := runSize(first, n)
+	for attempt := 0; ; attempt++ {
+		m.waitH2DEngine()
+		_, terr := m.dev.TryMemcpyH2DAsync(first.devAddr(), o.mapping.Space.Bytes(first.addr, size))
+		if terr == nil {
+			break
 		}
-		_, terr := m.dev.TryMemcpyH2DAsync(b.devAddr(), b.hostBytes())
-		return terr
-	})
-	if err != nil {
-		return m.escalateLocked(b.obj, "flush", err)
+		again, ferr := m.retryStep(sim.CatCopy, "flush", attempt, terr)
+		if !again {
+			return m.escalateLocked(o, "flush", ferr)
+		}
 	}
-	m.recordH2D(b.obj, b.size)
-	m.emit(trace.Event{Kind: trace.EvFlush, Addr: b.addr, Size: b.size, Note: "eager"})
+	m.recordH2D(o, size)
+	if m.tracer != nil {
+		m.emit(trace.Event{Kind: trace.EvFlush, Addr: first.addr, Size: size, Note: "eager"})
+	}
 	return nil
 }
 
@@ -822,7 +910,7 @@ func (m *Manager) flushBlockEager(b *Block) error {
 func (m *Manager) flushBlockSync(b *Block) error {
 	sp := m.beginSpan("flush", "sync")
 	defer m.endSpan(sp)
-	err := m.retry(sim.CatCopy, "flush", func() error {
+	for attempt := 0; ; attempt++ {
 		t0 := m.clock.Now()
 		_, terr := m.dev.TryMemcpyH2D(b.devAddr(), b.hostBytes())
 		d := m.clock.Now() - t0
@@ -830,13 +918,18 @@ func (m *Manager) flushBlockSync(b *Block) error {
 		m.stats.H2DWait += d
 		m.statsMu.Unlock()
 		m.book(sim.CatCopy, d)
-		return terr
-	})
-	if err != nil {
-		return m.escalateLocked(b.obj, "flush", err)
+		if terr == nil {
+			break
+		}
+		again, ferr := m.retryStep(sim.CatCopy, "flush", attempt, terr)
+		if !again {
+			return m.escalateLocked(b.obj, "flush", ferr)
+		}
 	}
 	m.recordH2D(b.obj, b.size)
-	m.emit(trace.Event{Kind: trace.EvFlush, Addr: b.addr, Size: b.size, Note: "sync"})
+	if m.tracer != nil {
+		m.emit(trace.Event{Kind: trace.EvFlush, Addr: b.addr, Size: b.size, Note: "sync"})
+	}
 	return nil
 }
 
@@ -848,7 +941,7 @@ func (m *Manager) flushBlockSync(b *Block) error {
 func (m *Manager) fetchBlockSync(b *Block) error {
 	sp := m.beginSpan("fetch", "")
 	defer m.endSpan(sp)
-	err := m.retry(sim.CatCopy, "fetch", func() error {
+	for attempt := 0; ; attempt++ {
 		t0 := m.clock.Now()
 		_, terr := m.dev.TryMemcpyD2H(b.hostBytes(), b.devAddr())
 		d := m.clock.Now() - t0
@@ -856,13 +949,18 @@ func (m *Manager) fetchBlockSync(b *Block) error {
 		m.stats.D2HWait += d
 		m.statsMu.Unlock()
 		m.book(sim.CatCopy, d)
-		return terr
-	})
-	if err != nil {
-		return m.escalateLocked(b.obj, "fetch", err)
+		if terr == nil {
+			break
+		}
+		again, ferr := m.retryStep(sim.CatCopy, "fetch", attempt, terr)
+		if !again {
+			return m.escalateLocked(b.obj, "fetch", ferr)
+		}
 	}
 	m.recordD2H(b.obj, b.size)
-	m.emit(trace.Event{Kind: trace.EvFetch, Addr: b.addr, Size: b.size})
+	if m.tracer != nil {
+		m.emit(trace.Event{Kind: trace.EvFetch, Addr: b.addr, Size: b.size})
+	}
 	return nil
 }
 
@@ -897,48 +995,88 @@ func (m *Manager) recordD2H(o *Object, n int64) {
 
 // --- cross-object eviction machinery ---
 
-// noteEviction books one rolling-cache eviction against victim's object and
-// the manager totals.
-func (m *Manager) noteEviction(victim *Block) {
-	m.statsMu.Lock()
-	m.stats.Evictions++
-	m.statsMu.Unlock()
-	m.mets.evictions.Inc()
-	victim.obj.counters.evictions.Add(1)
-	m.emit(trace.Event{Kind: trace.EvEvict, Addr: victim.addr, Size: victim.size})
+// evictRun is a batch of consecutive rolling-cache victims: n blocks of one
+// object starting at first, contiguous in host and device address space.
+// Representing runs as (first, n) keeps the eviction path allocation-free —
+// the member blocks are first.obj.blocks[first.index : first.index+n].
+type evictRun struct {
+	first *Block
+	n     int
 }
 
-// flushEvicted writes an evicted rolling-cache victim back to the
-// accelerator and downgrades it to ReadOnly. On an unrecoverable fault the
-// flush has already escalated (victim's object degraded, block left Dirty
-// and writable) and the error is returned. The caller must hold
-// victim.obj.mu.
-func (m *Manager) flushEvicted(victim *Block) error {
-	if victim.state != StateDirty {
-		return nil
+// noteEviction books a run of rolling-cache evictions (n blocks, one DMA)
+// against the victims' object and the manager totals. Evictions count
+// blocks, not transfers, so the counter stays comparable whether or not
+// coalescing is enabled.
+func (m *Manager) noteEviction(first *Block, n int) {
+	m.statsMu.Lock()
+	m.stats.Evictions += int64(n)
+	m.statsMu.Unlock()
+	m.mets.evictions.Add(int64(n))
+	first.obj.counters.evictions.Add(int64(n))
+	if m.tracer != nil {
+		for i := 0; i < n; i++ {
+			b := first.obj.blocks[first.index+i]
+			m.emit(trace.Event{Kind: trace.EvEvict, Addr: b.addr, Size: b.size})
+		}
 	}
-	if err := m.flushBlockEager(victim); err != nil {
-		return err
+}
+
+// flushEvicted writes a run of evicted rolling-cache victims back to the
+// accelerator and downgrades them to ReadOnly, one DMA transfer and one
+// mprotect per maximal still-dirty stretch. Blocks no longer Dirty (a
+// racing drain flushed them) or re-queued since eviction (checkQueued; the
+// cache owns them again) split the run and are skipped. On an unrecoverable
+// fault the flush has already escalated (victims' object degraded, blocks
+// left Dirty and writable) and the error is returned. The caller must hold
+// first.obj.mu.
+func (m *Manager) flushEvicted(first *Block, n int, checkQueued bool) error {
+	o := first.obj
+	end := first.index + n
+	for i := first.index; i < end; {
+		for i < end && !m.flushable(o.blocks[i], checkQueued) {
+			i++
+		}
+		j := i
+		for j < end && m.flushable(o.blocks[j], checkQueued) {
+			j++
+		}
+		if j == i {
+			break
+		}
+		sub := o.blocks[i]
+		if err := m.flushRunEager(sub, j-i); err != nil {
+			return err
+		}
+		for k := i; k < j; k++ {
+			o.blocks[k].state = StateReadOnly
+		}
+		m.setProtRun(sub, j-i, hostmmu.ProtRead)
+		i = j
 	}
-	victim.state = StateReadOnly
-	m.setProt(victim, hostmmu.ProtRead)
 	return nil
 }
 
-// deferEviction queues a victim whose object lock the current goroutine
+// flushable reports whether an evicted block still needs its write-back.
+func (m *Manager) flushable(b *Block, checkQueued bool) bool {
+	return b.state == StateDirty && !(checkQueued && m.rolling.isQueued(b))
+}
+
+// deferEviction queues a victim run whose object lock the current goroutine
 // does not hold. The entry points drain the queue once their own object
 // lock is released, so no goroutine ever holds two Object.mu at once.
-func (m *Manager) deferEviction(victim *Block) {
+func (m *Manager) deferEviction(first *Block, n int) {
 	m.evictMu.Lock()
-	m.evictQ = append(m.evictQ, victim)
+	m.evictQ = append(m.evictQ, evictRun{first, n})
 	m.evictMu.Unlock()
 }
 
-// drainEvictions flushes every deferred cross-object victim. Called by host
-// entry points after releasing their object lock, and by invoke before the
-// release sweep. A victim that was re-dirtied and re-queued since deferral
-// is left alone (the cache owns it again); one flushed by a racing drain is
-// skipped via the state check.
+// drainEvictions flushes every deferred cross-object victim run. Called by
+// host entry points after releasing their object lock, and by invoke before
+// the release sweep. A victim that was re-dirtied and re-queued since
+// deferral is left alone (the cache owns it again); one flushed by a racing
+// drain is skipped via the state check. Both cases are handled per block
+// inside flushEvicted, splitting the run as needed.
 func (m *Manager) drainEvictions() {
 	if m.lost.Load() {
 		// The device is gone: deferred flushes are moot, and any object not
@@ -947,17 +1085,18 @@ func (m *Manager) drainEvictions() {
 		m.degradeAll()
 	}
 	m.evictMu.Lock()
-	victims := m.evictQ
+	runs := m.evictQ
 	m.evictQ = nil
 	m.evictMu.Unlock()
-	for _, v := range victims {
-		v.obj.mu.Lock()
-		if !v.obj.dead && !v.obj.degraded.Load() && v.state == StateDirty && !m.rolling.isQueued(v) {
+	for _, r := range runs {
+		o := r.first.obj
+		o.mu.Lock()
+		if !o.dead && !o.degraded.Load() {
 			// An unrecoverable flush has already escalated (the object is
 			// degraded and keeps its data host-side); nothing further to do.
-			_ = m.flushEvicted(v)
+			_ = m.flushEvicted(r.first, r.n, true)
 		}
-		v.obj.mu.Unlock()
+		o.mu.Unlock()
 	}
 }
 
@@ -968,6 +1107,19 @@ func (m *Manager) setProt(b *Block, prot hostmmu.Prot) {
 		// Blocks are always mapped while their object lives; failure here
 		// is a manager bug, not a recoverable condition.
 		panic(fmt.Sprintf("core: mprotect of live block failed: %v", err))
+	}
+}
+
+// setProtRun changes the protection of n consecutive blocks with a single
+// mprotect call (one charge for the whole run).
+func (m *Manager) setProtRun(first *Block, n int, prot hostmmu.Prot) {
+	if n == 1 {
+		m.setProt(first, prot)
+		return
+	}
+	m.charge(sim.CatSignal, m.cfg.MprotectCost)
+	if err := m.mmu.Mprotect(first.addr, runSize(first, n), prot); err != nil {
+		panic(fmt.Sprintf("core: mprotect of live block run failed: %v", err))
 	}
 }
 

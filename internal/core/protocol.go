@@ -178,17 +178,19 @@ func (p *rollingProtocol) onFault(b *Block, access hostmmu.Access) error {
 		return err
 	}
 	if b.state == StateDirty && !b.obj.degraded.Load() {
-		if victim := p.m.rolling.push(b); victim != nil {
-			p.m.noteEviction(victim)
+		if victim, run := p.m.rolling.push(b); victim != nil {
+			p.m.noteEviction(victim, run)
 			if victim.obj == b.obj {
-				// Same object: this fault already holds its lock.
-				if err := p.m.flushEvicted(victim); err != nil {
+				// Same object: this fault already holds its lock. The run's
+				// blocks were just popped and cannot have been re-queued, so
+				// skip the queued re-check.
+				if err := p.m.flushEvicted(victim, run, false); err != nil {
 					return err
 				}
 			} else {
 				// Flushing now would need a second Object.mu; defer to the
 				// entry point, which drains after releasing its own lock.
-				p.m.deferEviction(victim)
+				p.m.deferEviction(victim, run)
 			}
 		}
 		occ := int64(p.m.rolling.Len())
@@ -206,28 +208,36 @@ func (p *rollingProtocol) onInvoke(writes objectSet) error {
 	// simple — but they are not invalidated below.
 	defer p.m.mets.rollingOcc.Set(0)
 	var err error
-	for _, b := range p.m.rolling.drain() {
-		o := b.obj
+	drained := p.m.rolling.drain()
+	for i := 0; i < len(drained); {
+		// Group queue-adjacent, address-contiguous blocks of one object into
+		// a run: streaming writers fill the cache in address order, so the
+		// invocation flush collapses into a few large DMA transfers.
+		j := i + 1
+		if !p.m.cfg.DisableCoalescing {
+			for j < len(drained) && drained[j].obj == drained[j-1].obj &&
+				drained[j].index == drained[j-1].index+1 {
+				j++
+			}
+		}
+		first := drained[i]
+		o := first.obj
 		o.mu.Lock()
-		if !o.dead && !o.degraded.Load() && b.state == StateDirty {
-			if e := p.m.flushBlockEager(b); e != nil {
+		if !o.dead && !o.degraded.Load() {
+			// flushEvicted skips the stretches a racing drain already
+			// flushed, writes back the dirty ones run-wise, and downgrades
+			// them to ReadOnly so the next CPU write faults again. Objects
+			// the sweep below invalidates get their object-wide ProtNone
+			// afterwards, superseding the per-run downgrade.
+			if e := p.m.flushEvicted(first, j-i, false); e != nil {
 				// Escalated: o is degraded and keeps its data host-side.
 				// Finish the walk so other objects' blocks are not left
 				// dirty-but-unqueued, then fail the invocation.
 				err = e
-				o.mu.Unlock()
-				continue
-			}
-			b.state = StateReadOnly // both copies identical until invalidated below
-			// Unless the sweep below will invalidate the object (it is in
-			// the call's §3.3 scope AND in the write annotation), the block
-			// survives the call as ReadOnly and must fault on the next CPU
-			// write.
-			if !(o.UsedBy(p.m.invokeKernel) && writes.contains(o)) {
-				p.m.setProt(b, hostmmu.ProtRead)
 			}
 		}
 		o.mu.Unlock()
+		i = j
 	}
 	if err != nil {
 		return err
@@ -267,22 +277,18 @@ func (p *rollingProtocol) onReturn() error { return nil }
 // rolling-update: Invalid data is fetched from the accelerator; the block
 // lands in ReadOnly after a read fault or Dirty after a write fault.
 func resolveFault(m *Manager, b *Block, access hostmmu.Access) error {
-	before := b.state
-	defer func() {
-		if b.state != before {
-			m.emit(trace.Event{Kind: trace.EvTransition, Addr: b.addr, Size: b.size,
-				From: before.String(), To: b.state.String()})
-		}
-	}()
 	// A fault on an object whose device is already known-lost degrades it in
 	// place: the host copy (stale or not) becomes authoritative, matching the
 	// drainEvictions sweep instead of failing the access.
+	before := b.state
 	if m.degradedLocked(b.obj) {
+		m.emitTransition(b, before)
 		return nil
 	}
 	switch b.state {
 	case StateInvalid:
 		if err := m.fetchBlockSync(b); err != nil {
+			m.emitTransition(b, before)
 			return err
 		}
 		if access == hostmmu.AccessWrite {
@@ -292,6 +298,7 @@ func resolveFault(m *Manager, b *Block, access hostmmu.Access) error {
 			b.state = StateReadOnly
 			m.setProt(b, hostmmu.ProtRead)
 		}
+		m.emitTransition(b, before)
 		return nil
 	case StateReadOnly:
 		if access != hostmmu.AccessWrite {
@@ -299,8 +306,19 @@ func resolveFault(m *Manager, b *Block, access hostmmu.Access) error {
 		}
 		b.state = StateDirty
 		m.setProt(b, hostmmu.ProtReadWrite)
+		m.emitTransition(b, before)
 		return nil
 	default: // StateDirty
 		return fmt.Errorf("core: %v fault on Dirty block %#x", access, uint64(b.addr))
 	}
+}
+
+// emitTransition records a block state transition when tracing is on; the
+// hot path (no tracer) pays a single nil check and no deferred closure.
+func (m *Manager) emitTransition(b *Block, before State) {
+	if m.tracer == nil || b.state == before {
+		return
+	}
+	m.emit(trace.Event{Kind: trace.EvTransition, Addr: b.addr, Size: b.size,
+		From: before.String(), To: b.state.String()})
 }

@@ -68,24 +68,38 @@ func (m *Manager) retry(cat sim.Category, what string, op func() error) error {
 		if err == nil {
 			return nil
 		}
-		if !errors.Is(err, fault.ErrInjected) || errors.Is(err, fault.ErrDeviceLost) {
-			return err
+		again, ferr := m.retryStep(cat, what, attempt, err)
+		if !again {
+			return ferr
 		}
-		if attempt >= m.maxRetries() {
-			m.statsMu.Lock()
-			m.stats.RetryGiveups++
-			m.statsMu.Unlock()
-			m.mets.retryGiveups.Inc()
-			return fmt.Errorf("core: %s failed after %d retries: %w", what, attempt, err)
-		}
-		backoff := m.retryBase() << uint(attempt)
-		m.charge(cat, backoff)
-		m.statsMu.Lock()
-		m.stats.Retries++
-		m.statsMu.Unlock()
-		m.mets.retries.Inc()
-		m.emit(trace.Event{Kind: trace.EvRetry, Note: what})
 	}
+}
+
+// retryStep books one failed attempt: it decides whether the caller's
+// inline retry loop should run another attempt (after charging the
+// backoff), or returns the error to propagate (wrapped when the budget is
+// exhausted). The transfer hot paths loop inline with retryStep instead of
+// passing a closure to retry, keeping the per-fault path free of func
+// values.
+func (m *Manager) retryStep(cat sim.Category, what string, attempt int, err error) (again bool, _ error) {
+	if !errors.Is(err, fault.ErrInjected) || errors.Is(err, fault.ErrDeviceLost) {
+		return false, err
+	}
+	if attempt >= m.maxRetries() {
+		m.statsMu.Lock()
+		m.stats.RetryGiveups++
+		m.statsMu.Unlock()
+		m.mets.retryGiveups.Inc()
+		return false, fmt.Errorf("core: %s failed after %d retries: %w", what, attempt, err)
+	}
+	backoff := m.retryBase() << uint(attempt)
+	m.charge(cat, backoff)
+	m.statsMu.Lock()
+	m.stats.Retries++
+	m.statsMu.Unlock()
+	m.mets.retries.Inc()
+	m.emit(trace.Event{Kind: trace.EvRetry, Note: what})
+	return true, nil
 }
 
 // markDeviceLost transitions the manager to the lost state (idempotent).

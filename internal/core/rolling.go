@@ -21,13 +21,21 @@ type rollingCache struct {
 	capacity int
 	delta    int
 	fixed    bool // capacity pinned by the experiment, no adaptation
+	coalesce bool // batch address-contiguous victims into one eviction run
 }
 
-func newRollingCache(start, delta int, fixed bool) *rollingCache {
+// maxEvictRun bounds how many address-contiguous victims one eviction may
+// coalesce into a single DMA transfer. Streaming writers fill the cache in
+// address order, so without a bound a single fault could flush the whole
+// cache; 16 blocks keeps individual transfers reasonably sized while still
+// collapsing the transfer count by an order of magnitude.
+const maxEvictRun = 16
+
+func newRollingCache(start, delta int, fixed, coalesce bool) *rollingCache {
 	if delta <= 0 {
 		delta = 2
 	}
-	return &rollingCache{capacity: start, delta: delta, fixed: fixed}
+	return &rollingCache{capacity: start, delta: delta, fixed: fixed, coalesce: coalesce}
 }
 
 // onAlloc grows the rolling size, unless it is pinned.
@@ -60,23 +68,39 @@ func (rc *rollingCache) isQueued(b *Block) bool {
 	return b.queued
 }
 
-// push enqueues a newly dirty block and returns the block evicted to make
-// room, or nil if the cache has capacity. The caller flushes the victim.
-func (rc *rollingCache) push(b *Block) *Block {
+// push enqueues a newly dirty block and returns the eviction run needed to
+// make room: the oldest block plus up to maxEvictRun-1 address-contiguous
+// successors that ride along in the same DMA transfer (victim=nil, run=0 if
+// the cache has capacity). The run never includes b itself — the caller's
+// CPU write has not landed yet, so flushing b here would lose it. The
+// caller flushes the run.
+func (rc *rollingCache) push(b *Block) (victim *Block, run int) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	if b.queued {
-		return nil
+		return nil, 0
 	}
 	b.queued = true
 	rc.queue = append(rc.queue, b)
 	if len(rc.queue) <= rc.capacity {
-		return nil
+		return nil, 0
 	}
-	victim := rc.queue[0]
-	rc.queue = rc.queue[1:]
-	victim.queued = false
-	return victim
+	victim = rc.queue[0]
+	run = 1
+	if rc.coalesce {
+		for run < len(rc.queue) && run < maxEvictRun {
+			next, prev := rc.queue[run], rc.queue[run-1]
+			if next == b || next.obj != prev.obj || next.index != prev.index+1 {
+				break
+			}
+			run++
+		}
+	}
+	for _, q := range rc.queue[:run] {
+		q.queued = false
+	}
+	rc.queue = rc.queue[run:]
+	return victim, run
 }
 
 // drain removes and returns all queued blocks (kernel invocation flush).

@@ -1,0 +1,39 @@
+package figures
+
+import "repro/internal/workloads"
+
+// The sweep parameters for each figure exist at two scales: the paper's
+// evaluation scale and a small unit-test scale. They live here — not in
+// cmd/gmacbench — so the golden-figure tests (golden_test.go) and the CLI
+// provably run the same sweeps.
+
+// Fig9Params returns the matrix sizes and block sizes for the Figure 9
+// sweep at the given scale.
+func Fig9Params(small bool) (sizes, blocks []int64) {
+	if small {
+		return []int64{16, 24}, []int64{4 << 10, 64 << 10}
+	}
+	return Fig9Sizes, Fig9Blocks
+}
+
+// Fig11Params returns the vector length and block sizes for the Figure 11
+// sweep at the given scale.
+func Fig11Params(small bool) (n int64, blocks []int64) {
+	if small {
+		return 128 << 10, []int64{4 << 10, 64 << 10, 512 << 10}
+	}
+	return 8 << 20, Fig11Blocks
+}
+
+// Fig12Params returns the TPACF configuration, block sizes and rolling-cache
+// sizes for the Figure 12 sweep at the given scale.
+func Fig12Params(small bool) (bench *workloads.TPACF, blocks []int64, rollingSizes []int) {
+	bench = Fig12DefaultBench()
+	blocks, rollingSizes = Fig12Blocks, Fig12RollingSizes
+	if small {
+		bench.Points = 16 << 10
+		bench.Sets = 2
+		blocks = []int64{16 << 10, 64 << 10, 256 << 10}
+	}
+	return bench, blocks, rollingSizes
+}

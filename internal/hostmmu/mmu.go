@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -104,12 +105,18 @@ type MMU struct {
 	pageSize   int64
 	mu         sync.RWMutex // guards pages
 	pages      map[mem.Addr]Prot
-	handler    FaultHandler
+	handler    atomic.Pointer[FaultHandler]
 	clock      *sim.Clock
 	breakdown  *sim.Breakdown
 	signalCost sim.Time // cost of one fault delivery (kernel + user handler entry)
-	statsMu    sync.Mutex
-	stats      Stats
+
+	// Counters are plain atomics: fault delivery is the hot path and must
+	// not serialise concurrent faulting goroutines on a stats lock.
+	faults      atomic.Int64
+	readFaults  atomic.Int64
+	writeFaults atomic.Int64
+	mprotects   atomic.Int64
+	signalTime  atomic.Int64
 }
 
 // Config parameterises the MMU.
@@ -137,16 +144,22 @@ func (m *MMU) PageSize() int64 { return m.pageSize }
 
 // SetHandler installs the fault handler (GMAC's signal handler).
 func (m *MMU) SetHandler(h FaultHandler) {
-	m.mu.Lock()
-	m.handler = h
-	m.mu.Unlock()
+	if h == nil {
+		m.handler.Store(nil)
+		return
+	}
+	m.handler.Store(&h)
 }
 
 // Stats returns a copy of the accumulated counters.
 func (m *MMU) Stats() Stats {
-	m.statsMu.Lock()
-	defer m.statsMu.Unlock()
-	return m.stats
+	return Stats{
+		Faults:      m.faults.Load(),
+		ReadFaults:  m.readFaults.Load(),
+		WriteFaults: m.writeFaults.Load(),
+		Mprotects:   m.mprotects.Load(),
+		SignalTime:  sim.Time(m.signalTime.Load()),
+	}
 }
 
 func (m *MMU) pageBase(addr mem.Addr) mem.Addr {
@@ -179,24 +192,29 @@ func (m *MMU) Unmap(addr mem.Addr, size int64) {
 }
 
 // Mprotect changes the protection of [addr, addr+size). All pages in the
-// range must be mapped.
+// range must be mapped; on an unmapped page the whole call is undone and an
+// error returned. The common case (every page mapped) walks the page table
+// once, saving old protections on the stack for the rollback path.
 func (m *MMU) Mprotect(addr mem.Addr, size int64, prot Prot) error {
 	base := m.pageBase(addr)
 	end := addr + mem.Addr(size)
+	var oldBuf [32]Prot
+	old := oldBuf[:0]
 	m.mu.Lock()
 	for p := base; p < end; p += mem.Addr(m.pageSize) {
-		if _, ok := m.pages[p]; !ok {
+		was, ok := m.pages[p]
+		if !ok {
+			for q, i := base, 0; q < p; q, i = q+mem.Addr(m.pageSize), i+1 {
+				m.pages[q] = old[i]
+			}
 			m.mu.Unlock()
 			return fmt.Errorf("%w: mprotect %#x", ErrUnmapped, uint64(p))
 		}
-	}
-	for p := base; p < end; p += mem.Addr(m.pageSize) {
+		old = append(old, was)
 		m.pages[p] = prot
 	}
 	m.mu.Unlock()
-	m.statsMu.Lock()
-	m.stats.Mprotects++
-	m.statsMu.Unlock()
+	m.mprotects.Add(1)
 	return nil
 }
 
@@ -264,26 +282,22 @@ func (m *MMU) check(addr mem.Addr, size int64, access Access) error {
 // deliver runs the fault handler with no MMU lock held: the handler
 // re-enters the MMU through Mprotect to upgrade the page.
 func (m *MMU) deliver(f Fault) error {
-	m.statsMu.Lock()
-	m.stats.Faults++
+	m.faults.Add(1)
 	if f.Access == AccessWrite {
-		m.stats.WriteFaults++
+		m.writeFaults.Add(1)
 	} else {
-		m.stats.ReadFaults++
+		m.readFaults.Add(1)
 	}
-	m.stats.SignalTime += m.signalCost
-	m.statsMu.Unlock()
+	m.signalTime.Add(int64(m.signalCost))
 	m.clock.Advance(m.signalCost)
 	if m.breakdown != nil {
 		m.breakdown.Add(sim.CatSignal, m.signalCost)
 	}
-	m.mu.RLock()
-	h := m.handler
-	m.mu.RUnlock()
-	if h == nil {
+	hp := m.handler.Load()
+	if hp == nil {
 		return fmt.Errorf("%w: %s at %#x (no handler)", ErrSegfault, f.Access, uint64(f.Addr))
 	}
-	if err := h(f); err != nil {
+	if err := (*hp)(f); err != nil {
 		return fmt.Errorf("%w: %s at %#x: %v", ErrSegfault, f.Access, uint64(f.Addr), err)
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Category labels one slice of the execution-time breakdown reported in
@@ -37,18 +38,68 @@ func Categories() []Category {
 	}
 }
 
-// Breakdown accumulates virtual time per category. The zero value is ready
-// to use after a call to NewBreakdown (map initialisation). All methods are
-// safe for concurrent use; charges from several host goroutines accumulate
-// without loss.
+// numCategories is the size of the fixed charge array. The order below
+// must match catIndex.
+const numCategories = 13
+
+// catIndex maps a known category to its slot in the fixed array, or -1.
+// The fault handler charges the breakdown several times per fault, so this
+// is a compiled string switch rather than a map lookup.
+func catIndex(cat Category) int {
+	switch cat {
+	case CatCopy:
+		return 0
+	case CatMalloc:
+		return 1
+	case CatFree:
+		return 2
+	case CatLaunch:
+		return 3
+	case CatSync:
+		return 4
+	case CatSignal:
+		return 5
+	case CatCudaMalloc:
+		return 6
+	case CatCudaFree:
+		return 7
+	case CatCudaLaunch:
+		return 8
+	case CatGPU:
+		return 9
+	case CatIORead:
+		return 10
+	case CatIOWrite:
+		return 11
+	case CatCPU:
+		return 12
+	default:
+		return -1
+	}
+}
+
+// catAt is the inverse of catIndex.
+var catAt = [numCategories]Category{
+	CatCopy, CatMalloc, CatFree, CatLaunch, CatSync, CatSignal,
+	CatCudaMalloc, CatCudaFree, CatCudaLaunch, CatGPU,
+	CatIORead, CatIOWrite, CatCPU,
+}
+
+// Breakdown accumulates virtual time per category. Charges to the known
+// categories land in a fixed array of atomics — the fault hot path charges
+// Signal several times per fault, so Add must not take a lock or hash a
+// string — while charges to caller-defined categories fall back to a
+// mutex-guarded overflow map. All methods are safe for concurrent use;
+// charges from several host goroutines accumulate without loss.
 type Breakdown struct {
-	mu      sync.Mutex
-	buckets map[Category]Time
+	counts [numCategories]atomic.Int64
+	mu     sync.Mutex
+	extra  map[Category]Time // lazily allocated; unknown categories only
 }
 
 // NewBreakdown returns an empty breakdown.
 func NewBreakdown() *Breakdown {
-	return &Breakdown{buckets: make(map[Category]Time)}
+	return &Breakdown{}
 }
 
 // Add charges d of virtual time to cat.
@@ -56,65 +107,75 @@ func (b *Breakdown) Add(cat Category, d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative breakdown charge %d to %s", d, cat))
 	}
+	if i := catIndex(cat); i >= 0 {
+		b.counts[i].Add(int64(d))
+		return
+	}
 	b.mu.Lock()
-	b.buckets[cat] += d
+	if b.extra == nil {
+		b.extra = make(map[Category]Time)
+	}
+	b.extra[cat] += d
 	b.mu.Unlock()
 }
 
 // Get returns the accumulated time for cat.
 func (b *Breakdown) Get(cat Category) Time {
+	if i := catIndex(cat); i >= 0 {
+		return Time(b.counts[i].Load())
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.buckets[cat]
+	return b.extra[cat]
 }
 
 // Total returns the sum over all categories.
 func (b *Breakdown) Total() Time {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.totalLocked()
-}
-
-func (b *Breakdown) totalLocked() Time {
 	var t Time
-	for _, v := range b.buckets {
+	for i := range b.counts {
+		t += Time(b.counts[i].Load())
+	}
+	b.mu.Lock()
+	for _, v := range b.extra {
 		t += v
 	}
+	b.mu.Unlock()
 	return t
 }
 
 // Fraction returns cat's share of the total, in [0,1]. A breakdown with no
 // recorded time reports 0 for every category.
 func (b *Breakdown) Fraction(cat Category) float64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	total := b.totalLocked()
+	total := b.Total()
 	if total == 0 {
 		return 0
 	}
-	return float64(b.buckets[cat]) / float64(total)
+	return float64(b.Get(cat)) / float64(total)
 }
 
 // Map returns a copy of the non-zero buckets, for export (the Figure 10
 // breakdown section of snapshots and the -json benchmark summaries).
 func (b *Breakdown) Map() map[Category]Time {
+	out := make(map[Category]Time, numCategories)
+	for i := range b.counts {
+		if v := Time(b.counts[i].Load()); v != 0 {
+			out[catAt[i]] = v
+		}
+	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make(map[Category]Time, len(b.buckets))
-	for cat, t := range b.buckets {
+	for cat, t := range b.extra {
 		if t != 0 {
 			out[cat] = t
 		}
 	}
+	b.mu.Unlock()
 	return out
 }
 
 // Merge adds every bucket of other into b.
 func (b *Breakdown) Merge(other *Breakdown) {
 	for cat, v := range other.Map() {
-		b.mu.Lock()
-		b.buckets[cat] += v
-		b.mu.Unlock()
+		b.Add(cat, v)
 	}
 }
 
@@ -127,11 +188,12 @@ func (b *Breakdown) Clone() *Breakdown {
 
 // Reset clears all buckets.
 func (b *Breakdown) Reset() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for cat := range b.buckets {
-		delete(b.buckets, cat)
+	for i := range b.counts {
+		b.counts[i].Store(0)
 	}
+	b.mu.Lock()
+	b.extra = nil
+	b.mu.Unlock()
 }
 
 // String renders the non-zero buckets, largest first.
