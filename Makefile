@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all check fmt vet build test race bench bench-micro bench-gate baseline smoke fuzz chaos clean
+.PHONY: all check fmt vet build test race bench bench-micro bench-gate baseline smoke fuzz chaos clean FORCE
 
 all: check
 
@@ -12,8 +12,19 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-vet:
+# Static analysis: the standard go vet suite, then adsmvet — the ADSM
+# multichecker (coherence, lanepair, lockorder, noalloc, statecase; see
+# docs/static-analysis.md) — driven through `go vet -vettool` so results
+# land in the build cache and incremental runs are cheap. Any diagnostic
+# fails the build.
+vet: bin/adsmvet
 	$(GO) vet ./...
+	$(GO) vet -vettool=$(abspath bin/adsmvet) ./...
+
+bin/adsmvet: FORCE
+	$(GO) build -o bin/adsmvet ./cmd/adsmvet
+
+FORCE:
 
 build:
 	$(GO) build ./...
@@ -60,3 +71,4 @@ chaos:
 
 clean:
 	$(GO) clean ./...
+	rm -rf bin

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analyzers"
+)
+
+// TestSuiteWellFormed checks that the analyzer suite loads with unique,
+// documented names that do not collide with the framework flags.
+func TestSuiteWellFormed(t *testing.T) {
+	if err := analyzers.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fs := flag.NewFlagSet("adsmvet", flag.ContinueOnError)
+	for _, a := range analyzers.All() {
+		switch a.Name {
+		case "flags", "json", "V":
+			t.Errorf("analyzer name %q collides with a framework flag", a.Name)
+			continue
+		}
+		fs.Bool(a.Name, false, a.Doc) // panics on a duplicate registration
+	}
+	fs.Bool("flags", false, "")
+	fs.Bool("json", false, "")
+}
+
+// TestEnabledSemantics checks go vet's flag convention: no analyzer flags
+// set runs everything, any set runs only those.
+func TestEnabledSemantics(t *testing.T) {
+	selected := map[string]*bool{}
+	for _, a := range analyzers.All() {
+		v := false
+		selected[a.Name] = &v
+	}
+	if got, want := len(enabled(selected)), len(analyzers.All()); got != want {
+		t.Errorf("no flags set: %d analyzers enabled, want all %d", got, want)
+	}
+	*selected["noalloc"] = true
+	suite := enabled(selected)
+	if len(suite) != 1 || suite[0].Name != "noalloc" {
+		t.Errorf("-noalloc: %d analyzers enabled, want just noalloc", len(suite))
+	}
+}
+
+// TestVettoolProtocol builds the tool and exercises the cmd/go handshake
+// plus a real `go vet -vettool` run over a clean package.
+func TestVettoolProtocol(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "adsmvet")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building adsmvet: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	version := strings.TrimSpace(string(out))
+	if !strings.HasPrefix(version, "adsmvet version ") || strings.Contains(version, "devel") {
+		t.Errorf("-V=full printed %q; cmd/go needs `adsmvet version <non-devel>` to cache results", version)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var inventory []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out, &inventory); err != nil {
+		t.Fatalf("-flags output is not JSON: %v\n%s", err, out)
+	}
+	if len(inventory) != len(analyzers.All()) {
+		t.Errorf("-flags advertised %d analyzers, want %d", len(inventory), len(analyzers.All()))
+	}
+	for _, f := range inventory {
+		if !f.Bool {
+			t.Errorf("flag %s advertised as non-boolean", f.Name)
+		}
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "repro/internal/sim")
+	vet.Dir = filepath.Join("..", "..")
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool over a clean package failed: %v\n%s", err, out)
+	}
+}

@@ -17,21 +17,23 @@ func Example() {
 		log.Fatal(err)
 	}
 	const n = 1024
-	ctx.RegisterKernel(&gmac.Kernel{
-		Name: "triple",
-		Run: func(dev *gmac.DeviceMemory, args []uint64) {
-			p := gmac.Ptr(args[0])
-			for i := int64(0); i < n; i++ {
-				dev.SetFloat32(p+gmac.Ptr(i*4), 3*dev.Float32(p+gmac.Ptr(i*4)))
-			}
-		},
+	ctx.Register(func() *gmac.Kernel {
+		return &gmac.Kernel{
+			Name: "triple",
+			Run: func(dev *gmac.DeviceMemory, args []uint64) {
+				p := gmac.Ptr(args[0])
+				for i := int64(0); i < n; i++ {
+					dev.SetFloat32(p+gmac.Ptr(i*4), 3*dev.Float32(p+gmac.Ptr(i*4)))
+				}
+			},
+		}
 	})
 	p, _ := ctx.Alloc(n * 4) // adsmAlloc
 	v, _ := ctx.Float32s(p, n)
-	v.Fill(2)                          // CPU write
-	ctx.CallSync("triple", uint64(p))  // adsmCall + adsmSync
-	fmt.Println("v[0] =", v.At(0))     // CPU read of kernel output
-	fmt.Println("v[n-1] =", v.At(n-1)) // scattered read: one block fetch
+	v.Fill(2)                               // CPU write
+	ctx.Call("triple", []uint64{uint64(p)}) // adsmCall + adsmSync
+	fmt.Println("v[0] =", v.At(0))          // CPU read of kernel output
+	fmt.Println("v[n-1] =", v.At(n-1))      // scattered read: one block fetch
 	fmt.Println("free:", ctx.Free(p) == nil)
 	// Output:
 	// v[0] = 6
@@ -60,24 +62,26 @@ func ExampleContext_ReadFile() {
 	// 13 bytes: heterogeneous
 }
 
-// ExampleContext_CallAnnotated shows the §4.3 write-set annotation: the
-// read-only table stays CPU-valid across the call.
-func ExampleContext_CallAnnotated() {
+// ExampleContext_Call shows the §4.3 write-set annotation via the Writes
+// option: the read-only table stays CPU-valid across the call.
+func ExampleContext_Call() {
 	m := machine.PaperTestbed()
 	ctx, err := gmac.NewContext(m, gmac.Config{Protocol: gmac.RollingUpdate})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctx.RegisterKernel(&gmac.Kernel{
-		Name: "sum",
-		Run: func(dev *gmac.DeviceMemory, args []uint64) {
-			table, out := gmac.Ptr(args[0]), gmac.Ptr(args[1])
-			var s uint32
-			for i := int64(0); i < 256; i++ {
-				s += dev.Uint32(table + gmac.Ptr(i*4))
-			}
-			dev.SetUint32(out, s)
-		},
+	ctx.Register(func() *gmac.Kernel {
+		return &gmac.Kernel{
+			Name: "sum",
+			Run: func(dev *gmac.DeviceMemory, args []uint64) {
+				table, out := gmac.Ptr(args[0]), gmac.Ptr(args[1])
+				var s uint32
+				for i := int64(0); i < 256; i++ {
+					s += dev.Uint32(table + gmac.Ptr(i*4))
+				}
+				dev.SetUint32(out, s)
+			},
+		}
 	})
 	table, _ := ctx.Alloc(1024)
 	out, _ := ctx.Alloc(4)
@@ -86,7 +90,7 @@ func ExampleContext_CallAnnotated() {
 		tv.Set(i, 1)
 	}
 	before := ctx.Stats().BytesD2H
-	if err := ctx.CallAnnotated("sum", []gmac.Ptr{out}, uint64(table), uint64(out)); err != nil {
+	if err := ctx.Call("sum", []uint64{uint64(table), uint64(out)}, gmac.Writes(out)); err != nil {
 		log.Fatal(err)
 	}
 	if err := ctx.Sync(); err != nil {

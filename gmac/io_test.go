@@ -61,8 +61,10 @@ func TestSection44BlockwiseIO(t *testing.T) {
 		t.Fatal("payload corrupted by mid-I/O evictions")
 	}
 	// And the accelerator sees it after the release point.
-	ctx.RegisterKernel(&Kernel{Name: "nop", Run: func(*DeviceMemory, []uint64) {}})
-	if err := ctx.CallSync("nop", uint64(p)); err != nil {
+	ctx.Register(func() *Kernel {
+		return &Kernel{Name: "nop", Run: func(*DeviceMemory, []uint64) {}}
+	})
+	if err := ctx.Call("nop", []uint64{uint64(p)}); err != nil {
 		t.Fatal(err)
 	}
 	dv := make([]byte, size)
@@ -80,19 +82,21 @@ func TestWriteFileFetchesFromDevice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx.RegisterKernel(&Kernel{
-		Name: "stamp",
-		Run: func(dev *DeviceMemory, args []uint64) {
-			p, n := Ptr(args[0]), int64(args[1])
-			buf := dev.Bytes(p, n)
-			for i := range buf {
-				buf[i] = byte(i % 251)
-			}
-		},
+	ctx.Register(func() *Kernel {
+		return &Kernel{
+			Name: "stamp",
+			Run: func(dev *DeviceMemory, args []uint64) {
+				p, n := Ptr(args[0]), int64(args[1])
+				buf := dev.Bytes(p, n)
+				for i := range buf {
+					buf[i] = byte(i % 251)
+				}
+			},
+		}
 	})
 	const size = 192 << 10
 	p, _ := ctx.Alloc(size)
-	if err := ctx.CallSync("stamp", uint64(p), size); err != nil {
+	if err := ctx.Call("stamp", []uint64{uint64(p), size}); err != nil {
 		t.Fatal(err)
 	}
 	base := ctx.Stats()

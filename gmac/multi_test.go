@@ -14,7 +14,7 @@ func newMulti(t *testing.T, vm bool) *MultiContext {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mc.RegisterKernelAll(func() *Kernel {
+	mc.Register(func() *Kernel {
 		return &Kernel{
 			Name: "scale",
 			Run: func(dev *DeviceMemory, args []uint64) {
@@ -74,7 +74,7 @@ func TestMultiContextPlacementAndRouting(t *testing.T) {
 		if err := mc.HostWrite(p, init); err != nil {
 			t.Fatal(err)
 		}
-		if err := mc.CallSync("scale", uint64(p), n, uint64(math.Float32bits(3))); err != nil {
+		if err := mc.Call("scale", []uint64{uint64(p), n, uint64(math.Float32bits(3))}); err != nil {
 			t.Fatal(err)
 		}
 		got := make([]byte, 4)
@@ -116,8 +116,8 @@ func TestMultiContextVirtualMemoryRemovesConflicts(t *testing.T) {
 
 func TestMultiContextCrossDeviceCallRejected(t *testing.T) {
 	mc := newMulti(t, true)
-	a, _ := mc.AllocOn(0, 4096)
-	b, _ := mc.AllocOn(1, 4096)
+	a, _ := mc.Alloc(4096, OnDevice(0))
+	b, _ := mc.Alloc(4096, OnDevice(1))
 	if err := mc.Call("scale", []uint64{uint64(a), uint64(b), 0}); err == nil {
 		t.Fatal("cross-device kernel call accepted")
 	}
@@ -129,8 +129,8 @@ func TestMultiContextCrossDeviceCallRejected(t *testing.T) {
 func TestMultiContextFaultDispatch(t *testing.T) {
 	// Faults on either device's objects resolve through the right manager.
 	mc := newMulti(t, true)
-	a, _ := mc.AllocOn(0, 64<<10)
-	b, _ := mc.AllocOn(1, 64<<10)
+	a, _ := mc.Alloc(64<<10, OnDevice(0))
+	b, _ := mc.Alloc(64<<10, OnDevice(1))
 	if err := mc.HostWrite(a, []byte{1}); err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestMultiContextFaultDispatch(t *testing.T) {
 
 func TestMultiContextErrors(t *testing.T) {
 	mc := newMulti(t, false)
-	if _, err := mc.AllocOn(5, 4096); err == nil {
+	if _, err := mc.Alloc(4096, OnDevice(5)); err == nil {
 		t.Fatal("bad device index accepted")
 	}
 	if err := mc.Free(0x1); err == nil {

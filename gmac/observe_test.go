@@ -21,15 +21,17 @@ func runTracedScenario(t *testing.T) (*gmac.Context, *gmac.Tracer) {
 		t.Fatal(err)
 	}
 	tr := ctx.EnableTracer(4096)
-	ctx.RegisterKernel(&gmac.Kernel{
-		Name: "inc",
-		Run: func(dev *gmac.DeviceMemory, args []uint64) {
-			p, n := gmac.Ptr(args[0]), int64(args[1])
-			for i := int64(0); i < n; i++ {
-				dev.SetFloat32(p+gmac.Ptr(i*4), dev.Float32(p+gmac.Ptr(i*4))+1)
-			}
-		},
-		Cost: func(args []uint64) (float64, int64) { return float64(args[1]), 8 * int64(args[1]) },
+	ctx.Register(func() *gmac.Kernel {
+		return &gmac.Kernel{
+			Name: "inc",
+			Run: func(dev *gmac.DeviceMemory, args []uint64) {
+				p, n := gmac.Ptr(args[0]), int64(args[1])
+				for i := int64(0); i < n; i++ {
+					dev.SetFloat32(p+gmac.Ptr(i*4), dev.Float32(p+gmac.Ptr(i*4))+1)
+				}
+			},
+			Cost: func(args []uint64) (float64, int64) { return float64(args[1]), 8 * int64(args[1]) },
+		}
 	})
 	const n = 16 << 10
 	p, err := ctx.Alloc(n * 4)
@@ -43,7 +45,7 @@ func runTracedScenario(t *testing.T) (*gmac.Context, *gmac.Tracer) {
 	if err := v.Fill(1); err != nil {
 		t.Fatal(err)
 	}
-	if err := ctx.CallSync("inc", uint64(p), n); err != nil {
+	if err := ctx.Call("inc", []uint64{uint64(p), n}); err != nil {
 		t.Fatal(err)
 	}
 	_ = v.At(0)

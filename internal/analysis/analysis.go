@@ -1,0 +1,272 @@
+// Package analysis is a dependency-free re-creation of the core of
+// golang.org/x/tools/go/analysis, sized for this repository's needs.
+//
+// The ADSM runtime's correctness rests on conventions the Go compiler
+// cannot check: coherence actions only at call/return boundaries (Gelado
+// et al., ASPLOS 2010, §3), a strict lock order in internal/core, an
+// allocation-free fault hot path, and EnterLane/ExitLane pairing. The
+// analyzers under internal/analysis/... turn those conventions into
+// mechanical checks, in the spirit of Shasta's compiler-inserted access
+// checks: tooling, not discipline.
+//
+// The x/tools analysis framework is the natural substrate, but this module
+// is intentionally dependency-free (and is built in offline environments),
+// so this package defines the same minimal vocabulary — Analyzer, Pass,
+// Diagnostic — on top of go/ast and go/types alone. cmd/adsmvet drives the
+// analyzers either standalone or as a `go vet -vettool` backend.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //adsm:allow
+	// suppressions. It must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph description printed by `adsmvet -help`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Unit is one loaded, type-checked package ready for analysis.
+type Unit struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Run applies every analyzer to the unit and returns the surviving
+// diagnostics: findings on lines carrying an //adsm:allow suppression are
+// dropped, and the rest are sorted by position.
+func Run(unit *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      unit.Fset,
+			Files:     unit.Files,
+			Pkg:       unit.Pkg,
+			TypesInfo: unit.TypesInfo,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	diags = filterAllowed(unit, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// filterAllowed drops diagnostics suppressed by an //adsm:allow directive
+// on the same line or the line immediately above.
+func filterAllowed(unit *Unit, diags []Diagnostic) []Diagnostic {
+	// allow maps file -> line -> allowed analyzer names ("" = all).
+	allow := map[string]map[int][]string{}
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := directive(c.Text, "allow")
+				if !ok {
+					continue
+				}
+				pos := unit.Fset.Position(c.Pos())
+				m := allow[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					allow[pos.Filename] = m
+				}
+				names := strings.Fields(rest)
+				if len(names) == 0 {
+					names = []string{""}
+				}
+				m[pos.Line] = append(m[pos.Line], names...)
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allowed(allow, d) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+func allowed(allow map[string]map[int][]string, d Diagnostic) bool {
+	m := allow[d.Pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, name := range m[line] {
+			if name == "" || name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// directive reports whether the comment text is the //adsm:<name> directive
+// (optionally followed by arguments), returning the argument remainder.
+// Directives use the standard Go tool-directive shape: no space after //.
+func directive(text, name string) (rest string, ok bool) {
+	prefix := "//adsm:" + name
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest = text[len(prefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. //adsm:noallocator
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// Directive scans a comment group for the //adsm:<name> directive.
+func Directive(cg *ast.CommentGroup, name string) (rest string, ok bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		if rest, ok := directive(c.Text, name); ok {
+			return rest, ok
+		}
+	}
+	return "", false
+}
+
+// FuncDirective reports whether fn carries the //adsm:<name> directive,
+// either in its doc comment or in a free-standing comment group that ends
+// on the line immediately above the declaration.
+func FuncDirective(fset *token.FileSet, file *ast.File, fn *ast.FuncDecl, name string) (string, bool) {
+	if rest, ok := Directive(fn.Doc, name); ok {
+		return rest, ok
+	}
+	funcLine := fset.Position(fn.Pos()).Line
+	for _, cg := range file.Comments {
+		if fset.Position(cg.End()).Line == funcLine-1 {
+			if rest, ok := Directive(cg, name); ok {
+				return rest, ok
+			}
+		}
+	}
+	return "", false
+}
+
+// ReceiverTypeName returns the name of fn's receiver base type ("" for
+// plain functions), ignoring any pointer indirection.
+func ReceiverTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// FuncKey renders a FuncDecl as "Name" or "(*Recv).Name", the notation used
+// by the noalloc required-annotation table.
+func FuncKey(fn *ast.FuncDecl) string {
+	if recv := ReceiverTypeName(fn); recv != "" {
+		return "(*" + recv + ")." + fn.Name.Name
+	}
+	return fn.Name.Name
+}
+
+// CalleeFunc resolves the called function or method of a call expression,
+// or nil (builtins, function-typed variables, type conversions).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// CalleePkgName returns the package name declaring the called function
+// ("" when unresolved or a builtin).
+func CalleePkgName(info *types.Info, call *ast.CallExpr) string {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Name()
+}
+
+// IsBuiltinCall reports whether the call invokes the named builtin.
+func IsBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

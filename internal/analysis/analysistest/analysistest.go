@@ -1,0 +1,139 @@
+// Package analysistest runs an analyzer over a golden testdata package and
+// matches its diagnostics against `// want` expectations, mirroring the
+// x/tools package of the same name on this repository's stdlib-only
+// analysis framework.
+//
+// Expectations are comments of the form
+//
+//	code() // want `regexp` `another regexp`
+//
+// placed on the line the diagnostic is reported at. Both backquoted and
+// double-quoted (Go-syntax) expectation strings are accepted. Matching is
+// one-to-one per line: every diagnostic must be claimed by exactly one
+// expectation and every expectation must claim exactly one diagnostic.
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// SrcRoot returns the shared golden-test source tree,
+// internal/analysis/testdata/src, located relative to this file so tests
+// in any analyzer package find it without configuration.
+func SrcRoot(t *testing.T) string {
+	t.Helper()
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("analysistest: cannot locate own source file")
+	}
+	return filepath.Join(filepath.Dir(self), "..", "testdata", "src")
+}
+
+// Run loads the testdata package at pkgpath (relative to SrcRoot), applies
+// the analyzer, and matches the diagnostics against the package's want
+// comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	root := SrcRoot(t)
+	unit, err := load.Dir(filepath.Join(root, filepath.FromSlash(pkgpath)), root)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgpath, err)
+	}
+	diags, err := analysis.Run(unit, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+	}
+
+	exps := expectations(t, unit)
+	for _, d := range diags {
+		if !claim(exps, d) {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, ex := range exps {
+		if !ex.matched {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", ex.file, ex.line, ex.raw)
+		}
+	}
+}
+
+// expectation is one parsed want pattern anchored to a file and line.
+type expectation struct {
+	file    string
+	line    int
+	raw     string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantArg matches one Go-quoted or backquoted expectation string.
+var wantArg = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectations parses every `// want ...` comment in the unit.
+func expectations(t *testing.T, unit *analysis.Unit) []*expectation {
+	t.Helper()
+	var exps []*expectation
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				exps = append(exps, parseWant(t, unit, c)...)
+			}
+		}
+	}
+	return exps
+}
+
+func parseWant(t *testing.T, unit *analysis.Unit, c *ast.Comment) []*expectation {
+	t.Helper()
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSuffix(text, "*/")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil
+	}
+	pos := unit.Fset.Position(c.Pos())
+	args := wantArg.FindAllString(rest, -1)
+	if len(args) == 0 {
+		t.Errorf("%s: malformed want comment: %q", pos, c.Text)
+		return nil
+	}
+	var exps []*expectation
+	for _, arg := range args {
+		pattern := arg
+		if arg[0] == '`' {
+			pattern = arg[1 : len(arg)-1]
+		} else if unq, err := strconv.Unquote(arg); err == nil {
+			pattern = unq
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			t.Errorf("%s: bad want pattern %s: %v", pos, arg, err)
+			continue
+		}
+		exps = append(exps, &expectation{file: pos.Filename, line: pos.Line, raw: pattern, re: re})
+	}
+	return exps
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line that
+// matches its message.
+func claim(exps []*expectation, d analysis.Diagnostic) bool {
+	for _, ex := range exps {
+		if !ex.matched && ex.file == d.Pos.Filename && ex.line == d.Pos.Line && ex.re.MatchString(d.Message) {
+			ex.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package coherence_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/coherence"
+)
+
+func TestBasic(t *testing.T) {
+	analysistest.Run(t, coherence.Analyzer, "coherence/basic")
+}

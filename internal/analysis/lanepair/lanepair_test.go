@@ -1,0 +1,12 @@
+package lanepair_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lanepair"
+)
+
+func TestBasic(t *testing.T) {
+	analysistest.Run(t, lanepair.Analyzer, "lanepair/basic")
+}

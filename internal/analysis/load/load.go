@@ -1,0 +1,283 @@
+// Package load turns Go packages into type-checked analysis units without
+// depending on golang.org/x/tools.
+//
+// Module packages are enumerated with `go list -e -export -deps -test
+// -json`, which also produces gc export data for every dependency
+// (standard library included), and are then parsed from source and
+// type-checked against that export data via go/importer's lookup mode —
+// the same import strategy `go vet` feeds its unitchecker backends.
+// Testdata trees (the analyzers' golden tests) skip the go command
+// entirely: their tiny dependency sets are resolved from sibling testdata
+// directories and, for the standard library, the source importer.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Package is the subset of `go list -json` output the loader consumes.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	ForTest    string
+	Export     string
+	Module     *struct{ Path string }
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// GoList runs the go command in dir and decodes the JSON package stream.
+func GoList(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-test", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(Package)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Units loads the packages matched by patterns (plus their internal-test
+// variants and external test packages) as type-checked analysis units.
+func Units(dir string, patterns ...string) ([]*analysis.Unit, error) {
+	pkgs, err := GoList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	// Export data for every dependency, keyed by import path as listed
+	// (test variants keep their "pkg [root.test]" spelling).
+	exports := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	// Pick the units to analyze: module-local roots, preferring the
+	// test-augmented variant of a package over the plain one so _test.go
+	// files are analyzed too. Synthesized test mains are skipped.
+	variant := map[string]bool{} // plain import paths shadowed by a test variant
+	for _, p := range pkgs {
+		if p.ForTest != "" && strings.HasPrefix(p.ImportPath, p.ForTest+" ") {
+			variant[p.ForTest] = true
+		}
+	}
+	var units []*analysis.Unit
+	fset := token.NewFileSet()
+	for _, p := range pkgs {
+		switch {
+		case p.DepOnly || p.Standard || len(p.GoFiles) == 0:
+			continue
+		case strings.HasSuffix(p.ImportPath, ".test"): // synthesized main
+			continue
+		case p.ForTest == "" && variant[p.ImportPath]:
+			continue // analyzed via its test variant
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		unit, err := checkUnit(fset, p, exports)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, unit)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].Pkg.Path() < units[j].Pkg.Path() })
+	return units, nil
+}
+
+// checkUnit parses and type-checks one listed package against the export
+// data of its dependencies.
+func checkUnit(fset *token.FileSet, p *Package, exports map[string]string) (*analysis.Unit, error) {
+	files, err := parseFiles(fset, p.Dir, p.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	// A test variant's imports resolve to the same variant of its
+	// dependencies when one was built (export_test.go extensions).
+	suffix := ""
+	if i := strings.IndexByte(p.ImportPath, ' '); i >= 0 {
+		suffix = p.ImportPath[i:]
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if suffix != "" {
+			if f, ok := exports[path+suffix]; ok {
+				return os.Open(f)
+			}
+		}
+		if f, ok := exports[path]; ok {
+			return os.Open(f)
+		}
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	path := p.ImportPath
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	pkg, info, err := Check(fset, path, files, importer.ForCompiler(fset, "gc", lookup))
+	if err != nil {
+		return nil, fmt.Errorf("package %s: %v", p.ImportPath, err)
+	}
+	return &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}
+
+// Check type-checks the parsed files as package path with full type
+// information recorded.
+func Check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Dir loads a single directory of Go source (no go command involved) as one
+// analysis unit. Imports resolve first against siblings: roots lists
+// directories whose subdirectories are importable by relative path (the
+// analysistest layout testdata/src/<path>), then against the standard
+// library via the source importer. Files named *_test.go are included.
+func Dir(dir string, roots ...string) (*analysis.Unit, error) {
+	fset := token.NewFileSet()
+	imp := &dirImporter{
+		fset:  fset,
+		roots: roots,
+		std:   importer.ForCompiler(fset, "source", nil),
+		pkgs:  map[string]*types.Package{},
+	}
+	pkg, files, info, err := imp.load(dir, importPathOf(dir, roots))
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}
+
+// importPathOf derives the import path a testdata directory is reachable
+// under, relative to the first root containing it.
+func importPathOf(dir string, roots []string) string {
+	for _, root := range roots {
+		if rel, err := filepath.Rel(root, dir); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.Base(dir)
+}
+
+// dirImporter resolves imports for Dir units: testdata siblings first,
+// standard library second.
+type dirImporter struct {
+	fset  *token.FileSet
+	roots []string
+	std   types.Importer
+	pkgs  map[string]*types.Package
+}
+
+func (di *dirImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := di.pkgs[path]; ok {
+		return pkg, nil
+	}
+	for _, root := range di.roots {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			pkg, _, _, err := di.load(dir, path)
+			if err != nil {
+				return nil, err
+			}
+			return pkg, nil
+		}
+	}
+	pkg, err := di.std.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	di.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func (di *dirImporter) load(dir, path string) (*types.Package, []*ast.File, *types.Info, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	files, err := parseFiles(di.fset, dir, names)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pkg, info, err := Check(di.fset, path, files, di)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("package %s: %v", path, err)
+	}
+	di.pkgs[path] = pkg
+	return pkg, files, info, nil
+}

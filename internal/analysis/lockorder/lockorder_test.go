@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockorder"
+)
+
+func TestBasic(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "lockorder/basic")
+}

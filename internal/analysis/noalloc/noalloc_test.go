@@ -1,0 +1,16 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/noalloc"
+)
+
+func TestBasic(t *testing.T) {
+	analysistest.Run(t, noalloc.Analyzer, "noalloc/basic")
+}
+
+func TestRequiredAnnotations(t *testing.T) {
+	analysistest.Run(t, noalloc.Analyzer, "noalloc/required")
+}

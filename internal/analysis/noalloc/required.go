@@ -1,0 +1,41 @@
+package noalloc
+
+import "strings"
+
+// requiredAnnotations lists, per package, the functions that constitute the
+// ADSM fault hot path (the 0 allocs/op property measured by the
+// AllocsPerRun tests in internal/core and internal/sim). These must carry
+// the //adsm:noalloc directive: removing the annotation — not just
+// violating it — is a diagnostic, so the static and dynamic checks can
+// never silently name different function sets.
+var requiredAnnotations = map[string][]string{
+	"repro/internal/core": {
+		"(*Manager).handleFault",
+		"(*Manager).blockAt",
+		"(*Manager).objectAt",
+		"(*Manager).fetchBlockSync",
+		"(*Manager).setProt",
+		"(*spanIndex).search",
+		"(*indexSnapshot).find",
+		"(*rollingCache).push",
+		"resolveFault",
+	},
+	"repro/internal/sim": {
+		"(*Breakdown).Add",
+	},
+}
+
+// requiredSet returns the required-annotation set for the package path.
+// Testdata packages can exercise the table through the "noalloc/required"
+// suffix used by the golden tests.
+func requiredSet(pkgPath string) map[string]bool {
+	keys, ok := requiredAnnotations[pkgPath]
+	if !ok && strings.HasSuffix(pkgPath, "noalloc/required") {
+		keys = []string{"hotRequired"}
+	}
+	set := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		set[k] = true
+	}
+	return set
+}

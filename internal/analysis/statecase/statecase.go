@@ -1,0 +1,194 @@
+// Package statecase enforces exhaustive switches over the ADSM protocol
+// state enums.
+//
+// The coherence protocols (batch, lazy, rolling) are transition functions
+// over a small block-state machine: Invalid -> ReadOnly -> Dirty (Gelado
+// et al., ASPLOS 2010, §5.2). Adding a state is a protocol change that
+// must be confronted at every transition site; this analyzer makes the
+// compiler-silent omission loud by requiring every `switch` whose tag is
+// an enum type to either list every declared constant of that type or
+// carry an explicit default.
+//
+// Enum types are declared in one of two ways:
+//
+//   - a type declaration annotated //adsm:statecase in the package being
+//     analyzed, or
+//   - membership in the built-in registry (KnownEnums), which names the
+//     internal/core enums so that switches in *importing* packages are
+//     checked too.
+//
+// Exhaustiveness is by constant value: two names for the same value count
+// as one case.
+package statecase
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the statecase analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "statecase",
+	Doc:  "require switches over //adsm:statecase enums to be exhaustive or have a default",
+	Run:  run,
+}
+
+// KnownEnums registers enum types by declaring-package path, for switches
+// in packages that import the enum (directives in dependency source are
+// not visible to a per-package analysis). Tests may extend it.
+var KnownEnums = map[string][]string{
+	"repro/internal/core": {"State", "ProtocolKind"},
+}
+
+func run(pass *analysis.Pass) error {
+	enums := annotatedEnums(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, enums, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+// annotatedEnums collects the *types.TypeName objects of type declarations
+// carrying //adsm:statecase in this package.
+func annotatedEnums(pass *analysis.Pass) map[*types.TypeName]bool {
+	enums := map[*types.TypeName]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			_, declDirective := analysis.Directive(gd.Doc, "statecase")
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				_, specDirective := analysis.Directive(ts.Doc, "statecase")
+				if !declDirective && !specDirective {
+					if _, ok := analysis.Directive(ts.Comment, "statecase"); !ok {
+						continue
+					}
+				}
+				if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					enums[tn] = true
+				}
+			}
+		}
+	}
+	return enums
+}
+
+// enumTypeName resolves the switch tag type to a registered enum type
+// name, or nil.
+func enumTypeName(pass *analysis.Pass, enums map[*types.TypeName]bool, tag ast.Expr) *types.TypeName {
+	t := pass.TypesInfo.TypeOf(tag)
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	tn := named.Obj()
+	if enums[tn] {
+		return tn
+	}
+	if tn.Pkg() == nil {
+		return nil
+	}
+	for _, name := range KnownEnums[tn.Pkg().Path()] {
+		if tn.Name() == name {
+			return tn
+		}
+	}
+	return nil
+}
+
+func checkSwitch(pass *analysis.Pass, enums map[*types.TypeName]bool, sw *ast.SwitchStmt) {
+	tn := enumTypeName(pass, enums, sw.Tag)
+	if tn == nil {
+		return
+	}
+	members := enumMembers(tn)
+	if len(members) == 0 {
+		return
+	}
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: the author opted out of exhaustiveness
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, m := range members {
+		if !covered[m.val] {
+			missing = append(missing, m.name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(), "switch on %s is not exhaustive: missing %s (add the cases or an explicit default)",
+		typeDisplayName(pass, tn), strings.Join(missing, ", "))
+}
+
+type member struct {
+	name string
+	val  string // constant.Value.ExactString()
+}
+
+// enumMembers lists the declared constants of the enum type, one per
+// distinct value (the first name wins), reading the declaring package's
+// scope so it works across package boundaries via export data.
+func enumMembers(tn *types.TypeName) []member {
+	pkg := tn.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	var members []member
+	seen := map[string]bool{}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), tn.Type()) {
+			continue
+		}
+		key := c.Val().ExactString()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		members = append(members, member{name: name, val: key})
+	}
+	return members
+}
+
+func typeDisplayName(pass *analysis.Pass, tn *types.TypeName) string {
+	if tn.Pkg() == nil || tn.Pkg() == pass.Pkg {
+		return tn.Name()
+	}
+	return fmt.Sprintf("%s.%s", tn.Pkg().Name(), tn.Name())
+}

@@ -1,0 +1,12 @@
+package statecase_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/statecase"
+)
+
+func TestBasic(t *testing.T) {
+	analysistest.Run(t, statecase.Analyzer, "statecase/basic")
+}

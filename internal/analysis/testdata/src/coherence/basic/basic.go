@@ -1,0 +1,58 @@
+// Package basic exercises the coherence analyzer: deprecated wrappers,
+// async host reads before Sync, and stale Safe pointers.
+package basic
+
+import "gmac"
+
+// deprecatedWrappers: every legacy call site is flagged with its
+// replacement.
+func deprecatedWrappers(ctx *gmac.Context) {
+	_ = ctx.CallSync("saxpy", 1) // want `CallSync is deprecated: use Call\(kernel, args\) followed by Sync\(\)`
+	_, _ = ctx.SafeAlloc(4096)   // want `SafeAlloc is deprecated: use Alloc\(size, gmac.Safe\(\)\)`
+}
+
+// allowedDeprecated: the escape hatch suppresses the finding.
+func allowedDeprecated(ctx *gmac.Context) {
+	//adsm:allow coherence
+	_ = ctx.CallSync("saxpy", 1)
+}
+
+// asyncThenRead: reading kernel output before Sync observes stale data.
+func asyncThenRead(ctx *gmac.Context, p gmac.Ptr) {
+	_ = ctx.Call("saxpy", nil, gmac.Async())
+	_, _ = ctx.HostRead(p, 4) // want `HostRead on ctx may observe stale data`
+	_ = ctx.Sync()
+	_, _ = ctx.HostRead(p, 4) // after Sync: fine
+}
+
+// asyncWithWrites: only the annotated written pointers taint reads.
+func asyncWithWrites(ctx *gmac.Context, p, q gmac.Ptr) {
+	_ = ctx.Call("saxpy", nil, gmac.Async(), gmac.Writes(p))
+	_, _ = ctx.HostRead(q, 4) // q is not written: fine
+	_, _ = ctx.HostRead(p, 4) // want `HostRead on ctx may observe stale data`
+}
+
+// syncCallIsBarrier: a synchronous Call ends in Sync, completing earlier
+// async launches.
+func syncCallIsBarrier(ctx *gmac.Context, p gmac.Ptr) {
+	_ = ctx.Call("saxpy", nil, gmac.Async())
+	_ = ctx.Call("saxpy", nil)
+	_, _ = ctx.HostRead(p, 4) // fine: the synchronous Call drained the queue
+}
+
+// staleSafe: a Safe pointer saved across a launch must be re-acquired.
+// Passing dp *into* the Call is fine (arguments are read before the launch
+// takes effect); using it afterwards is not.
+func staleSafe(ctx *gmac.Context, p gmac.Ptr) uint64 {
+	dp, _ := ctx.Safe(p)
+	_ = ctx.Call("saxpy", []uint64{uint64(dp)})
+	return uint64(dp) // want `dp holds a Safe\(\) pointer acquired before the Call`
+}
+
+// reacquiredSafe: re-acquiring after the launch resets tracking.
+func reacquiredSafe(ctx *gmac.Context, p gmac.Ptr) uint64 {
+	dp, _ := ctx.Safe(p)
+	_ = ctx.Call("saxpy", []uint64{uint64(dp)})
+	dp, _ = ctx.Safe(p)
+	return uint64(dp) // fine: fresh translation
+}

@@ -1,0 +1,49 @@
+// Package gmac is a minimal stand-in for repro/gmac used by the coherence
+// analyzer's golden tests: the analyzer keys on the package *name* "gmac"
+// and on method/option names, so this stub carries just those shapes.
+package gmac
+
+// Ptr is a shared-object host pointer.
+type Ptr uintptr
+
+// Kernel is an accelerator kernel registration.
+type Kernel struct{ Name string }
+
+// CallOption configures a Call.
+type CallOption struct{ kind int }
+
+// AllocOption configures an Alloc.
+type AllocOption struct{ kind int }
+
+// Async makes a Call return before the kernel completes.
+func Async() CallOption { return CallOption{kind: 1} }
+
+// Writes annotates the shared objects the kernel may write.
+func Writes(ps ...Ptr) CallOption { return CallOption{kind: 2} }
+
+// Context is one host session against one accelerator.
+type Context struct{ last Ptr }
+
+// Alloc allocates a shared object.
+func (c *Context) Alloc(size int64, opts ...AllocOption) (Ptr, error) { return c.last, nil }
+
+// Call launches a kernel.
+func (c *Context) Call(kernel string, args []uint64, opts ...CallOption) error { return nil }
+
+// Sync waits for every outstanding asynchronous launch.
+func (c *Context) Sync() error { return nil }
+
+// Safe translates a shared pointer to its device address.
+func (c *Context) Safe(p Ptr) (Ptr, error) { return p, nil }
+
+// HostRead copies shared bytes into host memory.
+func (c *Context) HostRead(p Ptr, n int64) ([]byte, error) { return nil, nil }
+
+// MemcpyFromShared copies out of a shared object.
+func (c *Context) MemcpyFromShared(dst []byte, src Ptr) error { return nil }
+
+// CallSync is the deprecated launch-and-wait wrapper.
+func (c *Context) CallSync(kernel string, args ...uint64) error { return nil }
+
+// SafeAlloc is the deprecated non-identity-mapped allocator.
+func (c *Context) SafeAlloc(size int64) (Ptr, error) { return c.last, nil }

@@ -1,0 +1,67 @@
+// Package basic exercises the lanepair analyzer against a stand-in Clock
+// (the analyzer keys on the EnterLane/ExitLane method names).
+package basic
+
+// Time is a stand-in for sim.Time.
+type Time int64
+
+// Clock is a stand-in for sim.Clock.
+type Clock struct{ now Time }
+
+func (c *Clock) EnterLane()          {}
+func (c *Clock) EnterLaneAt(at Time) {}
+func (c *Clock) ExitLane()           {}
+
+// leaks never exits the lane.
+func leaks(c *Clock) {
+	c.EnterLane() // want `EnterLane is not followed by a dominated ExitLane`
+	work()
+}
+
+// returnsEarly has a return path between EnterLane and ExitLane.
+func returnsEarly(c *Clock, bail bool) {
+	c.EnterLane() // want `EnterLane is not followed by a dominated ExitLane`
+	if bail {
+		return
+	}
+	c.ExitLane()
+}
+
+// deferred pairs with a defer, covering every return path.
+func deferred(c *Clock, bail bool) {
+	c.EnterLane()
+	defer c.ExitLane()
+	if bail {
+		return
+	}
+	work()
+}
+
+// straightLine pairs with a later call in the same block.
+func straightLine(c *Clock) {
+	c.EnterLaneAt(10)
+	work()
+	c.ExitLane()
+}
+
+// bareExit without a preceding EnterLane is a documented no-op.
+func bareExit(c *Clock) {
+	c.ExitLane()
+}
+
+// allowed uses the escape hatch (e.g. the EnterLane implementation
+// itself, or a pairing the analyzer cannot see).
+func allowed(c *Clock) {
+	c.EnterLane() //adsm:allow lanepair
+	work()
+}
+
+// notAClock: free functions with the same names are not lane calls.
+func notAClock() {
+	EnterLane()
+}
+
+// EnterLane the free function exists only to prove the method requirement.
+func EnterLane() {}
+
+func work() {}

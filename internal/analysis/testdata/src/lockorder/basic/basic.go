@@ -1,0 +1,108 @@
+// Package basic exercises the lockorder analyzer: level ordering,
+// self-deadlock, and the nowait discipline.
+package basic
+
+import "sync"
+
+// mgr mirrors the internal/core lock hierarchy in miniature.
+type mgr struct {
+	//adsm:lock callMu 10
+	callMu sync.Mutex
+	//adsm:lock treeMu 30
+	treeMu sync.RWMutex
+	//adsm:lock statsMu 40 nowait
+	statsMu sync.Mutex
+
+	ch chan int
+	wg sync.WaitGroup
+}
+
+// ascending acquires in level order: fine.
+func (m *mgr) ascending() {
+	m.callMu.Lock()
+	m.treeMu.Lock()
+	m.treeMu.Unlock()
+	m.callMu.Unlock()
+}
+
+// descending inverts the order.
+func (m *mgr) descending() {
+	m.treeMu.Lock()
+	m.callMu.Lock() // want `lock callMu \(level 10\) acquired while holding treeMu \(level 30\)`
+	m.callMu.Unlock()
+	m.treeMu.Unlock()
+}
+
+// reentrant self-deadlocks.
+func (m *mgr) reentrant() {
+	m.callMu.Lock()
+	m.callMu.Lock() // want `lock callMu acquired while already held \(self-deadlock\)`
+	m.callMu.Unlock()
+	m.callMu.Unlock()
+}
+
+// deferredRelease holds via defer: the held set survives to function end,
+// so the later acquisition is still checked.
+func (m *mgr) deferredRelease() {
+	m.treeMu.RLock()
+	defer m.treeMu.RUnlock()
+	m.callMu.Lock() // want `lock callMu \(level 10\) acquired while holding treeMu \(level 30\)`
+	m.callMu.Unlock()
+}
+
+// waitsUnderNowait blocks on a channel with a nowait lock held.
+func (m *mgr) waitsUnderNowait() {
+	m.statsMu.Lock()
+	<-m.ch      // want `channel receive while holding statsMu, a nowait lock`
+	m.ch <- 1   // want `channel send while holding statsMu, a nowait lock`
+	m.wg.Wait() // want `sync.WaitGroup.Wait while holding statsMu, a nowait lock`
+	m.statsMu.Unlock()
+}
+
+// releasedBeforeWait is the fixed version: fine.
+func (m *mgr) releasedBeforeWait() {
+	m.statsMu.Lock()
+	m.statsMu.Unlock()
+	<-m.ch
+}
+
+// blockingDMA is the stand-in for a DMA wait.
+//
+//adsm:blocking
+func blockingDMA() {}
+
+// callsBlocking calls an //adsm:blocking function under a nowait lock.
+func (m *mgr) callsBlocking() {
+	m.statsMu.Lock()
+	blockingDMA() // want `call to //adsm:blocking blockingDMA while holding statsMu, a nowait lock`
+	m.statsMu.Unlock()
+}
+
+// branchesAreIndependent: a lock taken in one branch does not leak into
+// the other.
+func (m *mgr) branchesAreIndependent(x bool) {
+	if x {
+		m.treeMu.Lock()
+		m.treeMu.Unlock()
+	} else {
+		m.callMu.Lock()
+		m.callMu.Unlock()
+	}
+}
+
+// goroutinesStartEmpty: a spawned goroutine does not inherit held locks.
+func (m *mgr) goroutinesStartEmpty() {
+	m.statsMu.Lock()
+	go func() {
+		<-m.ch // a fresh goroutine holds nothing
+	}()
+	m.statsMu.Unlock()
+}
+
+// allowed uses the escape hatch.
+func (m *mgr) allowed() {
+	m.treeMu.Lock()
+	m.callMu.Lock() //adsm:allow lockorder
+	m.callMu.Unlock()
+	m.treeMu.Unlock()
+}

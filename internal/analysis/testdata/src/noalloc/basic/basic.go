@@ -1,0 +1,81 @@
+// Package basic exercises the noalloc analyzer over the allocating
+// constructs it rejects and the allocation-free shapes it must accept.
+package basic
+
+import "fmt"
+
+//adsm:noalloc
+func appends(xs []int, x int) []int {
+	return append(xs, x) // want `appends is //adsm:noalloc: append may grow its backing array`
+}
+
+//adsm:noalloc
+func makes() []int {
+	return make([]int, 8) // want `makes is //adsm:noalloc: make allocates`
+}
+
+//adsm:noalloc
+func closes(n int) func() int {
+	return func() int { return n } // want `closes is //adsm:noalloc: function literal allocates a closure`
+}
+
+//adsm:noalloc
+func spawns(ch chan int) {
+	go send(ch) // want `spawns is //adsm:noalloc: go statement allocates a goroutine`
+}
+
+//adsm:noalloc
+func formats(x int) {
+	fmt.Println(x) // want `formats is //adsm:noalloc: fmt call allocates`
+}
+
+//adsm:noalloc
+func concats(a, b string) string {
+	return a + b // want `concats is //adsm:noalloc: string concatenation allocates`
+}
+
+//adsm:noalloc
+func boxes(x int) {
+	sink(x) // want `boxes is //adsm:noalloc: converting int to interface .* allocates \(boxing\)`
+}
+
+//adsm:noalloc
+func deferLoop(xs []int) {
+	for range xs {
+		defer release() // want `deferLoop is //adsm:noalloc: defer inside a loop heap-allocates`
+	}
+}
+
+// clean is allocation-free: index arithmetic, calls, pointers, and a
+// directly deferred call are all fine.
+//
+//adsm:noalloc
+func clean(xs []int, p *int) int {
+	defer release()
+	n := *p
+	for i, x := range xs {
+		if x > n {
+			n = x + i
+		}
+	}
+	sinkPtr(p) // pointers fit in the interface word: no boxing
+	return n
+}
+
+// allowedAppend uses the escape hatch for an amortised append.
+//
+//adsm:noalloc
+func allowedAppend(xs []int, x int) []int {
+	xs = append(xs, x) //adsm:allow noalloc
+	return xs
+}
+
+// unannotated functions allocate freely.
+func unannotated() []int {
+	return make([]int, 8)
+}
+
+func send(ch chan int) { ch <- 1 }
+func release()         {}
+func sink(v any)       { _ = v }
+func sinkPtr(v any)    { _ = v }

@@ -1,0 +1,13 @@
+// Package required exercises the required-annotation table: in any package
+// path ending in "noalloc/required" the analyzer demands that hotRequired
+// carry //adsm:noalloc, so deleting the directive is itself a finding.
+package required
+
+func hotRequired(x int) int { // want `hotRequired is on the ADSM fault hot path and must be annotated //adsm:noalloc`
+	return x * 2
+}
+
+// otherFunc is not in the required table: no annotation demanded.
+func otherFunc() []int {
+	return make([]int, 4)
+}

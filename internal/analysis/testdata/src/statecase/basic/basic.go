@@ -1,0 +1,91 @@
+// Package basic exercises the statecase analyzer over an annotated enum.
+package basic
+
+// State mirrors the block coherence states.
+//
+//adsm:statecase
+type State uint8
+
+// The block states; StateAlias shares a value with StateInvalid and must
+// count as the same case.
+const (
+	StateInvalid State = iota
+	StateReadOnly
+	StateDirty
+
+	StateAlias = StateInvalid
+)
+
+// Unchecked has no directive: switches over it are exempt.
+type Unchecked int
+
+const (
+	UncheckedA Unchecked = iota
+	UncheckedB
+)
+
+// missingCase omits StateDirty.
+func missingCase(s State) int {
+	switch s { // want `switch on State is not exhaustive: missing StateDirty`
+	case StateInvalid:
+		return 0
+	case StateReadOnly:
+		return 1
+	}
+	return -1
+}
+
+// exhaustive lists every distinct value.
+func exhaustive(s State) int {
+	switch s {
+	case StateInvalid:
+		return 0
+	case StateReadOnly:
+		return 1
+	case StateDirty:
+		return 2
+	}
+	return -1
+}
+
+// aliasCounts covers StateInvalid through its alias.
+func aliasCounts(s State) int {
+	switch s {
+	case StateAlias:
+		return 0
+	case StateReadOnly:
+		return 1
+	case StateDirty:
+		return 2
+	}
+	return -1
+}
+
+// defaulted opts out with an explicit default.
+func defaulted(s State) int {
+	switch s {
+	case StateDirty:
+		return 2
+	default:
+		return -1
+	}
+}
+
+// uncheckedType: no directive, no registry entry, no finding.
+func uncheckedType(u Unchecked) int {
+	switch u {
+	case UncheckedA:
+		return 0
+	}
+	return -1
+}
+
+// allowed uses the escape hatch.
+func allowed(s State) int {
+	//adsm:allow statecase
+	switch s {
+	case StateInvalid:
+		return 0
+	}
+	return -1
+}

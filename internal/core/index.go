@@ -37,6 +37,8 @@ type indexSnapshot struct {
 // find binary-searches the snapshot and returns the payload of the span
 // containing addr (nil if none) plus the number of probes, the fault
 // handler's search-cost charge.
+//
+//adsm:noalloc
 func (s *indexSnapshot) find(addr mem.Addr) (any, int64) {
 	lo, hi := 0, len(s.spans)
 	probes := int64(0)
@@ -77,6 +79,8 @@ func (ix *spanIndex) invalidate() { ix.gen.Add(1) }
 // current snapshot is fresh; ok=false sends the caller to the rebuild slow
 // path. This is the per-fault fast path: two atomic loads and a binary
 // search, no lock, no allocation.
+//
+//adsm:noalloc
 func (ix *spanIndex) search(addr mem.Addr) (v any, probes int64, ok bool) {
 	snap := ix.snap.Load()
 	if snap == nil || snap.gen != ix.gen.Load() {

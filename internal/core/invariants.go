@@ -106,6 +106,8 @@ func (m *Manager) checkBlockProt(b *Block) error {
 	}
 	want := hostmmu.ProtNone
 	switch b.state {
+	case StateInvalid:
+		// Invalid blocks stay ProtNone so every host touch faults.
 	case StateReadOnly:
 		want = hostmmu.ProtRead
 	case StateDirty:

@@ -16,6 +16,8 @@ import (
 )
 
 // ProtocolKind selects one of the three coherence protocols of Figure 6.
+//
+//adsm:statecase
 type ProtocolKind int
 
 // The coherence protocols evaluated in Section 5.1.
@@ -137,6 +139,8 @@ type Manager struct {
 	// treeMu guards objects, blocks and nobjects. The trees are the
 	// writer-side registry; readers go through the span indexes below and
 	// only take treeMu (shared) to rebuild a stale snapshot.
+	//
+	//adsm:lock treeMu 30
 	treeMu   sync.RWMutex
 	objects  *rbTree // Object intervals, host VA order
 	blocks   *rbTree // Block intervals: the fault handler's search tree
@@ -149,13 +153,19 @@ type Manager struct {
 	rolling *rollingCache
 	// statsMu guards stats (the aggregate counters; per-object counters
 	// are atomic).
+	//
+	//adsm:lock statsMu 40 nowait
 	statsMu sync.Mutex
 	stats   Stats
 	// evictMu guards evictQ, the deferred cross-object eviction victim runs.
+	//
+	//adsm:lock evictMu 42 nowait
 	evictMu sync.Mutex
 	evictQ  []evictRun
 	// callMu serialises kernel invocation and synchronisation and guards
 	// invokeKernel.
+	//
+	//adsm:lock callMu 10
 	callMu sync.Mutex
 	tracer *trace.Log
 	// spans is the optional span tracer; nil disables span recording.
@@ -167,6 +177,8 @@ type Manager struct {
 	// intro indexes live objects for the introspection endpoint, and
 	// retired keeps the final rows of recently freed ones; both guarded by
 	// introMu because HTTP handlers read them from other goroutines.
+	//
+	//adsm:lock introMu 46 nowait
 	introMu sync.Mutex
 	intro   map[mem.Addr]*Object
 	retired []ObjectSnapshot
@@ -507,6 +519,8 @@ func (m *Manager) Free(addr mem.Addr) error {
 // case is a lock-free binary search of the current object snapshot; a stale
 // snapshot (registry changed since it was built) is rebuilt under the read
 // lock, then searched.
+//
+//adsm:noalloc
 func (m *Manager) objectAt(addr mem.Addr) *Object {
 	v, _, ok := m.objIdx.search(addr)
 	if !ok {
@@ -528,6 +542,8 @@ func (m *Manager) rebuildObjIdx(addr mem.Addr) (any, int64) {
 
 // blockAt resolves the fault handler's block lookup: the payload containing
 // addr (nil if unshared) and the probe count charged as §5.2 search cost.
+//
+//adsm:noalloc
 func (m *Manager) blockAt(addr mem.Addr) (any, int64) {
 	if v, probes, ok := m.blkIdx.search(addr); ok {
 		return v, probes
@@ -667,6 +683,8 @@ func (m *Manager) HandleFault(f hostmmu.Fault) error { return m.handleFault(f) }
 // Faults arrive synchronously from host-access paths that already hold the
 // faulted object's mu, so block-state transitions here are serialised per
 // object while faults on different objects run in parallel.
+//
+//adsm:noalloc
 func (m *Manager) handleFault(f hostmmu.Fault) error {
 	sp := m.beginSpan("fault", f.Access.String())
 	t0 := m.clock.Now()
@@ -696,7 +714,7 @@ func (m *Manager) handleFault(f hostmmu.Fault) error {
 	}
 	m.charge(sim.CatSignal, search)
 	if v == nil {
-		return fmt.Errorf("%w: fault at %#x", ErrNotShared, uint64(f.Addr))
+		return errUnsharedFault(f.Addr)
 	}
 	b := v.(*Block)
 	b.obj.counters.faults.Add(1)
@@ -710,6 +728,13 @@ func (m *Manager) handleFault(f hostmmu.Fault) error {
 			Note: faultNote(f.Access, b.state)})
 	}
 	return m.protocol.onFault(b, f.Access)
+}
+
+// errUnsharedFault formats the unshared-address error off the fault hot
+// path (handleFault is //adsm:noalloc; this can only fire on a stray
+// access, never on the measured path).
+func errUnsharedFault(addr mem.Addr) error {
+	return fmt.Errorf("%w: fault at %#x", ErrNotShared, uint64(addr))
 }
 
 // faultNotes are the precomputed trace annotations for fault events, so the
@@ -938,6 +963,8 @@ func (m *Manager) flushBlockSync(b *Block) error {
 // retried — a corrupt attempt scribbles the host block, so the retry's
 // full-block copy must overwrite it — and escalate like flushBlockEager.
 // The caller holds b.obj.mu.
+//
+//adsm:noalloc
 func (m *Manager) fetchBlockSync(b *Block) error {
 	sp := m.beginSpan("fetch", "")
 	defer m.endSpan(sp)
@@ -1101,17 +1128,21 @@ func (m *Manager) drainEvictions() {
 }
 
 // setProt changes a block's protection, charging the mprotect cost.
+//
+//adsm:noalloc
 func (m *Manager) setProt(b *Block, prot hostmmu.Prot) {
 	m.charge(sim.CatSignal, m.cfg.MprotectCost)
 	if err := m.mmu.Mprotect(b.addr, b.size, prot); err != nil {
 		// Blocks are always mapped while their object lives; failure here
 		// is a manager bug, not a recoverable condition.
-		panic(fmt.Sprintf("core: mprotect of live block failed: %v", err))
+		mprotectFailed("block", err)
 	}
 }
 
 // setProtRun changes the protection of n consecutive blocks with a single
 // mprotect call (one charge for the whole run).
+//
+//adsm:noalloc
 func (m *Manager) setProtRun(first *Block, n int, prot hostmmu.Prot) {
 	if n == 1 {
 		m.setProt(first, prot)
@@ -1119,8 +1150,14 @@ func (m *Manager) setProtRun(first *Block, n int, prot hostmmu.Prot) {
 	}
 	m.charge(sim.CatSignal, m.cfg.MprotectCost)
 	if err := m.mmu.Mprotect(first.addr, runSize(first, n), prot); err != nil {
-		panic(fmt.Sprintf("core: mprotect of live block run failed: %v", err))
+		mprotectFailed("block run", err)
 	}
+}
+
+// mprotectFailed raises the mprotect-failure panic; the formatting lives
+// off the //adsm:noalloc protection-change path.
+func mprotectFailed(what string, err error) {
+	panic(fmt.Sprintf("core: mprotect of live %s failed: %v", what, err))
 }
 
 // eachObject visits live objects in address order. The registry is

@@ -11,6 +11,8 @@ import (
 // State is the coherence state of a shared memory block, as defined by the
 // Figure 6 state machine. The state is tracked from the CPU's perspective:
 // the accelerator never performs coherence actions.
+//
+//adsm:statecase
 type State uint8
 
 // Block states.
@@ -127,6 +129,8 @@ type Object struct {
 	// guarded by mu. The immutable identity fields (addr, devAddr, size,
 	// safe, vm, vmPhys, mapping, blocks slice, kernels) are set before the
 	// object is published to the registry and never change.
+	//
+	//adsm:lock objectMu 20
 	mu sync.Mutex
 	// dead marks a freed object: lookups that raced with Free find the
 	// object, take mu, and must re-check dead before touching anything.

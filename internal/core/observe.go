@@ -150,6 +150,7 @@ func (m *Manager) introRemove(o *Object) {
 const maxRecentManagers = 16
 
 var mgrReg struct {
+	//adsm:lock mgrRegMu 50 nowait
 	mu   sync.Mutex
 	seq  int
 	mgrs []*Manager

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/hostmmu"
+	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -276,6 +277,8 @@ func (p *rollingProtocol) onReturn() error { return nil }
 // resolveFault implements the shared Figure 6(b) transitions for lazy- and
 // rolling-update: Invalid data is fetched from the accelerator; the block
 // lands in ReadOnly after a read fault or Dirty after a write fault.
+//
+//adsm:noalloc
 func resolveFault(m *Manager, b *Block, access hostmmu.Access) error {
 	// A fault on an object whose device is already known-lost degrades it in
 	// place: the host copy (stale or not) becomes authoritative, matching the
@@ -302,15 +305,26 @@ func resolveFault(m *Manager, b *Block, access hostmmu.Access) error {
 		return nil
 	case StateReadOnly:
 		if access != hostmmu.AccessWrite {
-			return fmt.Errorf("core: read fault on ReadOnly block %#x", uint64(b.addr))
+			return errReadFaultOnReadOnly(b.addr)
 		}
 		b.state = StateDirty
 		m.setProt(b, hostmmu.ProtReadWrite)
 		m.emitTransition(b, before)
 		return nil
 	default: // StateDirty
-		return fmt.Errorf("core: %v fault on Dirty block %#x", access, uint64(b.addr))
+		return errFaultOnDirty(access, b.addr)
 	}
+}
+
+// The impossible-transition errors below can only fire on a manager bug;
+// their formatting lives off the //adsm:noalloc resolveFault path.
+
+func errReadFaultOnReadOnly(addr mem.Addr) error {
+	return fmt.Errorf("core: read fault on ReadOnly block %#x", uint64(addr))
+}
+
+func errFaultOnDirty(access hostmmu.Access, addr mem.Addr) error {
+	return fmt.Errorf("core: %v fault on Dirty block %#x", access, uint64(addr))
 }
 
 // emitTransition records a block state transition when tracing is on; the

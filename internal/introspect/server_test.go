@@ -27,15 +27,17 @@ func driveWorkload(t *testing.T) *gmac.Context {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx.RegisterKernel(&gmac.Kernel{
-		Name: "scale2x",
-		Run: func(dev *gmac.DeviceMemory, args []uint64) {
-			p, n := gmac.Ptr(args[0]), int64(args[1])
-			for i := int64(0); i < n; i++ {
-				dev.SetFloat32(p+gmac.Ptr(i*4), 2*dev.Float32(p+gmac.Ptr(i*4)))
-			}
-		},
-		Cost: func(args []uint64) (float64, int64) { return float64(args[1]), 8 * int64(args[1]) },
+	ctx.Register(func() *gmac.Kernel {
+		return &gmac.Kernel{
+			Name: "scale2x",
+			Run: func(dev *gmac.DeviceMemory, args []uint64) {
+				p, n := gmac.Ptr(args[0]), int64(args[1])
+				for i := int64(0); i < n; i++ {
+					dev.SetFloat32(p+gmac.Ptr(i*4), 2*dev.Float32(p+gmac.Ptr(i*4)))
+				}
+			},
+			Cost: func(args []uint64) (float64, int64) { return float64(args[1]), 8 * int64(args[1]) },
+		}
 	})
 	const n = 16 << 10 // 4 blocks
 	p, err := ctx.Alloc(n * 4)
@@ -49,7 +51,7 @@ func driveWorkload(t *testing.T) *gmac.Context {
 	if err := v.Fill(1); err != nil {
 		t.Fatal(err)
 	}
-	if err := ctx.CallSync("scale2x", uint64(p), n); err != nil {
+	if err := ctx.Call("scale2x", []uint64{uint64(p), n}); err != nil {
 		t.Fatal(err)
 	}
 	if got := v.At(0); got != 2 {

@@ -103,20 +103,34 @@ func NewBreakdown() *Breakdown {
 }
 
 // Add charges d of virtual time to cat.
+//
+//adsm:noalloc
 func (b *Breakdown) Add(cat Category, d Time) {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: negative breakdown charge %d to %s", d, cat))
+		panicNegativeCharge(cat, d)
 	}
 	if i := catIndex(cat); i >= 0 {
 		b.counts[i].Add(int64(d))
 		return
 	}
+	b.addExtra(cat, d)
+}
+
+// addExtra is the overflow-map path for caller-defined categories; it may
+// allocate, which is why it lives outside the //adsm:noalloc Add (the
+// fault path only ever charges the fixed categories).
+func (b *Breakdown) addExtra(cat Category, d Time) {
 	b.mu.Lock()
 	if b.extra == nil {
 		b.extra = make(map[Category]Time)
 	}
 	b.extra[cat] += d
 	b.mu.Unlock()
+}
+
+// panicNegativeCharge formats the misuse panic off the hot path.
+func panicNegativeCharge(cat Category, d Time) {
+	panic(fmt.Sprintf("sim: negative breakdown charge %d to %s", d, cat))
 }
 
 // Get returns the accumulated time for cat.

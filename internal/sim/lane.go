@@ -65,7 +65,7 @@ func (s *laneSet) current() *lane {
 // the lane and its Now observes the lane, so independent goroutines'
 // charges compose in parallel rather than in series. Each EnterLane must
 // be paired with ExitLane on the same goroutine; lanes do not nest.
-func (c *Clock) EnterLane() { c.EnterLaneAt(Time(c.now.Load())) }
+func (c *Clock) EnterLane() { c.EnterLaneAt(Time(c.now.Load())) } //adsm:allow lanepair (the caller owns the ExitLane)
 
 // EnterLaneAt is EnterLane with an explicit seed time, for spawners that
 // capture one common base before starting their workers — that makes the

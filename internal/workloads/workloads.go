@@ -148,6 +148,8 @@ func RunGMAC(b Benchmark, opt Options) (Report, error) {
 	}
 	variant := VariantBatch
 	switch opt.Protocol {
+	case gmac.BatchUpdate:
+		variant = VariantBatch
 	case gmac.LazyUpdate:
 		variant = VariantLazy
 	case gmac.RollingUpdate:
