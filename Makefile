@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all check fmt vet build test race bench bench-micro bench-gate baseline smoke fuzz chaos clean FORCE
+.PHONY: all check fmt vet build test race bench bench-micro bench-gate baseline smoke fuzz chaos record-corpus clean FORCE
 
 all: check
 
@@ -57,11 +57,21 @@ baseline:
 smoke:
 	$(GO) run ./cmd/gmacbench -small -json /tmp/gmacbench-smoke.json fig8
 
-# Native fuzzing of the interval tree and the manager op stream, FUZZTIME
-# per target (see docs/testing.md).
+# Native fuzzing of the interval tree, the manager op stream, and the
+# oplog wire decoder, FUZZTIME per target (see docs/testing.md). The
+# decoder fuzzer seeds from the recorded corpus in testdata/corpus/.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzRBTree$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzManagerOps$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzOpLogDecode$$' -fuzztime $(FUZZTIME) ./internal/oplog
+
+# Re-record the workload op-stream corpus (testdata/corpus/*.oplog): one
+# stream per (small Parboil workload, GMAC protocol). The chaos suite
+# replays these under fault schedules, and the oplog decoder fuzzer seeds
+# from them. Regenerate after changing the wire format or the workloads,
+# and commit the result.
+record-corpus:
+	$(GO) run ./cmd/gmacbench -small -record testdata/corpus
 
 # The chaos conformance suite under the race detector: fault-schedule
 # matrix, replay determinism, degraded-mode recovery, I/O fault paths.

@@ -7,10 +7,17 @@
 //
 //	adsmtrace [-protocol batch|lazy|rolling] [-block 16384] [-rolling 2]
 //	          [-trace-json trace.json] [-report]
+//	          [-record run.oplog] [-replay run.oplog]
 //
 // -trace-json exports the run's spans and events as Chrome trace_event
 // JSON, loadable in chrome://tracing or https://ui.perfetto.dev.
 // -report appends the metrics-registry report and the per-object table.
+// -record captures the demo run's op stream to a binary .oplog file.
+// -replay re-executes a recorded .oplog (from -record, the gmacbench
+// corpus recorder, or a flight-recorder dump) against a fresh context
+// built from the stream's header, and checks the replayed counters
+// against the recorded totals (capture logs; flight dumps replay
+// leniently and skip the check).
 package main
 
 import (
@@ -29,7 +36,16 @@ func main() {
 	rolling := flag.Int("rolling", 2, "pinned rolling size (0 = adaptive)")
 	traceJSON := flag.String("trace-json", "", "write Chrome trace_event JSON to `file`")
 	report := flag.Bool("report", false, "print the metrics registry and per-object report")
+	recordFile := flag.String("record", "", "record the run's op stream to `file` (binary .oplog)")
+	replayFile := flag.String("replay", "", "replay a recorded .oplog `file` instead of running the demo")
 	flag.Parse()
+
+	if *replayFile != "" {
+		if err := replay(*replayFile); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var proto gmac.Protocol
 	switch *protoName {
@@ -55,6 +71,9 @@ func main() {
 	}
 	tracer := ctx.EnableTracer(4096)
 	events := tracer.Log()
+	if *recordFile != "" {
+		ctx.EnableRecorder(1 << 16)
+	}
 
 	ctx.Register(func() *gmac.Kernel {
 		return &gmac.Kernel{
@@ -131,4 +150,60 @@ func main() {
 		}
 		fmt.Printf("\nwrote Chrome trace to %s (load in chrome://tracing)\n", *traceJSON)
 	}
+
+	if *recordFile != "" {
+		l, err := ctx.FinishOpLog("adsmtrace")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*recordFile, l.Encode(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nrecorded %d ops to %s (replay with adsmtrace -replay)\n",
+			len(l.Ops), *recordFile)
+	}
+}
+
+// replay re-executes a recorded op stream against a fresh context derived
+// from the stream's header and verifies the replayed counters.
+func replay(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	l, err := gmac.DecodeOpLog(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	flight := l.Header.Flags&gmac.HdrFlight != 0
+	kind := "capture log"
+	if flight {
+		kind = "flight dump"
+	}
+	fmt.Printf("%s: %s %q, %d ops, protocol %d, block %d\n",
+		path, kind, l.Header.Label, len(l.Ops), l.Header.Protocol, l.Header.BlockSize)
+
+	ctx, err := gmac.NewContext(machine.PaperTestbed(), gmac.ReplayConfig(l.Header))
+	if err != nil {
+		return err
+	}
+	report, err := ctx.Replay(l, gmac.ReplayOptions{Lenient: flight})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d/%d input ops (%d skipped, %d errors)\n",
+		report.Replayed, report.Input, report.Skipped, report.Errors)
+	st := ctx.Stats()
+	fmt.Printf("totals: %d faults, %d evictions, %d KB to device, %d KB back\n",
+		st.Faults, st.Evictions, st.BytesH2D>>10, st.BytesD2H>>10)
+
+	if flight {
+		fmt.Println("flight dump: bounded window, counter conformance not checked")
+		return nil
+	}
+	if err := gmac.CompareTotals(l.Totals, ctx.Stats().Counters()); err != nil {
+		return err
+	}
+	fmt.Println("replay conformance: all recorded counter totals reproduced")
+	return nil
 }

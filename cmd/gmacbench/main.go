@@ -24,6 +24,10 @@
 // docs/observability.md): curl ADDR/adsm/stats while the run is in
 // flight. -debug.hold keeps the process (and the endpoint) alive after
 // the experiments finish, until interrupted.
+//
+// -record DIR records the workload suite's op streams as .oplog files —
+// `make record-corpus` uses it to regenerate testdata/corpus/, which the
+// chaos suite replays under fault injection (see docs/testing.md).
 package main
 
 import (
@@ -45,6 +49,7 @@ func main() {
 	faultSeed := flag.Int64("faults.seed", 1, "injector `seed` for -faults (replays exactly)")
 	hostThreads := flag.Int("hostthreads", 0, "run the concurrent fault-throughput benchmark with `N` host goroutines")
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark summary to `file`")
+	recordDir := flag.String("record", "", "record the workloads' op streams as .oplog files into `dir` (the chaos-replay corpus; honours -small)")
 	baseline := flag.String("baseline", "", "run the regression suite and write a benchgate baseline to `file`")
 	check := flag.String("check", "", "run the regression suite and compare against the baseline in `file`")
 	benchtime := flag.String("benchtime", "", "benchmarking `duration` per microbenchmark for -baseline/-check (e.g. 1s, 100x; default 1s)")
@@ -56,6 +61,15 @@ func main() {
 	}
 	flag.Parse()
 	args := flag.Args()
+	if *recordDir != "" {
+		if err := runRecord(*recordDir, *small); err != nil {
+			fmt.Fprintln(os.Stderr, "gmacbench:", err)
+			os.Exit(1)
+		}
+		if len(args) == 0 {
+			return
+		}
+	}
 	if *faults {
 		if err := runFaults(*small, *faultSeed); err != nil {
 			fmt.Fprintln(os.Stderr, "gmacbench:", err)
@@ -138,6 +152,9 @@ type benchEntry struct {
 	Retries      int64   `json:"retries"`
 	RetryGiveups int64   `json:"retry_giveups"`
 	Degraded     int64   `json:"degraded_objects"`
+	FaultP50Ns   int64   `json:"fault_p50_ns,omitempty"`
+	FaultP95Ns   int64   `json:"fault_p95_ns,omitempty"`
+	FaultP99Ns   int64   `json:"fault_p99_ns,omitempty"`
 	Checksum     float64 `json:"checksum"`
 }
 
@@ -174,6 +191,9 @@ func entriesFromRuns(runs []figures.EvalRun) []benchEntry {
 				Retries:      rep.GMAC.Retries,
 				RetryGiveups: rep.GMAC.RetryGiveups,
 				Degraded:     rep.GMAC.DegradedObjects,
+				FaultP50Ns:   rep.FaultP50Ns,
+				FaultP95Ns:   rep.FaultP95Ns,
+				FaultP99Ns:   rep.FaultP99Ns,
 				Checksum:     rep.Checksum,
 			})
 		}

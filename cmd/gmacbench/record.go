@@ -1,0 +1,69 @@
+// The -record mode: run the workload suite with the op-stream recorder on
+// and write each run's stream as a .oplog file. `make record-corpus` uses
+// it to (re)generate testdata/corpus/, the recorded-workload corpus the
+// chaos-replay conformance tests and the decoder fuzzer seed from.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/gmac"
+	"repro/internal/workloads"
+	"repro/machine"
+)
+
+// corpusProtocols are the protocols each workload is recorded under. One
+// file per (workload, protocol); names like cp/gmac-rolling.oplog become
+// cp-gmac-rolling.oplog.
+var corpusProtocols = map[workloads.Variant]gmac.Protocol{
+	workloads.VariantBatch:   gmac.BatchUpdate,
+	workloads.VariantLazy:    gmac.LazyUpdate,
+	workloads.VariantRolling: gmac.RollingUpdate,
+}
+
+func runRecord(dir string, small bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	suite := workloads.Parboil()
+	opt := workloads.Options{Record: 1 << 22}
+	if small {
+		suite = workloads.ParboilSmall()
+		opt.BlockSize = 16 << 10
+		opt.Machine = func() *machine.Machine {
+			cfg := machine.PaperTestbedConfig()
+			cfg.Accelerators[0].MemSize = 128 << 20
+			m, err := machine.New(cfg)
+			if err != nil {
+				panic(err)
+			}
+			return m
+		}
+	}
+	var files, bytes int
+	for _, b := range suite {
+		for _, variant := range []workloads.Variant{
+			workloads.VariantBatch, workloads.VariantLazy, workloads.VariantRolling,
+		} {
+			o := opt
+			o.Protocol = corpusProtocols[variant]
+			rep, err := workloads.RunGMAC(b, o)
+			if err != nil {
+				return fmt.Errorf("recording %s/%s: %w", b.Name(), variant, err)
+			}
+			data := rep.OpLog.Encode()
+			name := fmt.Sprintf("%s-%s.oplog", b.Name(), variant)
+			if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+				return err
+			}
+			files++
+			bytes += len(data)
+			fmt.Fprintf(os.Stderr, "gmacbench: recorded %s (%d ops, %d bytes)\n",
+				name, len(rep.OpLog.Ops), len(data))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "gmacbench: corpus: %d streams, %d bytes in %s\n", files, bytes, dir)
+	return nil
+}

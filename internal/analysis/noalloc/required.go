@@ -19,9 +19,13 @@ var requiredAnnotations = map[string][]string{
 		"(*indexSnapshot).find",
 		"(*rollingCache).push",
 		"resolveFault",
+		"(*Manager).record",
 	},
 	"repro/internal/sim": {
 		"(*Breakdown).Add",
+	},
+	"repro/internal/oplog": {
+		"(*Ring).Record",
 	},
 }
 

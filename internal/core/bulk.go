@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/hostmmu"
 	"repro/internal/mem"
+	"repro/internal/oplog"
 	"repro/internal/sim"
 )
 
@@ -31,6 +32,7 @@ func (m *Manager) BulkRead(addr mem.Addr, dst []byte) error {
 	if o.dead {
 		return errDead(addr)
 	}
+	m.record(oplog.Op{Kind: oplog.OpBulkRead, Obj: o.seq, Addr: addr, Size: int64(len(dst))})
 	if m.cfg.Protocol == BatchUpdate || m.degradedLocked(o) {
 		// Batch (and degraded objects) keep the host copy authoritative
 		// between kernel calls.
@@ -86,6 +88,7 @@ func (m *Manager) BulkWrite(addr mem.Addr, src []byte) error {
 		o.mu.Unlock()
 		return errDead(addr)
 	}
+	m.record(oplog.Op{Kind: oplog.OpBulkWrite, Obj: o.seq, Addr: addr, Size: int64(len(src))})
 	if m.cfg.Protocol == BatchUpdate || m.degradedLocked(o) {
 		// The host copy is authoritative (re-sent wholesale at the next
 		// invoke under batch; never transferred again when degraded).
@@ -155,6 +158,7 @@ func (m *Manager) BulkSet(addr mem.Addr, val byte, n int64) error {
 		o.mu.Unlock()
 		return errDead(addr)
 	}
+	m.record(oplog.Op{Kind: oplog.OpBulkSet, Obj: o.seq, Addr: addr, Size: n, Arg: int64(val)})
 	if m.cfg.Protocol == BatchUpdate || m.degradedLocked(o) {
 		o.mapping.Space.Memset(addr, val, n)
 		o.mu.Unlock()

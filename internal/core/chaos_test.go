@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
 	"repro/internal/accel"
 	"repro/internal/fault"
 	"repro/internal/mem"
+	"repro/internal/oplog"
 	"repro/internal/sim"
 	"repro/internal/testutil"
 )
@@ -168,6 +171,10 @@ func TestDeviceLostDegradesToHostResident(t *testing.T) {
 	for _, kind := range []ProtocolKind{BatchUpdate, LazyUpdate, RollingUpdate} {
 		kind := kind
 		t.Run(kind.String(), func(t *testing.T) {
+			// Enable automatic flight dumps: the induced device loss below
+			// must produce the black box (asserted at the end).
+			dumpDir := t.TempDir()
+			t.Setenv(oplog.EnvFlightDir, dumpDir)
 			r := newRig(t, defaultCfg(kind))
 			r.dev.Register(&accel.Kernel{
 				Name: "lost.xor",
@@ -275,6 +282,47 @@ func TestDeviceLostDegradesToHostResident(t *testing.T) {
 			}
 			if st.DegradedObjects == 0 {
 				t.Error("DegradedObjects = 0 after degradation")
+			}
+
+			// The flight recorder must have dumped a black box for the
+			// device loss, and the dump must load and replay (leniently —
+			// a flight window may open mid-run).
+			dumps, err := filepath.Glob(filepath.Join(dumpDir, "adsm-flight-*device-lost*.oplog"))
+			if err != nil || len(dumps) == 0 {
+				t.Fatalf("no device-lost flight dump in %s (err %v)", dumpDir, err)
+			}
+			data, err := os.ReadFile(dumps[0])
+			if err != nil || len(data) == 0 {
+				t.Fatalf("flight dump unreadable: %v (%d bytes)", err, len(data))
+			}
+			dump, err := oplog.Decode(data)
+			if err != nil {
+				t.Fatalf("flight dump decode: %v", err)
+			}
+			if len(dump.Ops) == 0 {
+				t.Fatal("flight dump holds no ops")
+			}
+			if dump.Header.Flags&oplog.HdrFlight == 0 {
+				t.Fatal("flight dump not marked HdrFlight")
+			}
+			if len(dump.Metrics) == 0 {
+				t.Error("flight dump carries no metrics snapshot")
+			}
+			lost := 0
+			for _, op := range dump.Ops {
+				if op.Kind == oplog.OpDeviceLost {
+					lost++
+				}
+			}
+			if lost == 0 {
+				t.Error("flight dump does not contain the device-lost op")
+			}
+			fresh := newRig(t, defaultCfg(kind))
+			if _, err := fresh.mgr.Replay(dump, ReplayOptions{Lenient: true}); err != nil {
+				t.Fatalf("lenient replay of flight dump: %v", err)
+			}
+			if err := fresh.mgr.CheckInvariants(); err != nil {
+				t.Fatalf("invariants after flight replay: %v", err)
 			}
 		})
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hostmmu"
 	"repro/internal/mem"
+	"repro/internal/oplog"
 )
 
 // CheckInvariants verifies the manager's internal consistency. It is meant
@@ -24,6 +25,16 @@ import (
 // other goroutines are active — though the cache-occupancy comparison is
 // only meaningful when the manager is quiescent.
 func (m *Manager) CheckInvariants() error {
+	err := m.checkInvariants()
+	if err != nil {
+		// A tripped invariant is a flight-recorder trigger: dump the op
+		// stream leading up to it (best-effort, gated by ADSM_FLIGHT_DIR).
+		oplog.AutoDump("invariants")
+	}
+	return err
+}
+
+func (m *Manager) checkInvariants() error {
 	m.drainEvictions() // settle deferred cross-object victims first
 	dirty := 0
 	var err error

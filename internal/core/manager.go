@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -11,6 +13,7 @@ import (
 	"repro/internal/hostmmu"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	"repro/internal/oplog"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -188,6 +191,11 @@ type Manager struct {
 	// lost latches once the accelerator is declared lost (fault escalation,
 	// recover.go); objects then degrade to host-resident semantics.
 	lost atomic.Bool
+	// rec is the optional capture recorder (record.go); the process-wide
+	// flight recorder is always on regardless. objSeq numbers objects so
+	// recorded streams identify them stably across record and replay.
+	rec    atomic.Pointer[oplog.Ring]
+	objSeq atomic.Uint32
 }
 
 // NewManager wires a manager to the host MMU, the host virtual address
@@ -430,6 +438,7 @@ func (m *Manager) SafeAllocFor(size int64, kernels ...string) (mem.Addr, error) 
 // publishes it to the registry. Publication is last: a concurrent lookup
 // either misses the object entirely or sees it fully initialised.
 func (m *Manager) finishAlloc(o *Object) (mem.Addr, error) {
+	o.seq = m.objSeq.Add(1)
 	blockSize := int64(0) // one block per object for batch/lazy
 	if m.cfg.Protocol == RollingUpdate {
 		blockSize = m.cfg.BlockSize
@@ -462,7 +471,27 @@ func (m *Manager) finishAlloc(o *Object) (mem.Addr, error) {
 	m.mets.allocs.Inc()
 	m.introAdd(o)
 	m.emit(trace.Event{Kind: trace.EvAlloc, Addr: o.addr, Size: o.size})
+	var flags uint8
+	if o.safe {
+		flags = oplog.FlagSafe
+	}
+	m.record(oplog.Op{Kind: oplog.OpAlloc, Flags: flags, Obj: o.seq,
+		Addr: o.addr, Size: o.size, Note: oplog.NoteID(kernelNote(o.kernels))})
 	return o.addr, nil
+}
+
+// kernelNote serialises an object's §3.3 kernel binding for the op stream:
+// the kernel names sorted and comma-joined ("" for an unbound object).
+func kernelNote(kernels map[string]bool) string {
+	if len(kernels) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(kernels))
+	for k := range kernels {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
 }
 
 // Free implements adsmFree.
@@ -512,6 +541,7 @@ func (m *Manager) Free(addr mem.Addr) error {
 	m.mets.frees.Inc()
 	m.introRemove(o)
 	m.emit(trace.Event{Kind: trace.EvFree, Addr: o.addr, Size: o.size})
+	m.record(oplog.Op{Kind: oplog.OpFree, Obj: o.seq, Addr: o.addr, Size: o.size})
 	return err
 }
 
@@ -587,7 +617,7 @@ func (s objectSet) contains(o *Object) bool {
 // dispatches the kernel. The kernel is ordered behind in-flight transfers
 // by the device's stream semantics.
 func (m *Manager) Invoke(kernel string, args ...uint64) error {
-	return m.invoke(kernel, nil, args)
+	return m.invoke(kernel, nil, nil, args)
 }
 
 // InvokeAnnotated is Invoke with a kernel write-set annotation (§4.3:
@@ -605,10 +635,13 @@ func (m *Manager) InvokeAnnotated(kernel string, writes []mem.Addr, args ...uint
 		}
 		set[o] = true
 	}
-	return m.invoke(kernel, set, args)
+	return m.invoke(kernel, set, writes, args)
 }
 
-func (m *Manager) invoke(kernel string, writes objectSet, args []uint64) error {
+// invoke dispatches a kernel; writeAddrs is the caller's original §4.3
+// annotation (recorded in argument order — the objectSet's map order is
+// not reproducible), nil when unannotated.
+func (m *Manager) invoke(kernel string, writes objectSet, writeAddrs []mem.Addr, args []uint64) error {
 	m.callMu.Lock()
 	defer m.callMu.Unlock()
 	// Settle deferred cross-object evictions before the release sweep so the
@@ -620,6 +653,21 @@ func (m *Manager) invoke(kernel string, writes objectSet, args []uint64) error {
 	sp := m.beginSpan("invoke", kernel)
 	defer m.endSpan(sp)
 	m.emit(trace.Event{Kind: trace.EvInvoke, Note: kernel})
+	var invokeFlags uint8
+	if writes != nil {
+		invokeFlags = oplog.FlagAnnotated
+		for _, addr := range writeAddrs {
+			var seq uint32
+			if o := m.objectAt(addr); o != nil {
+				seq = o.seq
+			}
+			m.record(oplog.Op{Kind: oplog.OpAnnotate, Obj: seq, Addr: addr})
+		}
+	}
+	for _, a := range args {
+		m.record(oplog.Op{Kind: oplog.OpArg, Arg: int64(a)})
+	}
+	m.record(oplog.Op{Kind: oplog.OpInvoke, Flags: invokeFlags, Note: oplog.NoteID(kernel)})
 	m.invokeKernel = kernel
 	if err := m.protocol.onInvoke(writes); err != nil {
 		return err
@@ -661,6 +709,7 @@ func (m *Manager) Sync() error {
 	}
 	sp := m.beginSpan("sync", "")
 	defer m.endSpan(sp)
+	m.record(oplog.Op{Kind: oplog.OpSync})
 	stall := m.dev.Synchronize()
 	m.book(sim.CatGPU, stall)
 	m.statsMu.Lock()
@@ -727,6 +776,12 @@ func (m *Manager) handleFault(f hostmmu.Fault) error {
 		m.emit(trace.Event{Kind: trace.EvFault, Addr: b.addr, Size: b.size,
 			Note: faultNote(f.Access, b.state)})
 	}
+	var faultFlags uint8
+	if f.Access == hostmmu.AccessWrite {
+		faultFlags = oplog.FlagWrite
+	}
+	m.record(oplog.Op{Kind: oplog.OpFault, Flags: faultFlags, Obj: b.obj.seq,
+		Addr: b.addr, Size: b.size, Arg: int64(b.state)})
 	return m.protocol.onFault(b, f.Access)
 }
 
@@ -768,6 +823,7 @@ func (m *Manager) HostRead(addr mem.Addr, dst []byte) error {
 		o.mu.Unlock()
 		return fmt.Errorf("%w: access at %#x", ErrNotShared, uint64(addr))
 	}
+	m.record(oplog.Op{Kind: oplog.OpHostRead, Obj: o.seq, Addr: addr, Size: int64(len(dst))})
 	if err := m.mmu.CheckRead(addr, int64(len(dst))); err != nil {
 		o.mu.Unlock()
 		return err
@@ -794,6 +850,7 @@ func (m *Manager) HostWrite(addr mem.Addr, src []byte) error {
 		o.mu.Unlock()
 		return fmt.Errorf("%w: access at %#x", ErrNotShared, uint64(addr))
 	}
+	m.record(oplog.Op{Kind: oplog.OpHostWrite, Obj: o.seq, Addr: addr, Size: int64(len(src))})
 	err = m.hostWriteLocked(o, addr, src)
 	o.mu.Unlock()
 	m.drainEvictions()
@@ -836,6 +893,11 @@ func (m *Manager) HostBytes(addr mem.Addr, n int64, access hostmmu.Access) ([]by
 		o.mu.Unlock()
 		return nil, fmt.Errorf("%w: access at %#x", ErrNotShared, uint64(addr))
 	}
+	var accFlags uint8
+	if access == hostmmu.AccessWrite {
+		accFlags = oplog.FlagWrite
+	}
+	m.record(oplog.Op{Kind: oplog.OpHostAccess, Flags: accFlags, Obj: o.seq, Addr: addr, Size: n})
 	if access == hostmmu.AccessWrite {
 		err = m.mmu.CheckWrite(addr, n)
 	} else {
@@ -925,6 +987,7 @@ func (m *Manager) flushRunEager(first *Block, n int) error {
 	if m.tracer != nil {
 		m.emit(trace.Event{Kind: trace.EvFlush, Addr: first.addr, Size: size, Note: "eager"})
 	}
+	m.record(oplog.Op{Kind: oplog.OpFlush, Obj: o.seq, Addr: first.addr, Size: size})
 	return nil
 }
 
@@ -955,6 +1018,8 @@ func (m *Manager) flushBlockSync(b *Block) error {
 	if m.tracer != nil {
 		m.emit(trace.Event{Kind: trace.EvFlush, Addr: b.addr, Size: b.size, Note: "sync"})
 	}
+	m.record(oplog.Op{Kind: oplog.OpFlush, Flags: oplog.FlagSync,
+		Obj: b.obj.seq, Addr: b.addr, Size: b.size})
 	return nil
 }
 
@@ -988,6 +1053,7 @@ func (m *Manager) fetchBlockSync(b *Block) error {
 	if m.tracer != nil {
 		m.emit(trace.Event{Kind: trace.EvFetch, Addr: b.addr, Size: b.size})
 	}
+	m.record(oplog.Op{Kind: oplog.OpFetch, Obj: b.obj.seq, Addr: b.addr, Size: b.size})
 	return nil
 }
 
@@ -1041,6 +1107,8 @@ func (m *Manager) noteEviction(first *Block, n int) {
 	m.statsMu.Unlock()
 	m.mets.evictions.Add(int64(n))
 	first.obj.counters.evictions.Add(int64(n))
+	m.record(oplog.Op{Kind: oplog.OpEvict, Obj: first.obj.seq,
+		Addr: first.addr, Size: runSize(first, n), Arg: int64(n)})
 	if m.tracer != nil {
 		for i := 0; i < n; i++ {
 			b := first.obj.blocks[first.index+i]

@@ -148,6 +148,10 @@ type Object struct {
 	// kernels restricts which accelerator kernels use this object (§3.3's
 	// "more elaborate scheme"); nil means every kernel (the minimal API).
 	kernels map[string]bool
+	// seq is the manager-local allocation sequence number (1-based): the
+	// stable object identity in recorded op streams, where addresses are
+	// not reproducible. Set before publication, immutable.
+	seq uint32
 	// degraded marks an object that fell back to host-resident batch-update
 	// semantics after its device was lost: all blocks Dirty and writable,
 	// never transferred again. Set under mu; atomic because introspection
@@ -166,6 +170,10 @@ func (o *Object) Degraded() bool { return o.degraded.Load() }
 
 // Addr returns the object's host virtual address.
 func (o *Object) Addr() mem.Addr { return o.addr }
+
+// Seq returns the manager-local allocation sequence number identifying
+// this object in recorded op streams.
+func (o *Object) Seq() uint32 { return o.seq }
 
 // DevAddr returns the object's accelerator address.
 func (o *Object) DevAddr() mem.Addr { return o.devAddr }

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/hostmmu"
 	"repro/internal/mem"
+	"repro/internal/oplog"
 )
 
 // This file implements peer DMA, the architectural support the paper's
@@ -26,6 +27,7 @@ func (m *Manager) PeerWrite(addr mem.Addr, src []byte) error {
 	if o.dead {
 		return errDead(addr)
 	}
+	m.record(oplog.Op{Kind: oplog.OpIOWrite, Obj: o.seq, Addr: addr, Size: int64(len(src))})
 	if m.cfg.Protocol == BatchUpdate || m.degradedLocked(o) {
 		// Batch (and degraded objects) keep the host copy authoritative;
 		// peer DMA cannot help.
@@ -79,6 +81,7 @@ func (m *Manager) PeerRead(addr mem.Addr, dst []byte) error {
 	if o.dead {
 		return errDead(addr)
 	}
+	m.record(oplog.Op{Kind: oplog.OpIORead, Obj: o.seq, Addr: addr, Size: int64(len(dst))})
 	if m.cfg.Protocol == BatchUpdate || m.degradedLocked(o) {
 		o.mapping.Space.Read(addr, dst)
 		return nil

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/hostmmu"
 	"repro/internal/mem"
+	"repro/internal/oplog"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -90,6 +91,9 @@ func (m *Manager) retryStep(cat sim.Category, what string, attempt int, err erro
 		m.stats.RetryGiveups++
 		m.statsMu.Unlock()
 		m.mets.retryGiveups.Inc()
+		m.record(oplog.Op{Kind: oplog.OpRetry, Flags: oplog.FlagGiveup,
+			Arg: int64(attempt), Note: oplog.NoteID(what)})
+		oplog.AutoDump("retry-giveup")
 		return false, fmt.Errorf("core: %s failed after %d retries: %w", what, attempt, err)
 	}
 	backoff := m.retryBase() << uint(attempt)
@@ -99,6 +103,7 @@ func (m *Manager) retryStep(cat sim.Category, what string, attempt int, err erro
 	m.statsMu.Unlock()
 	m.mets.retries.Inc()
 	m.emit(trace.Event{Kind: trace.EvRetry, Note: what})
+	m.record(oplog.Op{Kind: oplog.OpRetry, Arg: int64(attempt), Note: oplog.NoteID(what)})
 	return true, nil
 }
 
@@ -112,6 +117,10 @@ func (m *Manager) markDeviceLost(cause error) {
 	m.statsMu.Unlock()
 	m.mets.deviceLost.Inc()
 	m.emit(trace.Event{Kind: trace.EvDeviceLost, Note: cause.Error()})
+	// Cause strings carry addresses and attempt counts — unbounded
+	// cardinality, so they are not interned into the note table.
+	m.record(oplog.Op{Kind: oplog.OpDeviceLost})
+	oplog.AutoDump("device-lost")
 }
 
 // degradeObjectLocked switches o to host-resident batch-update semantics:
@@ -134,6 +143,7 @@ func (m *Manager) degradeObjectLocked(o *Object) {
 	m.statsMu.Unlock()
 	m.mets.degraded.Inc()
 	m.emit(trace.Event{Kind: trace.EvDegrade, Addr: o.addr, Size: o.size})
+	m.record(oplog.Op{Kind: oplog.OpDegrade, Obj: o.seq, Addr: o.addr, Size: o.size})
 }
 
 // degradeAll degrades every live object; called once the device is lost.

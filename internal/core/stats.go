@@ -67,6 +67,31 @@ func (s Stats) Sub(base Stats) Stats {
 	return out
 }
 
+// Counters returns the deterministic subset of the stats as a name→value
+// map: every field except virtual-time accumulators (sim.Time). Replay
+// conformance checks compare these maps — a replay re-executes the same
+// coherence decisions (same faults, transfers, evictions) but not the same
+// wall of virtual time, because stub kernels and snapshot-free machines
+// time differently. Reflection-driven like Sub/Add, so a counter added to
+// Stats is never silently dropped from the conformance check.
+func (s Stats) Counters() map[string]int64 {
+	sv := reflect.ValueOf(s)
+	timeType := reflect.TypeOf(sim.Time(0))
+	out := make(map[string]int64, sv.NumField())
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Type().Field(i)
+		if f.Type == timeType {
+			continue
+		}
+		if f.Type.Kind() != reflect.Int64 {
+			panic(fmt.Sprintf("core: Stats.Counters cannot export field %s of kind %v",
+				f.Name, f.Type.Kind()))
+		}
+		out[f.Name] = sv.Field(i).Int()
+	}
+	return out
+}
+
 // Add returns the sum s + other, counter by counter: the mirror of Sub,
 // used by multi-accelerator front ends to aggregate per-device managers.
 // Like Sub it walks the struct with reflection, so a counter added to Stats

@@ -1,0 +1,85 @@
+package figures
+
+import (
+	"testing"
+
+	"repro/gmac"
+	"repro/internal/workloads"
+	"repro/machine"
+)
+
+// TestFig8ReplayByteIdentical is the replay-determinism conformance test:
+// recording a fig-8 workload run, then replaying the recorded op stream
+// against a fresh context, must reproduce the exact coherence counters —
+// so the Figure 8 table built from the replayed runs is byte-identical to
+// the one built from the original runs, and every adsm_* counter total
+// matches.
+func TestFig8ReplayByteIdentical(t *testing.T) {
+	smallMachine := func() *machine.Machine {
+		cfg := machine.PaperTestbedConfig()
+		cfg.Accelerators[0].MemSize = 128 << 20
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	protocols := map[workloads.Variant]gmac.Protocol{
+		workloads.VariantBatch:   gmac.BatchUpdate,
+		workloads.VariantLazy:    gmac.LazyUpdate,
+		workloads.VariantRolling: gmac.RollingUpdate,
+	}
+
+	bench := workloads.SmallCP()
+	recorded := EvalRun{Benchmark: bench.Name(), Reports: map[workloads.Variant]workloads.Report{}}
+	replayed := EvalRun{Benchmark: bench.Name(), Reports: map[workloads.Variant]workloads.Report{}}
+	for variant, proto := range protocols {
+		rep, err := workloads.RunGMAC(bench, workloads.Options{
+			Protocol:  proto,
+			BlockSize: 16 << 10,
+			Record:    1 << 20,
+			Machine:   func() *machine.Machine { return smallMachine() },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.OpLog == nil || len(rep.OpLog.Ops) == 0 {
+			t.Fatalf("%s: no op stream recorded", variant)
+		}
+		recorded.Reports[variant] = rep
+
+		// Round-trip through the wire format, as a corpus file would.
+		l, err := gmac.DecodeOpLog(rep.OpLog.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, err := gmac.NewContext(smallMachine(), gmac.ReplayConfig(l.Header))
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := ctx.Replay(l, gmac.ReplayOptions{})
+		if err != nil {
+			t.Fatalf("%s: replay: %v", variant, err)
+		}
+		if report.Skipped != 0 || report.Errors != 0 {
+			t.Fatalf("%s: strict replay skipped %d, errored %d", variant, report.Skipped, report.Errors)
+		}
+
+		// Identical adsm_* counter totals.
+		if err := gmac.CompareTotals(l.Totals, ctx.Stats().Counters()); err != nil {
+			t.Errorf("%s: %v", variant, err)
+		}
+		replayed.Reports[variant] = workloads.Report{
+			Benchmark: rep.Benchmark,
+			Variant:   variant,
+			GMAC:      ctx.Stats(),
+		}
+	}
+
+	// Byte-identical Figure 8.
+	orig := Fig8([]EvalRun{recorded}).String()
+	again := Fig8([]EvalRun{replayed}).String()
+	if orig != again {
+		t.Fatalf("Figure 8 diverged after replay:\n--- recorded ---\n%s\n--- replayed ---\n%s", orig, again)
+	}
+}

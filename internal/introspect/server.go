@@ -10,10 +10,15 @@
 //	/adsm/trace    Chrome trace_event JSON of a traced manager
 //	               (?mgr=<id> selects one; default: latest with a tracer)
 //	/adsm/statsz   human-readable text report of the metrics registry
+//	               (histogram lines carry p50/p95/p99 estimates)
+//	/adsm/metrics  Prometheus/OpenMetrics text exposition of the registry
+//	/adsm/oplog    flight-recorder ring contents (JSON view of recent ops)
+//	/adsm/flight-dump  flight-recorder dump as a binary .oplog download,
+//	               replayable with `adsmtrace -replay`
 //
 // Everything served here is read from atomic counters, mutex-guarded
-// indexes and mutex-guarded trace rings, so handlers are safe to hit while
-// a run is in flight on other goroutines.
+// indexes, lock-free op rings and mutex-guarded trace rings, so handlers
+// are safe to hit while a run is in flight on other goroutines.
 package introspect
 
 import (
@@ -25,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/oplog"
 )
 
 // managerView is the introspection shape of one manager.
@@ -109,6 +115,66 @@ func handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	_ = metrics.Default().WriteText(w)
 }
 
+func handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", metrics.OpenMetricsContentType)
+	_ = metrics.Default().WriteOpenMetrics(w)
+}
+
+// oplogDoc is the /adsm/oplog response body: the flight recorder's current
+// window rendered readably (kinds and notes resolved to strings).
+type oplogDoc struct {
+	Capacity   int       `json:"capacity"`
+	Total      uint64    `json:"total"`
+	Wrapped    bool      `json:"wrapped"`
+	Collisions uint64    `json:"collisions"`
+	Ops        []oplogOp `json:"ops"`
+}
+
+type oplogOp struct {
+	At    int64  `json:"at_ns"`
+	Kind  string `json:"kind"`
+	Flags uint8  `json:"flags,omitempty"`
+	Mgr   uint16 `json:"mgr"`
+	Obj   uint32 `json:"obj,omitempty"`
+	Addr  uint64 `json:"addr,omitempty"`
+	Size  int64  `json:"size,omitempty"`
+	Arg   int64  `json:"arg,omitempty"`
+	Note  string `json:"note,omitempty"`
+}
+
+func handleOpLog(w http.ResponseWriter, _ *http.Request) {
+	f := oplog.Flight()
+	ops := f.Ops()
+	doc := oplogDoc{
+		Capacity:   f.Capacity(),
+		Total:      f.Total(),
+		Wrapped:    f.Wrapped(),
+		Collisions: f.Collisions(),
+		Ops:        make([]oplogOp, len(ops)),
+	}
+	for i, op := range ops {
+		doc.Ops[i] = oplogOp{
+			At:    int64(op.At),
+			Kind:  op.Kind.String(),
+			Flags: op.Flags,
+			Mgr:   op.Mgr,
+			Obj:   op.Obj,
+			Addr:  uint64(op.Addr),
+			Size:  op.Size,
+			Arg:   op.Arg,
+			Note:  oplog.NoteString(op.Note),
+		}
+	}
+	writeJSON(w, doc)
+}
+
+func handleFlightDump(w http.ResponseWriter, _ *http.Request) {
+	data := oplog.FlightLog("introspect").Encode()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="adsm-flight.oplog"`)
+	_, _ = w.Write(data)
+}
+
 func handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" && r.URL.Path != "/adsm" && r.URL.Path != "/adsm/" {
 		http.NotFound(w, r)
@@ -119,7 +185,10 @@ func handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /adsm/stats    metrics + object tables (JSON)")
 	fmt.Fprintln(w, "  /adsm/objects  object tables (JSON)")
 	fmt.Fprintln(w, "  /adsm/trace    Chrome trace_event JSON (?mgr=<id>)")
-	fmt.Fprintln(w, "  /adsm/statsz   text metrics report")
+	fmt.Fprintln(w, "  /adsm/statsz   text metrics report (p50/p95/p99 per histogram)")
+	fmt.Fprintln(w, "  /adsm/metrics  Prometheus/OpenMetrics exposition")
+	fmt.Fprintln(w, "  /adsm/oplog    flight-recorder window (JSON)")
+	fmt.Fprintln(w, "  /adsm/flight-dump  flight-recorder dump (.oplog download)")
 }
 
 // NewHandler returns the introspection handler, for embedding into an
@@ -130,6 +199,9 @@ func NewHandler() http.Handler {
 	mux.HandleFunc("/adsm/objects", handleObjects)
 	mux.HandleFunc("/adsm/trace", handleTrace)
 	mux.HandleFunc("/adsm/statsz", handleStatsz)
+	mux.HandleFunc("/adsm/metrics", handleMetrics)
+	mux.HandleFunc("/adsm/oplog", handleOpLog)
+	mux.HandleFunc("/adsm/flight-dump", handleFlightDump)
 	mux.HandleFunc("/", handleIndex)
 	return mux
 }

@@ -110,6 +110,120 @@ type HistogramSnapshot struct {
 	Buckets []Bucket `json:"buckets"`
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation within the bucket containing the
+// rank — the standard fixed-bucket estimator (what Prometheus's
+// histogram_quantile computes server-side). Values landing in the +Inf
+// overflow bucket are clamped to the largest finite bound: the estimator
+// can never invent a value beyond what the layout can resolve. Returns 0
+// for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	lower := 0.0
+	for _, b := range s.Buckets {
+		upper, inf := bucketBound(b.Le)
+		if b.Count > 0 && cum+float64(b.Count) >= rank {
+			if inf || upper <= lower {
+				return int64(lower)
+			}
+			frac := (rank - cum) / float64(b.Count)
+			return int64(lower + (upper-lower)*frac)
+		}
+		cum += float64(b.Count)
+		if !inf {
+			lower = upper
+		}
+	}
+	return int64(lower)
+}
+
+// bucketBound parses a Bucket.Le string; inf reports the overflow bucket.
+func bucketBound(le string) (bound float64, inf bool) {
+	if le == "+inf" {
+		return 0, true
+	}
+	v, err := strconv.ParseInt(le, 10, 64)
+	if err != nil {
+		return 0, true
+	}
+	return float64(v), false
+}
+
+// Sub returns the distribution of observations made after base was taken:
+// counts and sums subtracted bucket by bucket. Both snapshots must come
+// from the same histogram (same bucket layout); Sub panics otherwise.
+// Harnesses sharing the process-wide registry across runs use it to
+// isolate one run's latency distribution.
+func (s HistogramSnapshot) Sub(base HistogramSnapshot) HistogramSnapshot {
+	if len(base.Buckets) == 0 {
+		return s
+	}
+	if len(s.Buckets) != len(base.Buckets) {
+		panic(fmt.Sprintf("metrics: HistogramSnapshot.Sub bucket layouts differ (%d vs %d)",
+			len(s.Buckets), len(base.Buckets)))
+	}
+	out := HistogramSnapshot{
+		Count:   s.Count - base.Count,
+		Sum:     s.Sum - base.Sum,
+		Buckets: make([]Bucket, len(s.Buckets)),
+	}
+	if out.Count > 0 {
+		out.Mean = float64(out.Sum) / float64(out.Count)
+	}
+	for i := range s.Buckets {
+		out.Buckets[i] = Bucket{Le: s.Buckets[i].Le, Count: s.Buckets[i].Count - base.Buckets[i].Count}
+	}
+	return out
+}
+
+// liveQuantile mirrors HistogramSnapshot.Quantile but walks the live
+// atomic buckets directly, so render paths (WriteText) can report
+// percentiles without snapshotting. count is the caller's loaded total;
+// concurrent observations may make the bucket walk slightly stale, which
+// is fine for a report.
+func (h *Histogram) liveQuantile(q float64, count int64) int64 {
+	if count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(count)
+	cum, lower := 0.0, 0.0
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		inf := i >= len(h.bounds)
+		var upper float64
+		if !inf {
+			upper = float64(h.bounds[i])
+		}
+		if n > 0 && cum+n >= rank {
+			if inf || upper <= lower {
+				return int64(lower)
+			}
+			return int64(lower + (upper-lower)*(rank-cum)/n)
+		}
+		cum += n
+		if !inf {
+			lower = upper
+		}
+	}
+	return int64(lower)
+}
+
 // Snapshot copies the histogram's current state.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
@@ -164,6 +278,36 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	// names caches the sorted name slices the renderers iterate: metric
+	// creation is rare (wiring time) while statsz/metrics endpoints render
+	// on every request, so the sort runs once per registration, not once
+	// per request. Guarded by mu; dirty is set by the create paths.
+	names struct {
+		dirty                        bool
+		counters, gauges, histograms []string
+	}
+}
+
+// namesLocked returns the cached sorted name slices, rebuilding them if a
+// metric was registered since the last render. The caller holds r.mu and
+// must not retain the slices past unlocking.
+func (r *Registry) namesLocked() (counters, gauges, histograms []string) {
+	if r.names.dirty {
+		r.names.counters = sortedKeys(r.counters, r.names.counters)
+		r.names.gauges = sortedKeys(r.gauges, r.names.gauges)
+		r.names.histograms = sortedKeys(r.histograms, r.names.histograms)
+		r.names.dirty = false
+	}
+	return r.names.counters, r.names.gauges, r.names.histograms
+}
+
+func sortedKeys[V any](m map[string]V, reuse []string) []string {
+	out := reuse[:0]
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // NewRegistry returns an empty registry.
@@ -188,6 +332,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if !ok {
 		c = &Counter{}
 		r.counters[name] = c
+		r.names.dirty = true
 	}
 	return c
 }
@@ -200,6 +345,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
+		r.names.dirty = true
 	}
 	return g
 }
@@ -225,6 +371,7 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 			counts: make([]atomic.Int64, len(bounds)+1),
 		}
 		r.histograms[name] = h
+		r.names.dirty = true
 	}
 	return h
 }
@@ -285,43 +432,83 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // WriteText renders the registry as a human-readable report: counters and
-// gauges as aligned name/value lines, histograms as per-bucket tables.
+// gauges as aligned name/value lines, histograms as summary lines with
+// p50/p95/p99 estimates followed by per-bucket tables. The render path
+// reads the cached sorted names and appends with strconv, so it does not
+// allocate per metric — statsz serves this on every request.
 func (r *Registry) WriteText(w io.Writer) error {
-	s := r.Snapshot()
-	names := func(m map[string]int64) []string {
-		out := make([]string, 0, len(m))
-		for k := range m {
-			out = append(out, k)
-		}
-		sort.Strings(out)
-		return out
-	}
-	if len(s.Counters) > 0 {
-		fmt.Fprintf(w, "counters:\n")
-		for _, n := range names(s.Counters) {
-			fmt.Fprintf(w, "  %-56s %d\n", n, s.Counters[n])
+	r.mu.Lock()
+	counters, gauges, histograms := r.namesLocked()
+	buf := make([]byte, 0, 256+64*(len(counters)+len(gauges))+512*len(histograms))
+	if len(counters) > 0 {
+		buf = append(buf, "counters:\n"...)
+		for _, n := range counters {
+			buf = appendAligned(buf, n, r.counters[n].Value())
 		}
 	}
-	if len(s.Gauges) > 0 {
-		fmt.Fprintf(w, "gauges:\n")
-		for _, n := range names(s.Gauges) {
-			fmt.Fprintf(w, "  %-56s %d\n", n, s.Gauges[n])
+	if len(gauges) > 0 {
+		buf = append(buf, "gauges:\n"...)
+		for _, n := range gauges {
+			buf = appendAligned(buf, n, r.gauges[n].Value())
 		}
 	}
-	hnames := make([]string, 0, len(s.Histograms))
-	for k := range s.Histograms {
-		hnames = append(hnames, k)
-	}
-	sort.Strings(hnames)
-	for _, n := range hnames {
-		h := s.Histograms[n]
-		fmt.Fprintf(w, "histogram %s: count=%d sum=%d mean=%.1f\n", n, h.Count, h.Sum, h.Mean)
-		for _, b := range h.Buckets {
-			if b.Count == 0 {
+	for _, n := range histograms {
+		h := r.histograms[n]
+		count, sum := h.count.Load(), h.sum.Load()
+		mean := 0.0
+		if count > 0 {
+			mean = float64(sum) / float64(count)
+		}
+		buf = append(buf, "histogram "...)
+		buf = append(buf, n...)
+		buf = append(buf, ": count="...)
+		buf = strconv.AppendInt(buf, count, 10)
+		buf = append(buf, " sum="...)
+		buf = strconv.AppendInt(buf, sum, 10)
+		buf = append(buf, " mean="...)
+		buf = strconv.AppendFloat(buf, mean, 'f', 1, 64)
+		buf = append(buf, " p50="...)
+		buf = strconv.AppendInt(buf, h.liveQuantile(0.50, count), 10)
+		buf = append(buf, " p95="...)
+		buf = strconv.AppendInt(buf, h.liveQuantile(0.95, count), 10)
+		buf = append(buf, " p99="...)
+		buf = strconv.AppendInt(buf, h.liveQuantile(0.99, count), 10)
+		buf = append(buf, '\n')
+		for i := range h.counts {
+			c := h.counts[i].Load()
+			if c == 0 {
 				continue
 			}
-			fmt.Fprintf(w, "  le %-12s %d\n", b.Le, b.Count)
+			buf = append(buf, "  le "...)
+			start := len(buf)
+			if i < len(h.bounds) {
+				buf = strconv.AppendInt(buf, h.bounds[i], 10)
+			} else {
+				buf = append(buf, "+inf"...)
+			}
+			for len(buf)-start < 12 {
+				buf = append(buf, ' ')
+			}
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, c, 10)
+			buf = append(buf, '\n')
 		}
 	}
-	return nil
+	r.mu.Unlock()
+	_, err := w.Write(buf)
+	return err
+}
+
+// appendAligned renders one "  name<pad> value\n" line matching the report
+// columns ("%-56s %d").
+func appendAligned(buf []byte, name string, v int64) []byte {
+	buf = append(buf, "  "...)
+	buf = append(buf, name...)
+	for n := 56 - len(name); n > 0; n-- {
+		buf = append(buf, ' ')
+	}
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, v, 10)
+	buf = append(buf, '\n')
+	return buf
 }

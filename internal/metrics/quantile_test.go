@@ -1,0 +1,193 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_test", []int64{100, 200, 400, 800})
+	// 100 observations spread uniformly through the 100..200 bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(150)
+	}
+	s := h.Snapshot()
+	// All mass in one bucket: interpolation sweeps 100..200 with rank.
+	if got := s.Quantile(0.5); got != 150 {
+		t.Errorf("p50 = %d, want 150", got)
+	}
+	if got := s.Quantile(0); got != 100 {
+		t.Errorf("p0 = %d, want 100 (bucket lower bound)", got)
+	}
+	if got := s.Quantile(1); got != 200 {
+		t.Errorf("p100 = %d, want 200 (bucket upper bound)", got)
+	}
+	// Out-of-range q clamps.
+	if s.Quantile(-3) != s.Quantile(0) || s.Quantile(7) != s.Quantile(1) {
+		t.Error("q outside [0,1] must clamp")
+	}
+}
+
+func TestHistogramQuantileSpread(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_spread", []int64{100, 200, 400, 800})
+	// 90 low, 10 high: p50 in the first bucket, p99 in the last finite one.
+	for i := 0; i < 90; i++ {
+		h.Observe(50)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(700)
+	}
+	s := h.Snapshot()
+	p50, p95, p99 := s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99)
+	if p50 <= 0 || p50 > 100 {
+		t.Errorf("p50 = %d, want within (0,100]", p50)
+	}
+	if p95 <= 400 || p95 > 800 {
+		t.Errorf("p95 = %d, want within (400,800]", p95)
+	}
+	if p99 < p95 || p99 > 800 {
+		t.Errorf("p99 = %d, want within [p95=%d, 800]", p99, p95)
+	}
+}
+
+func TestHistogramQuantileOverflowClamps(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_inf", []int64{100, 200})
+	for i := 0; i < 10; i++ {
+		h.Observe(10_000) // all in +Inf
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.99); got != 200 {
+		t.Errorf("overflow-bucket quantile = %d, want clamp to largest finite bound 200", got)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var s HistogramSnapshot
+	if s.Quantile(0.5) != 0 {
+		t.Error("empty snapshot quantile must be 0")
+	}
+}
+
+func TestHistogramSnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sub_test", []int64{100, 200})
+	h.Observe(50)
+	h.Observe(150)
+	base := h.Snapshot()
+	h.Observe(150)
+	h.Observe(150)
+	h.Observe(9999)
+	d := h.Snapshot().Sub(base)
+	if d.Count != 3 || d.Sum != 150+150+9999 {
+		t.Fatalf("delta count=%d sum=%d, want 3 and %d", d.Count, d.Sum, 150+150+9999)
+	}
+	if d.Buckets[0].Count != 0 || d.Buckets[1].Count != 2 || d.Buckets[2].Count != 1 {
+		t.Fatalf("delta buckets %v", d.Buckets)
+	}
+	// Sub against an empty base is the identity.
+	id := h.Snapshot().Sub(HistogramSnapshot{})
+	if id.Count != h.Count() {
+		t.Fatal("Sub(zero) must return the snapshot unchanged")
+	}
+}
+
+func TestHistogramSnapshotSubLayoutMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("sub_a", []int64{100}).Snapshot()
+	b := r.Histogram("sub_b", []int64{100, 200}).Snapshot()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sub across layouts must panic")
+		}
+	}()
+	_ = b.Sub(a)
+}
+
+func TestWriteTextQuantiles(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Add(5)
+	r.Gauge("g_now").Set(-3)
+	h := r.Histogram("h_ns", []int64{100, 200})
+	for i := 0; i < 10; i++ {
+		h.Observe(150)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"counters:", "c_total", "gauges:", "g_now",
+		"histogram h_ns: count=10 sum=1500 mean=150.0 p50=150 p95=195 p99=199",
+		"le 200",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+	// Re-render after registering one more metric: the names cache must
+	// pick it up.
+	r.Counter("c_after").Inc()
+	buf.Reset()
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "c_after") {
+		t.Error("names cache missed a metric registered after first render")
+	}
+}
+
+// TestWriteTextMatchesLegacyAlignment pins the column layout statsz users
+// expect: two-space indent, name padded to 56, single space, value.
+func TestWriteTextMatchesLegacyAlignment(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("short").Add(7)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "counters:\n  short" + strings.Repeat(" ", 56-len("short")) + " 7\n"
+	if buf.String() != want {
+		t.Fatalf("alignment drifted:\n%q\nwant\n%q", buf.String(), want)
+	}
+}
+
+// BenchmarkWriteText shows the render path no longer allocates per metric:
+// allocations stay flat as the registry grows (the output buffer is the
+// only allocation, amortised by its size hint).
+func BenchmarkWriteText(b *testing.B) {
+	for _, metrics := range []int{16, 256} {
+		b.Run(strings.Replace("n=N", "N", itoa(metrics), 1), func(b *testing.B) {
+			r := NewRegistry()
+			for i := 0; i < metrics; i++ {
+				r.Counter("bench_counter_" + itoa(i)).Add(int64(i))
+			}
+			r.Histogram("bench_ns", LatencyBuckets).Observe(5000)
+			var buf bytes.Buffer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := r.WriteText(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}

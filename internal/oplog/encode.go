@@ -1,0 +1,271 @@
+package oplog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Binary format v1 ("ADSMOPL1"), all integers varint-encoded:
+//
+//	magic[8]
+//	uvarint version (1)
+//	header: varint protocol, uvarint blockSize, varint rollingDelta,
+//	        varint fixedRolling, varint maxRetries, uvarint flags,
+//	        string label
+//	string table: uvarint count, then count length-prefixed strings
+//	              (local ids 1..count; 0 = no note)
+//	ops: uvarint count, then per op:
+//	        byte kind, byte flags, uvarint mgr, varint Δat (vs previous
+//	        op), uvarint obj, uvarint addr, varint size, varint arg,
+//	        uvarint local note id
+//	totals: uvarint count, then per entry: string name, varint value
+//	        (sorted by name, so encoding is deterministic)
+//	metrics: uvarint length, then that many bytes (JSON; may be empty)
+//
+// Timestamps are delta-encoded against the previous op (they are nearly
+// monotonic), note strings are table-referenced, and object ids are small
+// sequence numbers, so a typical op costs ~10 bytes.
+
+const magic = "ADSMOPL1"
+
+const formatVersion = 1
+
+// ErrCorrupt wraps every Decode failure.
+var ErrCorrupt = errors.New("oplog: corrupt op log")
+
+// Encode serialises the log. The encoding is deterministic for a given
+// log (map order never leaks in).
+func (l *Log) Encode() []byte {
+	// Local string table: note ids actually used, in first-use order.
+	local := make(map[uint32]uint64)
+	var strs []string
+	for _, op := range l.Ops {
+		if op.Note == 0 {
+			continue
+		}
+		if _, ok := local[op.Note]; !ok {
+			local[op.Note] = uint64(len(strs) + 1)
+			strs = append(strs, NoteString(op.Note))
+		}
+	}
+
+	buf := make([]byte, 0, 64+12*len(l.Ops))
+	buf = append(buf, magic...)
+	buf = binary.AppendUvarint(buf, formatVersion)
+
+	h := l.Header
+	buf = binary.AppendVarint(buf, int64(h.Protocol))
+	buf = binary.AppendUvarint(buf, uint64(h.BlockSize))
+	buf = binary.AppendVarint(buf, int64(h.RollingDelta))
+	buf = binary.AppendVarint(buf, int64(h.FixedRolling))
+	buf = binary.AppendVarint(buf, int64(h.MaxRetries))
+	buf = binary.AppendUvarint(buf, uint64(h.Flags))
+	buf = appendString(buf, h.Label)
+
+	buf = binary.AppendUvarint(buf, uint64(len(strs)))
+	for _, s := range strs {
+		buf = appendString(buf, s)
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(l.Ops)))
+	prevAt := int64(0)
+	for _, op := range l.Ops {
+		buf = append(buf, byte(op.Kind), op.Flags)
+		buf = binary.AppendUvarint(buf, uint64(op.Mgr))
+		buf = binary.AppendVarint(buf, int64(op.At)-prevAt)
+		prevAt = int64(op.At)
+		buf = binary.AppendUvarint(buf, uint64(op.Obj))
+		buf = binary.AppendUvarint(buf, uint64(op.Addr))
+		buf = binary.AppendVarint(buf, op.Size)
+		buf = binary.AppendVarint(buf, op.Arg)
+		buf = binary.AppendUvarint(buf, local[op.Note])
+	}
+
+	names := make([]string, 0, len(l.Totals))
+	for k := range l.Totals {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, k := range names {
+		buf = appendString(buf, k)
+		buf = binary.AppendVarint(buf, l.Totals[k])
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(l.Metrics)))
+	buf = append(buf, l.Metrics...)
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// Decode parses an encoded log. It never panics: corrupt or truncated
+// input yields an error wrapping ErrCorrupt. Note strings are re-interned
+// into the process-wide table, so decoded ops resolve through NoteString
+// like freshly recorded ones.
+func Decode(data []byte) (*Log, error) {
+	r := &reader{data: data}
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	r.off = len(magic)
+	if v := r.uvarint(); r.err == nil && v != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+
+	var l Log
+	l.Header.Protocol = int32(r.varint())
+	l.Header.BlockSize = int64(r.uvarint())
+	l.Header.RollingDelta = int32(r.varint())
+	l.Header.FixedRolling = int32(r.varint())
+	l.Header.MaxRetries = int32(r.varint())
+	l.Header.Flags = uint32(r.uvarint())
+	l.Header.Label = r.string()
+
+	nstr := r.uvarint()
+	if r.err == nil && nstr > uint64(r.remaining()) {
+		return nil, fmt.Errorf("%w: string table claims %d entries", ErrCorrupt, nstr)
+	}
+	local := make([]uint32, nstr+1) // local id -> global note id
+	for i := uint64(1); i <= nstr && r.err == nil; i++ {
+		local[i] = NoteID(r.string())
+	}
+
+	nops := r.uvarint()
+	// An op is at least 7 bytes; reject counts the remaining bytes cannot
+	// possibly hold before allocating for them.
+	if r.err == nil && nops > uint64(r.remaining())/7+1 {
+		return nil, fmt.Errorf("%w: op count %d exceeds payload", ErrCorrupt, nops)
+	}
+	ops := make([]Op, 0, nops)
+	prevAt := int64(0)
+	for i := uint64(0); i < nops && r.err == nil; i++ {
+		var op Op
+		op.Kind = Kind(r.byte())
+		op.Flags = r.byte()
+		op.Mgr = uint16(r.uvarint())
+		prevAt += r.varint()
+		op.At = sim.Time(prevAt)
+		op.Obj = uint32(r.uvarint())
+		op.Addr = mem.Addr(r.uvarint())
+		op.Size = r.varint()
+		op.Arg = r.varint()
+		ref := r.uvarint()
+		if r.err != nil {
+			break
+		}
+		if !op.Kind.Valid() {
+			return nil, fmt.Errorf("%w: unknown op kind %d at op %d", ErrCorrupt, op.Kind, i)
+		}
+		if ref >= uint64(len(local)) {
+			return nil, fmt.Errorf("%w: note ref %d out of table (op %d)", ErrCorrupt, ref, i)
+		}
+		op.Note = local[ref]
+		ops = append(ops, op)
+	}
+	if len(ops) > 0 {
+		l.Ops = ops
+	}
+
+	ntot := r.uvarint()
+	if r.err == nil && ntot > uint64(r.remaining())+1 {
+		return nil, fmt.Errorf("%w: totals claim %d entries", ErrCorrupt, ntot)
+	}
+	if ntot > 0 && r.err == nil {
+		l.Totals = make(map[string]int64, ntot)
+		for i := uint64(0); i < ntot && r.err == nil; i++ {
+			k := r.string()
+			l.Totals[k] = r.varint()
+		}
+	}
+
+	nmet := r.uvarint()
+	if b := r.bytes(nmet); len(b) > 0 {
+		l.Metrics = append([]byte(nil), b...)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.remaining())
+	}
+	return &l, nil
+}
+
+// reader is a bounds-checked cursor; the first failure latches err and
+// every later read returns zero values.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) remaining() int { return len(r.data) - r.off }
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated %s at offset %d", ErrCorrupt, what, r.off)
+	}
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.data) {
+		r.fail("byte")
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) bytes(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.remaining()) {
+		r.fail("bytes")
+		return nil
+	}
+	b := r.data[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+func (r *reader) string() string { return string(r.bytes(r.uvarint())) }

@@ -23,6 +23,8 @@ import (
 	"repro/internal/accel"
 	"repro/internal/core"
 	"repro/internal/cudart"
+	"repro/internal/metrics"
+	"repro/internal/oplog"
 	"repro/internal/sim"
 	"repro/machine"
 )
@@ -53,6 +55,13 @@ type Report struct {
 	// Checksum fingerprints the computed output for cross-variant
 	// verification.
 	Checksum float64
+	// FaultP50Ns/P95Ns/P99Ns estimate this run's fault-service latency
+	// percentiles (GMAC variants only; the delta of the process-wide
+	// adsm_fault_service_ns histogram across the run).
+	FaultP50Ns, FaultP95Ns, FaultP99Ns int64
+	// OpLog is the recorded op stream when Options.Record asked for one
+	// (GMAC variants only; nil otherwise).
+	OpLog *oplog.Log
 }
 
 func (r Report) String() string {
@@ -91,6 +100,10 @@ type Options struct {
 	// MaxRetries bounds transparent retries of injected faults (the
 	// gmacbench -faults mode); 0 selects the runtime default.
 	MaxRetries int
+	// Record captures the run's op stream into a ring of this capacity
+	// (ops; the oplog default if negative, off if 0). The stream lands in
+	// Report.OpLog for corpus recording and replay conformance.
+	Record int
 	// Machine builds the testbed (default machine.PaperTestbed).
 	Machine func() *machine.Machine
 }
@@ -141,6 +154,16 @@ func RunGMAC(b Benchmark, opt Options) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
+	// The fault-service histogram lives in the shared process registry, so
+	// this run's latency distribution is the delta against a pre-run
+	// snapshot.
+	faultHist := metrics.Default().Histogram(
+		metrics.Label("adsm_fault_service_ns", "protocol", opt.Protocol.String()),
+		metrics.LatencyBuckets)
+	faultBase := faultHist.Snapshot()
+	if opt.Record != 0 {
+		ctx.EnableRecorder(opt.Record)
+	}
 	start := m.Elapsed()
 	sum, err := b.RunGMAC(ctx)
 	if err != nil {
@@ -155,14 +178,26 @@ func RunGMAC(b Benchmark, opt Options) (Report, error) {
 	case gmac.RollingUpdate:
 		variant = VariantRolling
 	}
+	var oplogRec *oplog.Log
+	if opt.Record != 0 {
+		oplogRec, err = ctx.FinishOpLog(b.Name() + "/" + string(variant))
+		if err != nil {
+			return Report{}, fmt.Errorf("%s/%v: finish oplog: %w", b.Name(), opt.Protocol, err)
+		}
+	}
+	faultDelta := faultHist.Snapshot().Sub(faultBase)
 	return Report{
-		Benchmark: b.Name(),
-		Variant:   variant,
-		Time:      m.Elapsed() - start,
-		Breakdown: m.Breakdown.Clone(),
-		GMAC:      ctx.Stats(),
-		Dev:       m.Device().Stats(),
-		Checksum:  sum,
+		Benchmark:  b.Name(),
+		Variant:    variant,
+		Time:       m.Elapsed() - start,
+		Breakdown:  m.Breakdown.Clone(),
+		GMAC:       ctx.Stats(),
+		Dev:        m.Device().Stats(),
+		Checksum:   sum,
+		FaultP50Ns: faultDelta.Quantile(0.50),
+		FaultP95Ns: faultDelta.Quantile(0.95),
+		FaultP99Ns: faultDelta.Quantile(0.99),
+		OpLog:      oplogRec,
 	}, nil
 }
 
