@@ -6,8 +6,8 @@
 //	gmacbench [-small] [-json FILE] [-debug.addr ADDR] <experiment>...
 //
 // where experiment is one of: fig2, table2, porting, fig7, fig8, fig10,
-// fig9, fig11, fig12, ablations, all. The -small flag runs the unit-test scale (fast
-// smoke run); the default is evaluation scale.
+// fig9, fig11, fig12, ablations, modes, all. The -small flag runs the
+// unit-test scale (fast smoke run); the default is evaluation scale.
 //
 // -json FILE writes a machine-readable summary of the evaluation runs
 // (workload, protocol, virtual time, key counters) so the performance
@@ -56,7 +56,7 @@ func main() {
 	debugAddr := flag.String("debug.addr", "", "serve live introspection endpoints on `addr` (e.g. localhost:6060)")
 	debugHold := flag.Bool("debug.hold", false, "with -debug.addr: keep serving after the run finishes")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: gmacbench [-small] [-json file] [-debug.addr addr] [-hostthreads N] <fig2|table2|porting|fig7|fig8|fig10|fig9|fig11|fig12|ablations|all>...\n")
+		fmt.Fprintf(os.Stderr, "usage: gmacbench [-small] [-json file] [-debug.addr addr] [-hostthreads N] <fig2|table2|porting|fig7|fig8|fig10|fig9|fig11|fig12|ablations|modes|all>...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -104,7 +104,7 @@ func main() {
 	want := map[string]bool{}
 	for _, a := range args {
 		if a == "all" {
-			for _, k := range []string{"fig2", "table2", "porting", "fig7", "fig8", "fig10", "fig9", "fig11", "fig12", "ablations"} {
+			for _, k := range []string{"fig2", "table2", "porting", "fig7", "fig8", "fig10", "fig9", "fig11", "fig12", "ablations", "modes"} {
 				want[k] = true
 			}
 			continue
@@ -260,7 +260,7 @@ func run(want map[string]bool, small bool, jsonOut string) error {
 	known := map[string]bool{
 		"fig2": true, "table2": true, "porting": true, "fig7": true,
 		"fig8": true, "fig10": true, "fig9": true, "fig11": true,
-		"fig12": true, "ablations": true,
+		"fig12": true, "ablations": true, "modes": true,
 	}
 	for k := range want {
 		if !known[k] {
@@ -342,6 +342,13 @@ func run(want map[string]bool, small bool, jsonOut string) error {
 			}
 			fmt.Println(tab)
 		}
+	}
+	if want["modes"] {
+		rows, err := figures.ModesRows(small)
+		if err != nil {
+			return err
+		}
+		fmt.Println(figures.ModesTable(rows))
 	}
 	return nil
 }

@@ -72,6 +72,28 @@ const (
 	RollingUpdate = core.RollingUpdate
 )
 
+// AccessMode declares, at allocation time, how the host accesses a shared
+// object over its lifetime. The runtime lowers the mode into a per-object
+// coherence policy: the stronger the declaration, the more protocol work
+// it elides. Pass it with the Mode alloc option.
+type AccessMode = core.AccessMode
+
+// The access modes. ReadWrite (the zero value) is the unconstrained
+// default. ReadOnly objects are sealed at their first kernel release:
+// replicated to the device once, then never re-fetched, re-flushed or
+// invalidated — a host write after sealing fails with a mode violation.
+// WriteOnly objects are produced by the host and consumed by kernels only:
+// every device-to-host fetch is elided, and a host read of device-written
+// data is a mode violation. Auto objects start under the session protocol
+// and migrate online between lazy- and rolling-update as their observed
+// fault and eviction rates change.
+const (
+	ReadWrite = core.ModeReadWrite
+	ReadOnly  = core.ModeReadOnly
+	WriteOnly = core.ModeWriteOnly
+	Auto      = core.ModeAuto
+)
+
 // Config parameterises a Context.
 type Config struct {
 	// Protocol selects the coherence protocol. The zero value is
@@ -176,31 +198,35 @@ func (c *Context) Register(mk func() *Kernel) { c.dev.Register(mk()) }
 
 // Alloc implements adsmAlloc: it allocates size bytes of shared memory and
 // returns a pointer valid on both processors. Options select the §3.3
-// kernel binding (ForKernels) and the §4.2 safe fallback (Safe).
+// kernel binding (ForKernels), the §4.2 safe fallback (Safe), and the
+// object's declared access mode (Mode).
 func (c *Context) Alloc(size int64, opts ...AllocOption) (Ptr, error) {
 	o := resolveAllocOptions(opts)
 	if o.device > 0 {
 		return 0, fmt.Errorf("gmac: no device %d (single-accelerator context)", o.device)
 	}
-	if o.safe {
-		return c.mgr.SafeAllocFor(size, o.kernels...)
-	}
-	return c.mgr.AllocFor(size, o.kernels...)
+	return c.mgr.AllocObject(core.AllocSpec{
+		Size:    size,
+		Mode:    o.mode,
+		Safe:    o.safe,
+		Kernels: o.kernels,
+	})
 }
 
 // Call implements adsmCall followed by adsmSync: it releases shared
 // objects (per the active protocol), launches the kernel, and — unless the
 // Async option is given — waits for completion and re-acquires shared
 // objects for the CPU. The Writes option supplies the §4.3 write-set
-// annotation.
+// annotation; ReadOnlyHint and WriteOnlyHint override objects' declared
+// access modes for this call.
 func (c *Context) Call(kernel string, args []uint64, opts ...CallOption) error {
 	o := resolveCallOptions(opts)
-	var err error
-	if o.annotate {
-		err = c.mgr.InvokeAnnotated(kernel, o.writes, args...)
-	} else {
-		err = c.mgr.Invoke(kernel, args...)
-	}
+	err := c.mgr.InvokeHinted(kernel, core.CallHints{
+		Writes:    o.writes,
+		Annotated: o.annotate,
+		ReadOnly:  o.ro,
+		WriteOnly: o.wo,
+	}, args...)
 	if err != nil || o.async {
 		return err
 	}
@@ -210,43 +236,6 @@ func (c *Context) Call(kernel string, args []uint64, opts ...CallOption) error {
 // Sync implements adsmSync: it blocks until the accelerator finishes and
 // re-acquires shared objects for the CPU.
 func (c *Context) Sync() error { return c.mgr.Sync() }
-
-// RegisterKernel makes a kernel launchable through Call.
-//
-// Deprecated: use Register, which constructs the kernel per device and so
-// also works for MultiContext.
-func (c *Context) RegisterKernel(k *Kernel) { c.dev.Register(k) }
-
-// AllocFor allocates shared memory assigned to the given kernels.
-//
-// Deprecated: use Alloc with the ForKernels option.
-func (c *Context) AllocFor(size int64, kernels ...string) (Ptr, error) {
-	return c.Alloc(size, ForKernels(kernels...))
-}
-
-// SafeAlloc implements adsmSafeAlloc, the fallback for address-range
-// conflicts (§4.2).
-//
-// Deprecated: use Alloc with the Safe option.
-func (c *Context) SafeAlloc(size int64) (Ptr, error) {
-	return c.Alloc(size, Safe())
-}
-
-// CallAnnotated launches the kernel asynchronously with a write-set
-// annotation.
-//
-// Deprecated: use Call with the Writes (and, for the old asynchronous
-// behaviour, Async) options.
-func (c *Context) CallAnnotated(kernel string, writes []Ptr, args ...uint64) error {
-	return c.Call(kernel, args, Writes(writes...), Async())
-}
-
-// CallSync launches the kernel and waits for it.
-//
-// Deprecated: Call is synchronous by default; use it directly.
-func (c *Context) CallSync(kernel string, args ...uint64) error {
-	return c.Call(kernel, args)
-}
 
 // String describes the context.
 func (c *Context) String() string {

@@ -457,20 +457,20 @@ func TestVirtualTimeAdvancesWithWork(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrapperCompat pins the pre-Session wrappers to their
-// Session-API equivalents. New code must not use these (adsmvet's
-// coherence analyzer flags them); this test is the one sanctioned caller,
-// via the //adsm:allow escape hatch, so the wrappers stay covered until
-// they are removed.
-func TestDeprecatedWrapperCompat(t *testing.T) {
+// TestSessionAPIPipeline drives the full Session surface through one
+// pipeline: kernel-bound and safe allocations, an annotated asynchronous
+// call with an explicit Sync, then a plain synchronous call. It replaces
+// the removed pre-Session wrapper compatibility test and pins the same
+// numerical result.
+func TestSessionAPIPipeline(t *testing.T) {
 	ctx := newCtx(t, RollingUpdate)
-	ctx.RegisterKernel(saxpyKernel()) //adsm:allow coherence
+	ctx.Register(saxpyKernel)
 	const n = 1024
-	x, err := ctx.AllocFor(n*4, "saxpy") //adsm:allow coherence
+	x, err := ctx.Alloc(n*4, ForKernels("saxpy"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	y, err := ctx.SafeAlloc(n * 4) //adsm:allow coherence
+	y, err := ctx.Alloc(n*4, Safe())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -484,8 +484,9 @@ func TestDeprecatedWrapperCompat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	//adsm:allow coherence
-	if err := ctx.CallAnnotated("saxpy", []Ptr{y}, uint64(x), uint64(dy), n, uint64(math.Float32bits(2))); err != nil {
+	if err := ctx.Call("saxpy",
+		[]uint64{uint64(x), uint64(dy), n, uint64(math.Float32bits(2))},
+		Writes(y), Async()); err != nil {
 		t.Fatal(err)
 	}
 	if err := ctx.Sync(); err != nil {
@@ -495,11 +496,11 @@ func TestDeprecatedWrapperCompat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	//adsm:allow coherence
-	if err := ctx.CallSync("saxpy", uint64(x), uint64(dy), n, uint64(math.Float32bits(1))); err != nil {
+	if err := ctx.Call("saxpy",
+		[]uint64{uint64(x), uint64(dy), n, uint64(math.Float32bits(1))}); err != nil {
 		t.Fatal(err)
 	}
 	if got := yv.At(7); got != 4 { // 1 + 2*1 = 3, then 3 + 1*1 = 4
-		t.Fatalf("wrapper pipeline result = %v, want 4", got)
+		t.Fatalf("pipeline result = %v, want 4", got)
 	}
 }

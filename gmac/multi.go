@@ -84,15 +84,17 @@ func (mc *MultiContext) Alloc(size int64, opts ...AllocOption) (Ptr, error) {
 		return 0, fmt.Errorf("gmac: no device %d", dev)
 	}
 	mgr := mc.mgrs[dev]
-	if o.safe {
-		return mgr.SafeAllocFor(size, o.kernels...)
+	spec := core.AllocSpec{Size: size, Mode: o.mode, Safe: o.safe, Kernels: o.kernels}
+	if spec.Safe {
+		return mgr.AllocObject(spec)
 	}
-	p, err := mgr.AllocFor(size, o.kernels...)
+	p, err := mgr.AllocObject(spec)
 	if err == nil {
 		return p, nil
 	}
 	if errors.Is(err, core.ErrAddrConflict) {
-		return mgr.SafeAllocFor(size, o.kernels...)
+		spec.Safe = true
+		return mgr.AllocObject(spec)
 	}
 	return 0, err
 }
@@ -163,12 +165,12 @@ func (mc *MultiContext) Call(kernel string, args []uint64, opts ...CallOption) e
 		devArgs[i] = a
 	}
 	o := resolveCallOptions(opts)
-	var err error
-	if o.annotate {
-		err = target.InvokeAnnotated(kernel, o.writes, devArgs...)
-	} else {
-		err = target.Invoke(kernel, devArgs...)
-	}
+	err := target.InvokeHinted(kernel, core.CallHints{
+		Writes:    o.writes,
+		Annotated: o.annotate,
+		ReadOnly:  o.ro,
+		WriteOnly: o.wo,
+	}, devArgs...)
 	if err != nil || o.async {
 		return err
 	}
@@ -220,30 +222,4 @@ func (mc *MultiContext) LostDevices() int {
 		}
 	}
 	return n
-}
-
-// RegisterKernelAll registers the kernel on every device.
-//
-// Deprecated: use Register.
-func (mc *MultiContext) RegisterKernelAll(mk func() *Kernel) { mc.Register(mk) }
-
-// AllocOn allocates a shared object hosted by the given device.
-//
-// Deprecated: use Alloc with the OnDevice option.
-func (mc *MultiContext) AllocOn(dev int, size int64) (Ptr, error) {
-	if dev < 0 {
-		return 0, fmt.Errorf("gmac: no device %d", dev)
-	}
-	return mc.Alloc(size, OnDevice(dev))
-}
-
-// CallSync launches the kernel and then waits for every device.
-//
-// Deprecated: Call is synchronous by default (on the target device); use
-// Call, or Call with Async followed by Sync for the full-machine barrier.
-func (mc *MultiContext) CallSync(kernel string, args ...uint64) error {
-	if err := mc.Call(kernel, args, Async()); err != nil {
-		return err
-	}
-	return mc.Sync()
 }

@@ -4,11 +4,12 @@
 // actions happen only at kernel call and return boundaries; the host side
 // of that bargain is easy to violate in ways Go happily compiles:
 //
-//  1. Deprecated pre-Session wrappers. AllocFor/SafeAlloc/CallAnnotated/
+//  1. Removed pre-Session wrappers. AllocFor/SafeAlloc/CallAnnotated/
 //     CallSync (and the MultiContext RegisterKernelAll/AllocOn/CallSync)
-//     survive only for source compatibility; new code must use the
-//     Session API (Alloc with options, Call with options). Every call
-//     site is flagged with its replacement.
+//     no longer exist in the real gmac package; stubs, forks and stale
+//     branches that still declare them are flagged at every call site
+//     with the Session-API replacement (Alloc with options, Call with
+//     options).
 //
 //  2. Host reads racing an async kernel. A Call(..., Async()) returns
 //     before the kernel runs; reading its output (HostRead,
@@ -38,12 +39,13 @@ import (
 // Analyzer is the coherence analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "coherence",
-	Doc:  "flag deprecated gmac wrappers, async host reads before Sync, and stale Safe pointers",
+	Doc:  "flag removed gmac wrappers, async host reads before Sync, and stale Safe pointers",
 	Run:  run,
 }
 
-// deprecated maps deprecated gmac method names to their replacements.
-var deprecated = map[string]string{
+// removed maps removed pre-Session gmac method names to their
+// replacements.
+var removed = map[string]string{
 	"AllocFor":          "Alloc(size, gmac.ForKernels(...))",
 	"SafeAlloc":         "Alloc(size, gmac.Safe())",
 	"CallAnnotated":     "Call(kernel, args, gmac.Writes(...))",
@@ -83,7 +85,7 @@ func run(pass *analysis.Pass) error {
 
 // event is one API interaction in source order.
 type event struct {
-	kind  string    // "deprecated", "call", "async", "sync", "read", "safe", "use", "assign"
+	kind  string    // "removed", "call", "async", "sync", "read", "safe", "use", "assign"
 	order token.Pos // position in evaluation order (a call sorts at its closing paren, after its arguments)
 	pos   ast.Node
 	recv  string         // receiver expression, textually
@@ -112,7 +114,7 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 		switch ev.kind {
 		case "async":
 			async[ev.recv] = append(async[ev.recv], pending{write: ev.write, pos: ev.pos})
-		case "sync", "call", "deprecated":
+		case "sync", "call", "removed":
 			// A synchronous Call ends in Sync() (adsmCall+adsmSync), so it
 			// is a completion barrier for earlier async launches too.
 			delete(async, ev.recv)
@@ -140,7 +142,7 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 			safe[ev.obj] = &safeVar{recv: ev.recv}
 		case "assign":
 			delete(safe, ev.obj) // reassigned: no longer a Safe result
-		case "deprecated", "call", "async":
+		case "removed", "call", "async":
 			for _, sv := range safe {
 				if sv.recv == ev.recv && sv.invalidated == nil {
 					sv.invalidated = ev.pos
@@ -247,18 +249,18 @@ func assignEvents(pass *analysis.Pass, as *ast.AssignStmt) []event {
 }
 
 // callEvent classifies one call expression as a coherence-relevant event.
-// Deprecated wrappers are reported directly here (they need no ordering
-// context) and also returned as "deprecated" events so they invalidate
+// Removed wrappers are reported directly here (they need no ordering
+// context) and also returned as "removed" events so they invalidate
 // Safe pointers like any other kernel launch.
 func callEvent(pass *analysis.Pass, call *ast.CallExpr) (event, bool) {
 	recv, name, ok := gmacMethod(pass, call)
 	if !ok {
 		return event{}, false
 	}
-	if hint, ok := deprecated[name]; ok {
-		pass.Reportf(call.Pos(), "%s is deprecated: use %s", name, hint)
+	if hint, ok := removed[name]; ok {
+		pass.Reportf(call.Pos(), "%s was removed: use %s", name, hint)
 		if name == "CallSync" || name == "CallAnnotated" {
-			return event{kind: "deprecated", order: call.Rparen, pos: call, recv: recv, name: name}, true
+			return event{kind: "removed", order: call.Rparen, pos: call, recv: recv, name: name}, true
 		}
 		return event{}, false
 	}

@@ -42,7 +42,7 @@ var Analyzer = &analysis.Analyzer{
 // in packages that import the enum (directives in dependency source are
 // not visible to a per-package analysis). Tests may extend it.
 var KnownEnums = map[string][]string{
-	"repro/internal/core": {"State", "ProtocolKind"},
+	"repro/internal/core": {"State", "ProtocolKind", "AccessMode"},
 }
 
 func run(pass *analysis.Pass) error {

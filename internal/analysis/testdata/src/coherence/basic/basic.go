@@ -1,18 +1,18 @@
-// Package basic exercises the coherence analyzer: deprecated wrappers,
+// Package basic exercises the coherence analyzer: removed wrappers,
 // async host reads before Sync, and stale Safe pointers.
 package basic
 
 import "gmac"
 
-// deprecatedWrappers: every legacy call site is flagged with its
-// replacement.
-func deprecatedWrappers(ctx *gmac.Context) {
-	_ = ctx.CallSync("saxpy", 1) // want `CallSync is deprecated: use Call\(kernel, args\) followed by Sync\(\)`
-	_, _ = ctx.SafeAlloc(4096)   // want `SafeAlloc is deprecated: use Alloc\(size, gmac.Safe\(\)\)`
+// removedWrappers: every call site of a removed pre-Session wrapper is
+// flagged with its replacement.
+func removedWrappers(ctx *gmac.Context) {
+	_ = ctx.CallSync("saxpy", 1) // want `CallSync was removed: use Call\(kernel, args\) followed by Sync\(\)`
+	_, _ = ctx.SafeAlloc(4096)   // want `SafeAlloc was removed: use Alloc\(size, gmac.Safe\(\)\)`
 }
 
-// allowedDeprecated: the escape hatch suppresses the finding.
-func allowedDeprecated(ctx *gmac.Context) {
+// allowedRemoved: the escape hatch suppresses the finding.
+func allowedRemoved(ctx *gmac.Context) {
 	//adsm:allow coherence
 	_ = ctx.CallSync("saxpy", 1)
 }

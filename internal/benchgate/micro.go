@@ -187,6 +187,102 @@ func BenchRollingEvict(b *testing.B) {
 	reportVirtual(b, r)
 }
 
+// BenchReadOnlyFault measures host reads of a sealed ModeReadOnly object.
+// After the first kernel release replicates the object, every block sits
+// permanently behind read protection: a host read is a plain memory access
+// — no signal, no transition, no DMA. The gate pins the per-op fault and
+// transfer counters at zero (the ISSUE's "zero fault traffic after first
+// touch" invariant) and the per-op virtual time at ~0 ns.
+func BenchReadOnlyFault(b *testing.B) {
+	r := newMicroRig(b, microCfg())
+	const blocks = 1 << 10
+	ptr, err := r.mgr.AllocObject(core.AllocSpec{Size: blocks * benchPage, Mode: core.ModeReadOnly})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Populate the table (one write per block), then seal it with the first
+	// kernel release.
+	src := []byte{0xC3}
+	for i := 0; i < blocks; i++ {
+		if err := r.mgr.HostWrite(ptr+mem.Addr(int64(i)*benchPage), src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := r.mgr.InvokeHinted("nop", core.CallHints{}); err != nil {
+		b.Fatal(err)
+	}
+	if err := r.mgr.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	sealed := r.mgr.Stats()
+	t0 := r.clock.Now()
+	dst := make([]byte, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i%blocks) * benchPage
+		if err := r.mgr.HostRead(ptr+mem.Addr(off), dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// Report the post-seal deltas, not the lifetime counters: the population
+	// and seal phase took faults and transfers by design, the steady state
+	// must take none.
+	st := r.mgr.Stats().Sub(sealed)
+	n := float64(b.N)
+	b.ReportMetric(float64(r.clock.Now()-t0)/n, "virt-ns/op")
+	b.ReportMetric(float64(st.Faults)/n, "faults/op")
+	b.ReportMetric(float64(st.BytesD2H)/n, "d2hB/op")
+}
+
+// BenchModeMigrate measures the auto-mode machinery under protocol churn:
+// a ModeAuto object alternates between streaming-write phases (which vote
+// the object toward rolling-update) and sparse-read phases (which vote it
+// toward lazy-update), so the per-object counters cross the hysteresis
+// threshold repeatedly and the runtime keeps migrating the object's
+// protocol online. The per-op cost of the migration path — counter
+// bookkeeping at every release/acquire plus the occasional protocol swap —
+// is what the gate tracks, alongside a migrations/op rate pinning that
+// migrations actually happen.
+func BenchModeMigrate(b *testing.B) {
+	r := newMicroRig(b, microCfg())
+	const blocks = 64
+	ptr, err := r.mgr.AllocObject(core.AllocSpec{Size: blocks * benchPage, Mode: core.ModeAuto})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := []byte{0x3C}
+	dst := make([]byte, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if (i/16)%2 == 0 {
+			// Streaming phase: dirty every block before the launch.
+			for j := 0; j < blocks; j++ {
+				if err := r.mgr.HostWrite(ptr+mem.Addr(int64(j)*benchPage), src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		} else {
+			// Sparse-read phase: touch a single block.
+			if err := r.mgr.HostRead(ptr+mem.Addr(int64(i%blocks)*benchPage), dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := r.mgr.InvokeHinted("nop", core.CallHints{Writes: []mem.Addr{ptr}, Annotated: true}); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.mgr.Sync(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := r.mgr.Stats()
+	b.ReportMetric(float64(st.ModeMigrations)/float64(b.N), "migrations/op")
+	reportVirtual(b, r)
+}
+
 // BlockLookupSizes are the registry populations BenchBlockLookup sweeps:
 // the §5.2 O(log2 n) search cost as the object count grows.
 var BlockLookupSizes = []int{16, 1 << 10, 64 << 10}

@@ -7,7 +7,9 @@ import "testing"
 
 func BenchmarkFaultRead(b *testing.B)    { BenchFaultRead(b) }
 func BenchmarkFaultWrite(b *testing.B)   { BenchFaultWrite(b) }
-func BenchmarkRollingEvict(b *testing.B) { BenchRollingEvict(b) }
+func BenchmarkRollingEvict(b *testing.B)  { BenchRollingEvict(b) }
+func BenchmarkReadOnlyFault(b *testing.B) { BenchReadOnlyFault(b) }
+func BenchmarkModeMigrate(b *testing.B)   { BenchModeMigrate(b) }
 
 func BenchmarkBlockLookup(b *testing.B) {
 	for _, n := range BlockLookupSizes {

@@ -19,6 +19,8 @@ var microBenches = []struct {
 	{"BenchmarkFaultRead", BenchFaultRead},
 	{"BenchmarkFaultWrite", BenchFaultWrite},
 	{"BenchmarkRollingEvict", BenchRollingEvict},
+	{"BenchmarkReadOnlyFault", BenchReadOnlyFault},
+	{"BenchmarkModeMigrate", BenchModeMigrate},
 }
 
 // RunMicro executes every microbenchmark through testing.Benchmark and

@@ -81,10 +81,12 @@ func (m *Manager) checkInvariants() error {
 				continue
 			}
 			if b.state == StateDirty {
-				dirty++
-				if m.cfg.Protocol == RollingUpdate && !m.rolling.isQueued(b) {
-					err = fmt.Errorf("core: dirty block %#x outside the rolling cache", uint64(b.addr))
-					return
+				if o.proto == RollingUpdate {
+					dirty++
+					if !m.rolling.isQueued(b) {
+						err = fmt.Errorf("core: dirty block %#x outside the rolling cache", uint64(b.addr))
+						return
+					}
 				}
 			} else if m.rolling.isQueued(b) {
 				err = fmt.Errorf("core: non-dirty block %#x still queued", uint64(b.addr))
@@ -98,7 +100,7 @@ func (m *Manager) checkInvariants() error {
 	if err != nil {
 		return err
 	}
-	if m.cfg.Protocol == RollingUpdate {
+	if m.haveRollingWork() {
 		if m.rolling.Len() != dirty {
 			return fmt.Errorf("core: rolling cache holds %d blocks but %d are dirty", m.rolling.Len(), dirty)
 		}
@@ -112,8 +114,11 @@ func (m *Manager) checkInvariants() error {
 // checkBlockProt verifies the state <-> protection correspondence for
 // every page of the block.
 func (m *Manager) checkBlockProt(b *Block) error {
-	if m.cfg.Protocol == BatchUpdate {
-		return nil // batch never changes protection
+	if b.obj.proto == BatchUpdate && !(b.obj.mode == ModeReadOnly && b.obj.sealed) {
+		// Batch-update never changes protection — except for sealed
+		// read-only objects, which sit behind read-only pages so a host
+		// write is caught as a mode violation.
+		return nil
 	}
 	want := hostmmu.ProtNone
 	switch b.state {

@@ -138,7 +138,12 @@ type Manager struct {
 	va    *mem.VASpace
 	dev   *accel.Device
 
-	protocol protocol
+	// moded counts live objects with a non-default access mode, and
+	// rollingObjs counts live objects currently governed by rolling-update.
+	// Both gate the release/acquire sweeps so default-mode runs skip the
+	// mode machinery entirely (protocol.go).
+	moded       atomic.Int64
+	rollingObjs atomic.Int64
 	// treeMu guards objects, blocks and nobjects. The trees are the
 	// writer-side registry; readers go through the span indexes below and
 	// only take treeMu (shared) to rebuild a stale snapshot.
@@ -203,14 +208,14 @@ type Manager struct {
 func NewManager(cfg Config, clock *sim.Clock, bd *sim.Breakdown,
 	mmu *hostmmu.MMU, va *mem.VASpace, dev *accel.Device) (*Manager, error) {
 
-	if cfg.Protocol == RollingUpdate {
-		if cfg.BlockSize <= 0 {
-			return nil, fmt.Errorf("core: rolling-update requires a block size")
-		}
-		if cfg.BlockSize%mmu.PageSize() != 0 {
-			return nil, fmt.Errorf("core: block size %d is not a multiple of the %d-byte page",
-				cfg.BlockSize, mmu.PageSize())
-		}
+	if cfg.Protocol == RollingUpdate && cfg.BlockSize <= 0 {
+		return nil, fmt.Errorf("core: rolling-update requires a block size")
+	}
+	// ModeAuto objects may migrate onto rolling-update under any configured
+	// protocol, so a non-zero block size must always be page-granular.
+	if cfg.BlockSize != 0 && cfg.BlockSize%mmu.PageSize() != 0 {
+		return nil, fmt.Errorf("core: block size %d is not a multiple of the %d-byte page",
+			cfg.BlockSize, mmu.PageSize())
 	}
 	m := &Manager{
 		cfg:     cfg,
@@ -226,12 +231,7 @@ func NewManager(cfg Config, clock *sim.Clock, bd *sim.Breakdown,
 		intro:   make(map[mem.Addr]*Object),
 	}
 	switch cfg.Protocol {
-	case BatchUpdate:
-		m.protocol = &batchProtocol{m}
-	case LazyUpdate:
-		m.protocol = &lazyProtocol{m}
-	case RollingUpdate:
-		m.protocol = &rollingProtocol{m}
+	case BatchUpdate, LazyUpdate, RollingUpdate:
 	default:
 		return nil, fmt.Errorf("core: unknown protocol %v", cfg.Protocol)
 	}
@@ -344,18 +344,53 @@ func kernelSet(kernels []string) map[string]bool {
 	return ks
 }
 
+// AllocSpec parameterises one shared-object allocation: its size, its
+// declared access mode (mode.go), whether the host mapping must avoid the
+// §4.2 shared-address trick (Safe), and its §3.3 kernel binding.
+type AllocSpec struct {
+	Size int64
+	// Mode declares the object's access pattern; the zero value is
+	// ModeReadWrite, the paper's default full-coherence behaviour.
+	Mode AccessMode
+	// Safe places the host mapping wherever the OS finds room (adsmSafeAlloc):
+	// the pointer is host-only and kernel arguments need Translate.
+	Safe bool
+	// Kernels is the §3.3 binding: invocations of other kernels neither
+	// flush nor invalidate the object. Empty means every kernel.
+	Kernels []string
+}
+
+// AllocObject allocates one shared object as described by spec. It is the
+// single allocation entry point; Alloc/AllocFor/SafeAlloc/SafeAllocFor are
+// thin wrappers over it.
+func (m *Manager) AllocObject(spec AllocSpec) (mem.Addr, error) {
+	if !spec.Mode.Valid() {
+		return 0, fmt.Errorf("core: unknown access mode %v", spec.Mode)
+	}
+	if spec.Safe {
+		return m.safeAlloc(spec)
+	}
+	return m.alloc(spec)
+}
+
 // Alloc implements adsmAlloc: it allocates accelerator memory and mirrors
 // the same address range in host memory, so a single pointer serves both
 // processors. If the range is already taken on the host it returns
 // ErrAddrConflict and the caller should use SafeAlloc.
 func (m *Manager) Alloc(size int64) (mem.Addr, error) {
-	return m.AllocFor(size)
+	return m.AllocObject(AllocSpec{Size: size})
 }
 
 // AllocFor implements the §3.3 "more elaborate scheme": the object is
 // assigned to the given kernels, so invocations of other kernels neither
 // flush nor invalidate it — the CPU keeps working on it undisturbed.
 func (m *Manager) AllocFor(size int64, kernels ...string) (mem.Addr, error) {
+	return m.AllocObject(AllocSpec{Size: size, Kernels: kernels})
+}
+
+// alloc is the identity-mapped (adsmAlloc) allocation path.
+func (m *Manager) alloc(spec AllocSpec) (mem.Addr, error) {
+	size, kernels := spec.Size, spec.Kernels
 	if err := m.checkDeviceLost("alloc"); err != nil {
 		return 0, err
 	}
@@ -383,7 +418,8 @@ func (m *Manager) AllocFor(size int64, kernels ...string) (mem.Addr, error) {
 			return 0, err
 		}
 		o := &Object{addr: mapping.Addr, devAddr: mapping.Addr, size: size,
-			mapping: mapping, vm: true, vmPhys: devAddr, kernels: kernelSet(kernels)}
+			mapping: mapping, vm: true, vmPhys: devAddr,
+			kernels: kernelSet(kernels), mode: spec.Mode}
 		return m.finishAlloc(o)
 	}
 
@@ -398,7 +434,7 @@ func (m *Manager) AllocFor(size int64, kernels ...string) (mem.Addr, error) {
 		return 0, err
 	}
 	o := &Object{addr: devAddr, devAddr: devAddr, size: size,
-		mapping: mapping, kernels: kernelSet(kernels)}
+		mapping: mapping, kernels: kernelSet(kernels), mode: spec.Mode}
 	return m.finishAlloc(o)
 }
 
@@ -406,11 +442,17 @@ func (m *Manager) AllocFor(size int64, kernels ...string) (mem.Addr, error) {
 // the OS finds room, so the returned pointer is only valid on the CPU and
 // kernel arguments must be translated with Translate.
 func (m *Manager) SafeAlloc(size int64) (mem.Addr, error) {
-	return m.SafeAllocFor(size)
+	return m.AllocObject(AllocSpec{Size: size, Safe: true})
 }
 
 // SafeAllocFor is SafeAlloc with a §3.3 kernel binding.
 func (m *Manager) SafeAllocFor(size int64, kernels ...string) (mem.Addr, error) {
+	return m.AllocObject(AllocSpec{Size: size, Safe: true, Kernels: kernels})
+}
+
+// safeAlloc is the OS-placed (adsmSafeAlloc) allocation path.
+func (m *Manager) safeAlloc(spec AllocSpec) (mem.Addr, error) {
+	size, kernels := spec.Size, spec.Kernels
 	if err := m.checkDeviceLost("alloc"); err != nil {
 		return 0, err
 	}
@@ -430,7 +472,7 @@ func (m *Manager) SafeAllocFor(size int64, kernels ...string) (mem.Addr, error) 
 		return 0, err
 	}
 	o := &Object{addr: mapping.Addr, devAddr: devAddr, size: size,
-		mapping: mapping, safe: true, kernels: kernelSet(kernels)}
+		mapping: mapping, safe: true, kernels: kernelSet(kernels), mode: spec.Mode}
 	return m.finishAlloc(o)
 }
 
@@ -439,14 +481,19 @@ func (m *Manager) SafeAllocFor(size int64, kernels ...string) (mem.Addr, error) 
 // either misses the object entirely or sees it fully initialised.
 func (m *Manager) finishAlloc(o *Object) (mem.Addr, error) {
 	o.seq = m.objSeq.Add(1)
+	o.proto = m.cfg.Protocol
 	blockSize := int64(0) // one block per object for batch/lazy
 	if m.cfg.Protocol == RollingUpdate {
+		blockSize = m.cfg.BlockSize
+	} else if o.mode == ModeAuto && m.cfg.BlockSize > 0 {
+		// Auto objects may migrate onto rolling-update, which needs block
+		// structure; carve it now — block geometry is immutable.
 		blockSize = m.cfg.BlockSize
 	}
 	o.makeBlocks(blockSize)
 
 	m.mmu.Map(o.addr, m.pageAlignedSize(o.size), hostmmu.ProtReadWrite)
-	m.protocol.onAlloc(o)
+	m.protoAlloc(o)
 	m.rolling.onAlloc()
 
 	m.treeMu.Lock()
@@ -465,6 +512,12 @@ func (m *Manager) finishAlloc(o *Object) (mem.Addr, error) {
 	m.blkIdx.invalidate()
 	m.treeMu.Unlock()
 
+	if o.mode != ModeReadWrite {
+		m.moded.Add(1)
+	}
+	if o.proto == RollingUpdate {
+		m.rollingObjs.Add(1)
+	}
 	m.statsMu.Lock()
 	m.stats.Allocs++
 	m.statsMu.Unlock()
@@ -476,7 +529,8 @@ func (m *Manager) finishAlloc(o *Object) (mem.Addr, error) {
 		flags = oplog.FlagSafe
 	}
 	m.record(oplog.Op{Kind: oplog.OpAlloc, Flags: flags, Obj: o.seq,
-		Addr: o.addr, Size: o.size, Note: oplog.NoteID(kernelNote(o.kernels))})
+		Addr: o.addr, Size: o.size, Arg: int64(o.mode),
+		Note: oplog.NoteID(kernelNote(o.kernels))})
 	return o.addr, nil
 }
 
@@ -509,7 +563,14 @@ func (m *Manager) Free(addr mem.Addr) error {
 		return fmt.Errorf("%w: free of %#x", ErrNotShared, uint64(addr))
 	}
 	o.dead = true
+	proto := o.proto
 	o.mu.Unlock()
+	if o.mode != ModeReadWrite {
+		m.moded.Add(-1)
+	}
+	if proto == RollingUpdate {
+		m.rollingObjs.Add(-1)
+	}
 
 	m.rolling.forget(o)
 	m.treeMu.Lock()
@@ -612,12 +673,97 @@ func (s objectSet) contains(o *Object) bool {
 	return s[o]
 }
 
+// CallHints carries the per-call coherence declarations of one kernel
+// launch: the §4.3 write-set annotation plus the per-call access-mode
+// overrides (read-only and write-only hints). The zero value is an
+// unhinted, unannotated call — the conservative default.
+type CallHints struct {
+	// Writes lists any address inside each object the kernel may write
+	// (§4.3). Meaningful only when Annotated is true.
+	Writes []mem.Addr
+	// Annotated distinguishes an empty write set ("the kernel writes
+	// nothing") from no annotation at all ("the kernel may write anything").
+	Annotated bool
+	// ReadOnly lists objects the kernel only reads during this call: they
+	// are never invalidated by the release sweep, even without a write-set
+	// annotation. It does not imply an annotation for other objects.
+	ReadOnly []mem.Addr
+	// WriteOnly lists objects the kernel fully overwrites during this call:
+	// their dirty host data is dead (the flush is elided) and they are
+	// invalidated. Implies membership in the effective write set.
+	WriteOnly []mem.Addr
+}
+
+// invokeHints is a CallHints resolved against the registry for one release
+// sweep. The maps are read-only once built.
+type invokeHints struct {
+	writes objectSet // nil = "any object" (unannotated)
+	ro     objectSet // never invalidated this call
+	wo     objectSet // invalidated without the write-back
+}
+
+// written reports whether o must be invalidated by the release sweep.
+func (ih *invokeHints) written(o *Object) bool {
+	if o.mode == ModeReadOnly || ih.ro[o] {
+		return false
+	}
+	return ih.writes.contains(o)
+}
+
+// resolveHints validates h against the registry and the objects' declared
+// access modes, and builds the release sweep's object sets.
+func (m *Manager) resolveHints(h CallHints) (invokeHints, error) {
+	var ih invokeHints
+	if h.Annotated {
+		ih.writes = make(objectSet, len(h.Writes)+len(h.WriteOnly))
+		for _, addr := range h.Writes {
+			o := m.objectAt(addr)
+			if o == nil {
+				return ih, fmt.Errorf("%w: write annotation %#x", ErrNotShared, uint64(addr))
+			}
+			if o.mode == ModeReadOnly {
+				return ih, fmt.Errorf("%w: read-only object %#x in kernel write set",
+					ErrModeViolation, uint64(o.addr))
+			}
+			ih.writes[o] = true
+		}
+	}
+	if len(h.ReadOnly) > 0 {
+		ih.ro = make(objectSet, len(h.ReadOnly))
+		for _, addr := range h.ReadOnly {
+			o := m.objectAt(addr)
+			if o == nil {
+				return ih, fmt.Errorf("%w: read-only hint %#x", ErrNotShared, uint64(addr))
+			}
+			ih.ro[o] = true
+		}
+	}
+	if len(h.WriteOnly) > 0 {
+		ih.wo = make(objectSet, len(h.WriteOnly))
+		for _, addr := range h.WriteOnly {
+			o := m.objectAt(addr)
+			if o == nil {
+				return ih, fmt.Errorf("%w: write-only hint %#x", ErrNotShared, uint64(addr))
+			}
+			if o.mode == ModeReadOnly {
+				return ih, fmt.Errorf("%w: read-only object %#x in write-only hint",
+					ErrModeViolation, uint64(o.addr))
+			}
+			ih.wo[o] = true
+			if ih.writes != nil {
+				ih.writes[o] = true
+			}
+		}
+	}
+	return ih, nil
+}
+
 // Invoke implements adsmCall: it runs the protocol's release actions
 // (flushing dirty data to the accelerator, invalidating host copies) and
 // dispatches the kernel. The kernel is ordered behind in-flight transfers
 // by the device's stream semantics.
 func (m *Manager) Invoke(kernel string, args ...uint64) error {
-	return m.invoke(kernel, nil, nil, args)
+	return m.invoke(kernel, CallHints{}, args)
 }
 
 // InvokeAnnotated is Invoke with a kernel write-set annotation (§4.3:
@@ -627,21 +773,27 @@ func (m *Manager) Invoke(kernel string, args ...uint64) error {
 // host-valid state across the call, so reading them afterwards costs no
 // transfer. writes lists any address inside each written object.
 func (m *Manager) InvokeAnnotated(kernel string, writes []mem.Addr, args ...uint64) error {
-	set := make(objectSet, len(writes))
-	for _, addr := range writes {
-		o := m.objectAt(addr)
-		if o == nil {
-			return fmt.Errorf("%w: write annotation %#x", ErrNotShared, uint64(addr))
-		}
-		set[o] = true
-	}
-	return m.invoke(kernel, set, writes, args)
+	return m.invoke(kernel, CallHints{Writes: writes, Annotated: true}, args)
 }
 
-// invoke dispatches a kernel; writeAddrs is the caller's original §4.3
-// annotation (recorded in argument order — the objectSet's map order is
-// not reproducible), nil when unannotated.
-func (m *Manager) invoke(kernel string, writes objectSet, writeAddrs []mem.Addr, args []uint64) error {
+// InvokeHinted is Invoke with the full per-call hint set: write-set
+// annotation plus read-only/write-only access overrides.
+func (m *Manager) InvokeHinted(kernel string, h CallHints, args ...uint64) error {
+	return m.invoke(kernel, h, args)
+}
+
+// seqAt resolves an address to its object's stable sequence number for the
+// op stream (0 for unshared addresses).
+func (m *Manager) seqAt(addr mem.Addr) uint32 {
+	if o := m.objectAt(addr); o != nil {
+		return o.seq
+	}
+	return 0
+}
+
+// invoke dispatches a kernel. The hint addresses are recorded in argument
+// order — the resolved objectSet's map order is not reproducible.
+func (m *Manager) invoke(kernel string, h CallHints, args []uint64) error {
 	m.callMu.Lock()
 	defer m.callMu.Unlock()
 	// Settle deferred cross-object evictions before the release sweep so the
@@ -650,26 +802,34 @@ func (m *Manager) invoke(kernel string, writes objectSet, writeAddrs []mem.Addr,
 	if err := m.checkDeviceLost("invoke"); err != nil {
 		return err
 	}
+	ih, err := m.resolveHints(h)
+	if err != nil {
+		return err
+	}
 	sp := m.beginSpan("invoke", kernel)
 	defer m.endSpan(sp)
 	m.emit(trace.Event{Kind: trace.EvInvoke, Note: kernel})
 	var invokeFlags uint8
-	if writes != nil {
+	if h.Annotated {
 		invokeFlags = oplog.FlagAnnotated
-		for _, addr := range writeAddrs {
-			var seq uint32
-			if o := m.objectAt(addr); o != nil {
-				seq = o.seq
-			}
-			m.record(oplog.Op{Kind: oplog.OpAnnotate, Obj: seq, Addr: addr})
+		for _, addr := range h.Writes {
+			m.record(oplog.Op{Kind: oplog.OpAnnotate, Obj: m.seqAt(addr), Addr: addr})
 		}
+	}
+	for _, addr := range h.ReadOnly {
+		m.record(oplog.Op{Kind: oplog.OpAnnotate, Flags: oplog.FlagHintRead,
+			Obj: m.seqAt(addr), Addr: addr})
+	}
+	for _, addr := range h.WriteOnly {
+		m.record(oplog.Op{Kind: oplog.OpAnnotate, Flags: oplog.FlagHintWriteOnly,
+			Obj: m.seqAt(addr), Addr: addr})
 	}
 	for _, a := range args {
 		m.record(oplog.Op{Kind: oplog.OpArg, Arg: int64(a)})
 	}
 	m.record(oplog.Op{Kind: oplog.OpInvoke, Flags: invokeFlags, Note: oplog.NoteID(kernel)})
 	m.invokeKernel = kernel
-	if err := m.protocol.onInvoke(writes); err != nil {
+	if err := m.releaseAll(&ih); err != nil {
 		return err
 	}
 	// Record how much flushed data is still in flight: the kernel cannot
@@ -681,7 +841,7 @@ func (m *Manager) invoke(kernel string, writes objectSet, writeAddrs []mem.Addr,
 		m.statsMu.Unlock()
 	}
 	m.charge(sim.CatLaunch, m.cfg.LaunchCost)
-	err := m.retry(sim.CatLaunch, "launch "+kernel, func() error {
+	err = m.retry(sim.CatLaunch, "launch "+kernel, func() error {
 		t0 := m.clock.Now()
 		_, lerr := m.dev.Launch(kernel, args...)
 		m.book(sim.CatCudaLaunch, m.clock.Now()-t0)
@@ -717,7 +877,7 @@ func (m *Manager) Sync() error {
 	m.statsMu.Unlock()
 	m.mets.syncs.Inc()
 	m.emit(trace.Event{Kind: trace.EvSync})
-	return m.protocol.onReturn()
+	return m.acquireAll()
 }
 
 // HandleFault resolves a protection fault against this manager's objects.
@@ -782,7 +942,10 @@ func (m *Manager) handleFault(f hostmmu.Fault) error {
 	}
 	m.record(oplog.Op{Kind: oplog.OpFault, Flags: faultFlags, Obj: b.obj.seq,
 		Addr: b.addr, Size: b.size, Arg: int64(b.state)})
-	return m.protocol.onFault(b, f.Access)
+	if err := m.checkModeFault(b, f.Access); err != nil {
+		return err
+	}
+	return m.protoFault(b, f.Access)
 }
 
 // errUnsharedFault formats the unshared-address error off the fault hot

@@ -152,6 +152,24 @@ type Object struct {
 	// stable object identity in recorded op streams, where addresses are
 	// not reproducible. Set before publication, immutable.
 	seq uint32
+	// mode is the declared access mode (mode.go). Immutable after
+	// publication; ModeReadWrite (the zero value) is the paper's default.
+	mode AccessMode
+	// proto is the coherence protocol governing this object. It equals the
+	// manager's configured protocol except for ModeAuto objects, which
+	// migrate online; mutated only under mu at acquire boundaries.
+	proto ProtocolKind
+	// sealed marks a ModeReadOnly object past its first kernel release:
+	// replicated once, read-only protected, never flushed, fetched or
+	// invalidated again. Guarded by mu.
+	sealed bool
+	// Auto-migration decision state (mode.go), guarded by mu: the acquire
+	// boundaries seen, the counter snapshots at the last closed window,
+	// and the pending vote with its consecutive-window streak.
+	autoSyncs                          int
+	autoFaults, autoWrites, autoEvicts int64
+	autoVote                           ProtocolKind
+	autoStreak                         int
 	// degraded marks an object that fell back to host-resident batch-update
 	// semantics after its device was lost: all blocks Dirty and writable,
 	// never transferred again. Set under mu; atomic because introspection
@@ -163,6 +181,25 @@ type Object struct {
 
 // Stats returns a copy of the object's activity counters.
 func (o *Object) Stats() ObjStats { return o.counters.load() }
+
+// Mode returns the object's declared access mode.
+func (o *Object) Mode() AccessMode { return o.mode }
+
+// Proto returns the coherence protocol currently governing the object
+// (the manager's protocol, unless ModeAuto migrated it).
+func (o *Object) Proto() ProtocolKind {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.proto
+}
+
+// Sealed reports whether a ModeReadOnly object has been replicated and
+// sealed (no coherence traffic for the rest of its life).
+func (o *Object) Sealed() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.sealed
+}
 
 // Degraded reports whether the object has fallen back to host-resident
 // semantics after a device loss.

@@ -28,6 +28,8 @@ type metricSet struct {
 	allocs, frees, invokes, syncs   *metrics.Counter
 	retries, retryGiveups           *metrics.Counter
 	degraded, deviceLost            *metrics.Counter
+	modeMigrations                  *metrics.Counter
+	fetchElisions, flushElisions    *metrics.Counter
 
 	faultNs     *metrics.Histogram
 	searchDepth *metrics.Histogram
@@ -55,6 +57,9 @@ func newMetricSet(r *metrics.Registry, proto ProtocolKind) *metricSet {
 		retryGiveups: r.Counter(lbl("adsm_retry_giveups_total")),
 		degraded:     r.Counter(lbl("adsm_degraded_objects_total")),
 		deviceLost:   r.Counter(lbl("adsm_device_lost_total")),
+		modeMigrations: r.Counter(lbl("adsm_mode_migrations_total")),
+		fetchElisions:  r.Counter(lbl("adsm_fetch_elisions_total")),
+		flushElisions:  r.Counter(lbl("adsm_flush_elisions_total")),
 		faultNs:      r.Histogram(lbl("adsm_fault_service_ns"), metrics.LatencyBuckets),
 		searchDepth:  r.Histogram(lbl("adsm_search_depth_nodes"), metrics.DepthBuckets),
 		rollingOcc:   r.Gauge(lbl("adsm_rolling_occupancy")),

@@ -9,21 +9,19 @@ import (
 	"repro/internal/trace"
 )
 
-// protocol is the internal coherence-protocol strategy. All methods run on
-// the CPU timeline; the accelerator performs no coherence actions.
-type protocol interface {
-	// onAlloc sets the initial state and protection of a new object.
-	onAlloc(o *Object)
-	// onFault resolves a protection fault on a block (Figure 6 edges).
-	onFault(b *Block, access hostmmu.Access) error
-	// onInvoke performs the release actions before a kernel launch.
-	// writes lists the objects the kernel may write; nil means "any"
-	// (the conservative default without annotations, §4.3). Objects the
-	// kernel provably does not write need not be invalidated on the host.
-	onInvoke(writes objectSet) error
-	// onReturn performs the acquire actions after kernel completion.
-	onReturn() error
-}
+// This file is the coherence-protocol engine. The protocol is a per-object
+// property (Object.proto): most objects run the manager's configured
+// protocol, but ModeAuto objects migrate between protocols online (mode.go),
+// so every dispatch switches on the object rather than the manager. All
+// actions run on the CPU timeline; the accelerator performs no coherence
+// work.
+//
+// The release sweep (releaseAll, before a kernel launch) and the acquire
+// sweep (acquireAll, after kernel completion) also honour the declared
+// access modes: read-only objects seal instead of travelling, write-only
+// objects skip fetches of data the host will overwrite, and per-call hints
+// elide flushes and invalidations the kernel's declaration proves
+// unnecessary.
 
 // setProtObject changes the protection of a whole object with a single
 // mprotect call (one charge, covering all pages).
@@ -34,188 +32,119 @@ func (m *Manager) setProtObject(o *Object, prot hostmmu.Prot) {
 	}
 }
 
-// --- batch-update ---
-
-// batchProtocol is the pure write-invalidate protocol: every object crosses
-// the bus in both directions at every call/return boundary, with no access
-// detection at all. It mimics what programmers tend to write first
-// (Section 5.1 measures slowdowns of up to 65x for it).
-type batchProtocol struct{ m *Manager }
-
-func (p *batchProtocol) onAlloc(o *Object) {
-	for _, b := range o.blocks {
-		b.state = StateDirty
-	}
-	// Pages stay read/write: batch-update never takes faults.
-}
-
-func (p *batchProtocol) onFault(b *Block, access hostmmu.Access) error {
-	return fmt.Errorf("core: unexpected %v fault at %#x under batch-update",
-		access, uint64(b.addr))
-}
-
-func (p *batchProtocol) onInvoke(writes objectSet) error {
-	// Transfer every object the host owns to the accelerator, whether or
-	// not the CPU modified it, synchronously, then invalidate the host
-	// copies ("system memory gets invalidated on kernel calls"). Objects
-	// already invalidated by a preceding call in the same call/return
-	// window are not re-sent — re-sending would clobber in-flight kernel
-	// output. Degraded objects stay host-resident; a transfer failure
-	// aborts the sweep with the object already degraded.
-	var err error
-	p.m.eachInvokeObject(func(o *Object) {
-		if err != nil || o.degraded.Load() {
-			return
-		}
+// protoAlloc sets the initial state and protection of a new object, by its
+// governing protocol.
+func (m *Manager) protoAlloc(o *Object) {
+	switch o.proto {
+	case BatchUpdate:
+		// Pages stay read/write: batch-update never takes faults. Every
+		// object crosses the bus in both directions at every call/return
+		// boundary, with no access detection at all — what programmers tend
+		// to write first (Section 5.1 measures slowdowns of up to 65x).
 		for _, b := range o.blocks {
-			if b.state == StateDirty {
-				if e := p.m.flushBlockSync(b); e != nil {
-					err = e
-					return
-				}
-			}
-			// Non-written objects keep their Dirty state: batch-update has
-			// no access detection, so it cannot know whether the CPU will
-			// modify them and must conservatively re-send every call.
-			if writes.contains(o) {
-				b.state = StateInvalid
-			}
-		}
-	})
-	return err
-}
-
-func (p *batchProtocol) onReturn() error {
-	// Transfer every object of the call's scope back and mark it dirty,
-	// implicitly invalidating the accelerator copy. Objects bound to other
-	// kernels never went to the device for this call, so fetching them
-	// would clobber the host's authoritative copy.
-	var err error
-	p.m.eachInvokeObject(func(o *Object) {
-		if err != nil || o.degraded.Load() {
-			return
-		}
-		for _, b := range o.blocks {
-			if e := p.m.fetchBlockSync(b); e != nil {
-				err = e
-				return
-			}
 			b.state = StateDirty
 		}
-	})
-	return err
-}
-
-// --- lazy-update ---
-
-// lazyProtocol detects CPU accesses with the memory protection hardware at
-// object granularity: only objects the CPU wrote travel to the
-// accelerator, and only objects the CPU touches travel back.
-type lazyProtocol struct{ m *Manager }
-
-func (p *lazyProtocol) onAlloc(o *Object) {
-	for _, b := range o.blocks {
-		b.state = StateReadOnly
-	}
-	p.m.setProtObject(o, hostmmu.ProtRead)
-}
-
-func (p *lazyProtocol) onFault(b *Block, access hostmmu.Access) error {
-	return resolveFault(p.m, b, access)
-}
-
-func (p *lazyProtocol) onInvoke(writes objectSet) error {
-	var err error
-	p.m.eachInvokeObject(func(o *Object) {
-		if err != nil || o.degraded.Load() {
-			return
-		}
-		written := writes.contains(o)
+	case LazyUpdate, RollingUpdate:
+		// Lazy-update detects CPU accesses with the memory protection
+		// hardware at object granularity; rolling-update refines it with
+		// fixed-size blocks and a bounded rolling cache of dirty blocks.
 		for _, b := range o.blocks {
-			if b.state == StateDirty {
-				if e := p.m.flushBlockEager(b); e != nil {
-					err = e
-					return
-				}
-				b.state = StateReadOnly
-				if !written {
-					// Both copies now match; catch the next CPU write.
-					p.m.setProt(b, hostmmu.ProtRead)
-				}
-			}
-			if written {
-				b.state = StateInvalid
-			}
+			b.state = StateReadOnly
 		}
-		if written {
-			p.m.setProtObject(o, hostmmu.ProtNone)
-		}
-	})
-	return err
-}
-
-func (p *lazyProtocol) onReturn() error {
-	// Nothing: objects stay invalid until the CPU actually touches them.
-	return nil
-}
-
-// --- rolling-update ---
-
-// rollingProtocol refines lazy-update with fixed-size blocks and a bounded
-// rolling cache of dirty blocks. Exceeding the rolling size evicts the
-// oldest dirty block, which is flushed eagerly (asynchronously) so data
-// transfers overlap with CPU computation.
-type rollingProtocol struct{ m *Manager }
-
-func (p *rollingProtocol) onAlloc(o *Object) {
-	for _, b := range o.blocks {
-		b.state = StateReadOnly
+		m.setProtObject(o, hostmmu.ProtRead)
 	}
-	p.m.setProtObject(o, hostmmu.ProtRead)
 }
 
-func (p *rollingProtocol) onFault(b *Block, access hostmmu.Access) error {
-	if err := resolveFault(p.m, b, access); err != nil {
+// protoFault resolves a protection fault on a block (the Figure 6 edges)
+// per the faulted object's governing protocol. The caller holds b.obj.mu.
+//
+//adsm:noalloc
+func (m *Manager) protoFault(b *Block, access hostmmu.Access) error {
+	switch b.obj.proto {
+	case BatchUpdate:
+		// Batch-update leaves pages read/write; a fault can only mean a
+		// manager bug (mode violations were vetted before dispatch).
+		return errBatchFault(access, b.addr)
+	case LazyUpdate:
+		return resolveFault(m, b, access)
+	case RollingUpdate:
+		return m.rollingFault(b, access)
+	}
+	return errBatchFault(access, b.addr) // unreachable: proto is validated
+}
+
+// rollingFault is the rolling-update fault edge: resolve like lazy-update,
+// then enqueue newly dirty blocks in the rolling cache, flushing the
+// eviction run that falls out. The caller holds b.obj.mu.
+func (m *Manager) rollingFault(b *Block, access hostmmu.Access) error {
+	if err := resolveFault(m, b, access); err != nil {
 		return err
 	}
 	if b.state == StateDirty && !b.obj.degraded.Load() {
-		if victim, run := p.m.rolling.push(b); victim != nil {
-			p.m.noteEviction(victim, run)
+		if victim, run := m.rolling.push(b); victim != nil {
+			m.noteEviction(victim, run)
 			if victim.obj == b.obj {
 				// Same object: this fault already holds its lock. The run's
 				// blocks were just popped and cannot have been re-queued, so
 				// skip the queued re-check.
-				if err := p.m.flushEvicted(victim, run, false); err != nil {
+				if err := m.flushEvicted(victim, run, false); err != nil {
 					return err
 				}
 			} else {
 				// Flushing now would need a second Object.mu; defer to the
 				// entry point, which drains after releasing its own lock.
-				p.m.deferEviction(victim, run)
+				m.deferEviction(victim, run)
 			}
 		}
-		occ := int64(p.m.rolling.Len())
-		p.m.mets.rollingOcc.Set(occ)
-		p.m.mets.rollingHist.Observe(occ)
+		occ := int64(m.rolling.Len())
+		m.mets.rollingOcc.Set(occ)
+		m.mets.rollingHist.Observe(occ)
 	}
 	return nil
 }
 
-func (p *rollingProtocol) onInvoke(writes objectSet) error {
-	// Flush the rolling cache (the remaining dirty blocks), then
-	// invalidate the objects the kernel may write. Out-of-scope dirty
-	// blocks (objects bound to other kernels, §3.3) are flushed too —
-	// flushing early is always safe and keeps the cache bookkeeping
-	// simple — but they are not invalidated below.
-	defer p.m.mets.rollingOcc.Set(0)
+// haveRollingWork reports whether the release sweep must drain the rolling
+// cache: always under a rolling-update manager, and whenever auto-mode
+// migration has moved any object onto rolling-update.
+func (m *Manager) haveRollingWork() bool {
+	return m.cfg.Protocol == RollingUpdate || m.rollingObjs.Load() > 0
+}
+
+// releaseAll runs the release actions of a kernel invocation: the rolling
+// cache is drained first, then every object in the call's scope is released
+// under its own protocol and access mode. The caller holds callMu.
+func (m *Manager) releaseAll(ih *invokeHints) error {
+	if m.haveRollingWork() {
+		if err := m.releaseRollingCache(ih); err != nil {
+			return err
+		}
+	}
 	var err error
-	drained := p.m.rolling.drain()
+	m.eachInvokeObject(func(o *Object) {
+		if err != nil || o.degraded.Load() {
+			return
+		}
+		err = m.releaseObject(o, ih)
+	})
+	return err
+}
+
+// releaseRollingCache flushes the rolling cache (the remaining dirty blocks
+// of rolling-governed objects). Out-of-scope dirty blocks (objects bound to
+// other kernels, §3.3) are flushed too — flushing early is always safe and
+// keeps the cache bookkeeping simple — but they are not invalidated by the
+// release sweep. Blocks of objects the call hints as fully overwritten are
+// left dirty for releaseObject to invalidate without the write-back.
+func (m *Manager) releaseRollingCache(ih *invokeHints) error {
+	defer m.mets.rollingOcc.Set(0)
+	var err error
+	drained := m.rolling.drain()
 	for i := 0; i < len(drained); {
 		// Group queue-adjacent, address-contiguous blocks of one object into
 		// a run: streaming writers fill the cache in address order, so the
 		// invocation flush collapses into a few large DMA transfers.
 		j := i + 1
-		if !p.m.cfg.DisableCoalescing {
+		if !m.cfg.DisableCoalescing {
 			for j < len(drained) && drained[j].obj == drained[j-1].obj &&
 				drained[j].index == drained[j-1].index+1 {
 				j++
@@ -223,6 +152,13 @@ func (p *rollingProtocol) onInvoke(writes objectSet) error {
 		}
 		first := drained[i]
 		o := first.obj
+		if ih.wo[o] && o.UsedBy(m.invokeKernel) {
+			// The kernel declared it fully overwrites o: its dirty data is
+			// dead, so skip the write-back. releaseObject invalidates the
+			// blocks and books the elision.
+			i = j
+			continue
+		}
 		o.mu.Lock()
 		if !o.dead && !o.degraded.Load() {
 			// flushEvicted skips the stretches a racing drain already
@@ -230,7 +166,7 @@ func (p *rollingProtocol) onInvoke(writes objectSet) error {
 			// them to ReadOnly so the next CPU write faults again. Objects
 			// the sweep below invalidates get their object-wide ProtNone
 			// afterwards, superseding the per-run downgrade.
-			if e := p.m.flushEvicted(first, j-i, false); e != nil {
+			if e := m.flushEvicted(first, j-i, false); e != nil {
 				// Escalated: o is degraded and keeps its data host-side.
 				// Finish the walk so other objects' blocks are not left
 				// dirty-but-unqueued, then fail the invocation.
@@ -240,25 +176,56 @@ func (p *rollingProtocol) onInvoke(writes objectSet) error {
 		o.mu.Unlock()
 		i = j
 	}
-	if err != nil {
-		return err
+	return err
+}
+
+// releaseObject performs one object's release actions, honouring its access
+// mode before its protocol: read-only objects seal (replicate once) instead
+// of travelling, objects hinted write-only for this call invalidate without
+// the flush, and everything else follows its protocol's release edge. The
+// caller holds o.mu; o is live and not degraded.
+func (m *Manager) releaseObject(o *Object, ih *invokeHints) error {
+	if o.mode == ModeReadOnly {
+		return m.sealReadOnly(o)
 	}
-	p.m.eachInvokeObject(func(o *Object) {
-		if err != nil || o.degraded.Load() {
-			return
-		}
-		written := writes.contains(o)
+	if ih.wo[o] {
+		return m.invalidateUnflushed(o)
+	}
+	written := ih.written(o)
+	switch o.proto {
+	case BatchUpdate:
+		// Transfer every dirty block synchronously, then invalidate the host
+		// copy ("system memory gets invalidated on kernel calls"). Blocks
+		// already invalidated by a preceding call in the same call/return
+		// window are not re-sent — re-sending would clobber in-flight kernel
+		// output.
 		for _, b := range o.blocks {
 			if b.state == StateDirty {
-				// A dirty block outside the rolling cache would be a
-				// bookkeeping bug; flush defensively.
-				if e := p.m.flushBlockEager(b); e != nil {
-					err = e
-					return
+				if err := m.flushBlockSync(b); err != nil {
+					return err
+				}
+			}
+			// Non-written objects keep their Dirty state: batch-update has
+			// no access detection, so it cannot know whether the CPU will
+			// modify them and must conservatively re-send every call.
+			if written {
+				b.state = StateInvalid
+			}
+		}
+	case LazyUpdate, RollingUpdate:
+		// Under rolling-update the cache drain has already flushed queued
+		// blocks; a dirty block here would be a bookkeeping bug under
+		// rolling, and is the normal case under lazy. Flush eagerly either
+		// way.
+		for _, b := range o.blocks {
+			if b.state == StateDirty {
+				if err := m.flushBlockEager(b); err != nil {
+					return err
 				}
 				b.state = StateReadOnly
 				if !written {
-					p.m.setProt(b, hostmmu.ProtRead)
+					// Both copies now match; catch the next CPU write.
+					m.setProt(b, hostmmu.ProtRead)
 				}
 			}
 			if written {
@@ -266,17 +233,155 @@ func (p *rollingProtocol) onInvoke(writes objectSet) error {
 			}
 		}
 		if written {
-			p.m.setProtObject(o, hostmmu.ProtNone)
+			m.setProtObject(o, hostmmu.ProtNone)
 		}
+	}
+	return nil
+}
+
+// acquireAll runs the acquire actions after kernel completion. Under the
+// default modes only batch-update has acquire work, so the sweep is skipped
+// entirely — with zero allocations — unless the configured protocol is
+// batch-update or some object carries a non-default access mode. The caller
+// holds callMu.
+func (m *Manager) acquireAll() error {
+	if m.cfg.Protocol != BatchUpdate && m.moded.Load() == 0 {
+		return nil
+	}
+	var err error
+	m.eachInvokeObject(func(o *Object) {
+		if err != nil || o.degraded.Load() {
+			return
+		}
+		err = m.acquireObject(o)
 	})
 	return err
 }
 
-func (p *rollingProtocol) onReturn() error { return nil }
+// acquireObject performs one object's acquire actions: the protocol's
+// Figure 6 return edge, narrowed by the access mode, then the auto-mode
+// migration step. The caller holds o.mu; o is live and not degraded.
+func (m *Manager) acquireObject(o *Object) error {
+	if o.mode == ModeReadOnly && o.sealed {
+		// Replicated once: both copies are identical forever, so nothing
+		// travels. Under batch-update every block's return fetch is elided.
+		if o.proto == BatchUpdate {
+			m.noteFetchElisions(int64(len(o.blocks)))
+		}
+		return nil
+	}
+	switch o.proto {
+	case BatchUpdate:
+		if o.mode == ModeWriteOnly {
+			// The host only writes o: fetching kernel output it will never
+			// read is pure waste. Leave every block Dirty so the next
+			// release re-sends whatever the host produces.
+			for _, b := range o.blocks {
+				b.state = StateDirty
+			}
+			m.noteFetchElisions(int64(len(o.blocks)))
+			break
+		}
+		// Transfer every block of the call's scope back and mark it dirty,
+		// implicitly invalidating the accelerator copy. Objects bound to
+		// other kernels never went to the device for this call, so fetching
+		// them would clobber the host's authoritative copy.
+		for _, b := range o.blocks {
+			if err := m.fetchBlockSync(b); err != nil {
+				return err
+			}
+			b.state = StateDirty
+		}
+	case LazyUpdate, RollingUpdate:
+		// Nothing: blocks stay invalid until the CPU actually touches them.
+	}
+	if o.mode == ModeAuto {
+		return m.autoStep(o)
+	}
+	return nil
+}
+
+// sealReadOnly replicates a ModeReadOnly object once and seals it: dirty
+// initialisation data is flushed, every block lands ReadOnly behind
+// read-only pages, and from here on the object is never flushed, fetched or
+// invalidated again — zero fault-service DMA for the rest of its life.
+// Host writes after the seal fault and fail with ErrModeViolation
+// (checkModeFault). The caller holds o.mu.
+func (m *Manager) sealReadOnly(o *Object) error {
+	if o.sealed {
+		return nil
+	}
+	if o.proto == RollingUpdate {
+		// Queued dirty blocks are flushed right here; drop the cache's claim.
+		m.rolling.forget(o)
+	}
+	for _, b := range o.blocks {
+		switch b.state {
+		case StateDirty:
+			if err := m.flushBlockEager(b); err != nil {
+				return err
+			}
+		case StateInvalid:
+			// Unreachable today — read-only objects are never invalidated —
+			// but fetch defensively so the seal never publishes stale bytes.
+			if err := m.fetchBlockSync(b); err != nil {
+				return err
+			}
+		case StateReadOnly:
+		}
+		b.state = StateReadOnly
+	}
+	m.setProtObject(o, hostmmu.ProtRead)
+	o.sealed = true
+	return nil
+}
+
+// invalidateUnflushed invalidates o without flushing its dirty data: the
+// kernel declared (WriteOnlyHint) that it fully overwrites the object, so
+// the host-dirty bytes are dead and the write-back DMA is elided. The
+// caller holds o.mu.
+func (m *Manager) invalidateUnflushed(o *Object) error {
+	elided := int64(0)
+	for _, b := range o.blocks {
+		if b.state == StateDirty {
+			elided++
+		}
+		b.state = StateInvalid
+	}
+	if elided > 0 {
+		m.noteFlushElisions(elided)
+	}
+	if o.proto != BatchUpdate {
+		m.setProtObject(o, hostmmu.ProtNone)
+	}
+	return nil
+}
+
+// noteFetchElisions books n elided device-to-host block transfers: fetches
+// the object's access mode proved unnecessary.
+//
+//adsm:noalloc
+func (m *Manager) noteFetchElisions(n int64) {
+	m.statsMu.Lock()
+	m.stats.FetchElisions += n
+	m.statsMu.Unlock()
+	m.mets.fetchElisions.Add(n)
+}
+
+// noteFlushElisions books n elided host-to-device block transfers: flushes
+// of dirty data a write-only declaration proved dead.
+func (m *Manager) noteFlushElisions(n int64) {
+	m.statsMu.Lock()
+	m.stats.FlushElisions += n
+	m.statsMu.Unlock()
+	m.mets.flushElisions.Add(n)
+}
 
 // resolveFault implements the shared Figure 6(b) transitions for lazy- and
 // rolling-update: Invalid data is fetched from the accelerator; the block
 // lands in ReadOnly after a read fault or Dirty after a write fault.
+// Write-only objects skip the fetch on a write fault — the host promised to
+// overwrite the block, so Invalid bytes never DMA host-ward.
 //
 //adsm:noalloc
 func resolveFault(m *Manager, b *Block, access hostmmu.Access) error {
@@ -290,6 +395,13 @@ func resolveFault(m *Manager, b *Block, access hostmmu.Access) error {
 	}
 	switch b.state {
 	case StateInvalid:
+		if access == hostmmu.AccessWrite && b.obj.mode == ModeWriteOnly {
+			m.noteFetchElisions(1)
+			b.state = StateDirty
+			m.setProt(b, hostmmu.ProtReadWrite)
+			m.emitTransition(b, before)
+			return nil
+		}
 		if err := m.fetchBlockSync(b); err != nil {
 			m.emitTransition(b, before)
 			return err
@@ -317,7 +429,12 @@ func resolveFault(m *Manager, b *Block, access hostmmu.Access) error {
 }
 
 // The impossible-transition errors below can only fire on a manager bug;
-// their formatting lives off the //adsm:noalloc resolveFault path.
+// their formatting lives off the //adsm:noalloc fault paths.
+
+func errBatchFault(access hostmmu.Access, addr mem.Addr) error {
+	return fmt.Errorf("core: unexpected %v fault at %#x under batch-update",
+		access, uint64(addr))
+}
 
 func errReadFaultOnReadOnly(addr mem.Addr) error {
 	return fmt.Errorf("core: read fault on ReadOnly block %#x", uint64(addr))

@@ -59,10 +59,14 @@ type replayer struct {
 	objAddr map[uint32]mem.Addr
 	// scratch is the reused host-access buffer, grown to the largest access.
 	scratch []byte
-	// pendingWrites/pendingArgs accumulate OpAnnotate/OpArg runs until the
-	// OpInvoke they precede.
+	// pendingWrites/pendingRO/pendingWO/pendingArgs accumulate OpAnnotate
+	// (by hint flag) and OpArg runs until the OpInvoke they precede;
+	// pendingRegion accumulates OpRegionPtr runs until their scope op.
 	pendingWrites []mem.Addr
+	pendingRO     []mem.Addr
+	pendingWO     []mem.Addr
 	pendingArgs   []uint64
+	pendingRegion []mem.Addr
 }
 
 // Replay re-executes the input ops of l against m, a freshly constructed
@@ -165,7 +169,14 @@ func (r *replayer) step(op oplog.Op) error {
 		if !ok {
 			return r.unknown(op)
 		}
-		r.pendingWrites = append(r.pendingWrites, addr)
+		switch {
+		case op.Flags&oplog.FlagHintRead != 0:
+			r.pendingRO = append(r.pendingRO, addr)
+		case op.Flags&oplog.FlagHintWriteOnly != 0:
+			r.pendingWO = append(r.pendingWO, addr)
+		default:
+			r.pendingWrites = append(r.pendingWrites, addr)
+		}
 		r.rep.Replayed++
 		return nil
 	case oplog.OpArg:
@@ -177,6 +188,22 @@ func (r *replayer) step(op oplog.Op) error {
 	case oplog.OpSync:
 		r.rep.Replayed++
 		return r.m.Sync()
+	case oplog.OpRegionPtr:
+		addr, ok := r.addr(op)
+		if !ok {
+			return r.unknown(op)
+		}
+		r.pendingRegion = append(r.pendingRegion, addr)
+		r.rep.Replayed++
+		return nil
+	case oplog.OpRegionAcquire, oplog.OpRegionRelease:
+		region := r.pendingRegion
+		r.pendingRegion = nil
+		r.rep.Replayed++
+		if op.Kind == oplog.OpRegionAcquire {
+			return r.m.AcquireRegion(region...)
+		}
+		return r.m.ReleaseRegion(region...)
 	}
 
 	// Everything else addresses one object.
@@ -221,15 +248,12 @@ func (r *replayer) alloc(op oplog.Op) error {
 	if note := oplog.NoteString(op.Note); note != "" {
 		kernels = strings.Split(note, ",")
 	}
-	var (
-		addr mem.Addr
-		err  error
-	)
-	if op.Flags&oplog.FlagSafe != 0 {
-		addr, err = r.m.SafeAllocFor(op.Size, kernels...)
-	} else {
-		addr, err = r.m.AllocFor(op.Size, kernels...)
-	}
+	addr, err := r.m.AllocObject(AllocSpec{
+		Size:    op.Size,
+		Mode:    AccessMode(op.Arg),
+		Safe:    op.Flags&oplog.FlagSafe != 0,
+		Kernels: kernels,
+	})
 	if err != nil {
 		return err
 	}
@@ -240,19 +264,17 @@ func (r *replayer) alloc(op oplog.Op) error {
 }
 
 func (r *replayer) invoke(op oplog.Op) error {
-	writes := r.pendingWrites
+	h := CallHints{
+		Writes:    r.pendingWrites,
+		Annotated: op.Flags&oplog.FlagAnnotated != 0,
+		ReadOnly:  r.pendingRO,
+		WriteOnly: r.pendingWO,
+	}
 	args := r.pendingArgs
-	r.pendingWrites = nil
-	r.pendingArgs = nil
+	r.pendingWrites, r.pendingRO, r.pendingWO, r.pendingArgs = nil, nil, nil, nil
 	r.rep.Replayed++
 	kernel := oplog.NoteString(op.Note)
-	if op.Flags&oplog.FlagAnnotated != 0 {
-		if writes == nil {
-			writes = []mem.Addr{} // annotated with an empty write set
-		}
-		return r.m.InvokeAnnotated(kernel, writes, args...)
-	}
-	return r.m.Invoke(kernel, args...)
+	return r.m.InvokeHinted(kernel, h, args...)
 }
 
 // unknown handles an op against an object the replay never saw allocated:

@@ -44,6 +44,13 @@ type Stats struct {
 	// degraded to host-resident mode, and device-loss transitions.
 	Retries, RetryGiveups             int64
 	DegradedObjects, DeviceLostEvents int64
+
+	// Access-mode activity (mode.go): auto-mode protocol migrations, block
+	// fetches elided by read-only/write-only declarations, flushes elided by
+	// write-only hints, and regional acquire/release scopes.
+	ModeMigrations               int64
+	FetchElisions, FlushElisions int64
+	RegionAcquires, RegionReleases int64
 }
 
 // Sub returns the difference s - base, counter by counter. Experiment

@@ -127,6 +127,14 @@ func TestGoldenFig11(t *testing.T) {
 	checkGolden(t, "fig11", Fig11Table(rows).String())
 }
 
+func TestGoldenModes(t *testing.T) {
+	rows, err := ModesRows(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "modes", ModesTable(rows).String())
+}
+
 func TestGoldenFig12(t *testing.T) {
 	bench, blocks, sizes := Fig12Params(true)
 	rows, err := Fig12(bench, blocks, sizes)

@@ -298,7 +298,7 @@ func (m *MMU) deliver(f Fault) error {
 		return fmt.Errorf("%w: %s at %#x (no handler)", ErrSegfault, f.Access, uint64(f.Addr))
 	}
 	if err := (*hp)(f); err != nil {
-		return fmt.Errorf("%w: %s at %#x: %v", ErrSegfault, f.Access, uint64(f.Addr), err)
+		return fmt.Errorf("%w: %s at %#x: %w", ErrSegfault, f.Access, uint64(f.Addr), err)
 	}
 	return nil
 }

@@ -42,7 +42,7 @@ const (
 	opInvalid Kind = iota
 
 	// Input ops: the recorded application behaviour.
-	OpAlloc      // Alloc/AllocFor (FlagSafe for SafeAlloc); Note = kernel binding
+	OpAlloc      // Alloc/AllocFor (FlagSafe for SafeAlloc); Note = kernel binding; Arg = access mode
 	OpFree       // Free
 	OpHostRead   // HostRead of Size bytes at Addr
 	OpHostWrite  // HostWrite of Size bytes at Addr
@@ -66,11 +66,24 @@ const (
 	OpDegrade    // object degraded to host-resident semantics
 	OpDeviceLost // accelerator declared lost
 
+	// Format v1 appends only, so later input kinds land after the derived
+	// block; Input() enumerates them explicitly.
+
+	OpModeMigrate    // derived: auto-mode protocol migration; Arg = from<<8|to
+	OpRegionPtr      // input: one pointer of the next region acquire/release
+	OpRegionAcquire  // input: regional acquire scope; Arg = pointer count
+	OpRegionRelease  // input: regional release scope; Arg = pointer count
+
 	nKinds
 )
 
-// Input reports whether k is an input op a replayer re-executes.
-func (k Kind) Input() bool { return k >= OpAlloc && k <= OpSync }
+// Input reports whether k is an input op a replayer re-executes. The first
+// fourteen input kinds are contiguous (format v1); the regional-consistency
+// ops were appended after the derived block to keep the encoding stable.
+func (k Kind) Input() bool {
+	return (k >= OpAlloc && k <= OpSync) ||
+		k == OpRegionPtr || k == OpRegionAcquire || k == OpRegionRelease
+}
 
 // Valid reports whether k is a known op kind.
 func (k Kind) Valid() bool { return k > opInvalid && k < nKinds }
@@ -83,6 +96,8 @@ var kindNames = [nKinds]string{
 	OpAnnotate: "annotate", OpArg: "arg", OpInvoke: "invoke", OpSync: "sync",
 	OpFault: "fault", OpFetch: "fetch", OpFlush: "flush", OpEvict: "evict",
 	OpRetry: "retry", OpDegrade: "degrade", OpDeviceLost: "device-lost",
+	OpModeMigrate: "mode-migrate", OpRegionPtr: "region-ptr",
+	OpRegionAcquire: "region-acquire", OpRegionRelease: "region-release",
 }
 
 func (k Kind) String() string {
@@ -105,6 +120,12 @@ const (
 	FlagAnnotated
 	// FlagGiveup marks the retry that exhausted the budget (OpRetry).
 	FlagGiveup
+	// FlagHintRead marks an OpAnnotate entry that is a per-call read-only
+	// hint (the kernel only reads the object) rather than a write-set entry.
+	FlagHintRead
+	// FlagHintWriteOnly marks an OpAnnotate entry that is a per-call
+	// write-only hint (the kernel fully overwrites the object).
+	FlagHintWriteOnly
 )
 
 // Op is one recorded operation. It is a plain value — no pointers, no

@@ -1,0 +1,374 @@
+package workloads
+
+import (
+	"repro/gmac"
+	"repro/internal/accel"
+	"repro/internal/cudart"
+	"repro/internal/mem"
+	"repro/machine"
+)
+
+// This file holds the two synthetic access-mode workloads of the modes
+// ablation: ro-broadcast (a lookup table the host writes once and both
+// processors read forever — the ModeReadOnly showcase) and wo-scatter (a
+// frame the host fully overwrites before every kernel call and never reads
+// back — the ModeWriteOnly showcase). Both run with UseModes on in the
+// registry, so the chaos and conformance suites exercise the mode machinery
+// under every protocol; the modes figure additionally runs them with
+// UseModes off to measure what the declarations save.
+
+// modesOutBytes is the size of the small output buffer both synthetic
+// workloads reduce into (one host page on the paper testbed).
+const modesOutBytes = 4 << 10
+
+// ROBroadcast is the read-only broadcast workload: the host builds a lookup
+// table once, then a kernel scans it repeatedly while the host inspects a
+// rotating slice of the same table between calls. Without a mode
+// declaration every unannotated call invalidates the table and the host's
+// slice reads re-fetch it; declared ModeReadOnly, the table seals at the
+// first kernel release and costs zero fault traffic afterwards.
+type ROBroadcast struct {
+	// TableBytes is the lookup-table size.
+	TableBytes int64
+	// Iters is the number of kernel calls.
+	Iters int
+	// UseModes declares the table ModeReadOnly (the registry default); the
+	// modes figure runs both settings to measure the difference.
+	UseModes bool
+}
+
+// DefaultROBroadcast returns the evaluation-scale configuration.
+func DefaultROBroadcast() *ROBroadcast {
+	return &ROBroadcast{TableBytes: 8 << 20, Iters: 12, UseModes: true}
+}
+
+// SmallROBroadcast returns a fast configuration for unit tests.
+func SmallROBroadcast() *ROBroadcast {
+	return &ROBroadcast{TableBytes: 256 << 10, Iters: 6, UseModes: true}
+}
+
+// Name implements Benchmark.
+func (*ROBroadcast) Name() string { return "ro-broadcast" }
+
+// Description implements Benchmark.
+func (*ROBroadcast) Description() string {
+	return "Broadcasts an immutable lookup table to repeated kernel scans; the ModeReadOnly ablation."
+}
+
+// slice returns the size of the table slice the host inspects per
+// iteration.
+func (w *ROBroadcast) slice() int64 { return w.TableBytes / 8 }
+
+// tablePattern fills buf with the table contents starting at byte base.
+func (*ROBroadcast) tablePattern(buf []byte, base int64) {
+	for i := range buf {
+		buf[i] = byte((base + int64(i)) * 131)
+	}
+}
+
+// Register implements Benchmark.
+func (w *ROBroadcast) Register(dev *accel.Device) {
+	dev.Register(&accel.Kernel{
+		Name: "ro.scan",
+		// args: table, out, tableBytes, salt — reduces the table into each
+		// out word, salted per iteration so every call produces new output.
+		Run: func(devmem *mem.Space, args []uint64) {
+			table, out := mem.Addr(args[0]), mem.Addr(args[1])
+			tableBytes, salt := int64(args[2]), uint32(args[3])
+			var acc uint32
+			for off := int64(0); off < tableBytes; off += 64 {
+				acc += devmem.Uint32(table + mem.Addr(off))
+			}
+			for w := int64(0); w*4 < modesOutBytes; w++ {
+				devmem.SetUint32(out+mem.Addr(w*4), acc+salt+uint32(w))
+			}
+		},
+		Cost: func(args []uint64) (float64, int64) {
+			tableBytes := int64(args[2])
+			return float64(tableBytes / 64), tableBytes/16 + modesOutBytes
+		},
+	})
+}
+
+// Prepare implements Benchmark (no input files).
+func (*ROBroadcast) Prepare(*machine.Machine) error { return nil }
+
+// consume folds one iteration's outputs into the running checksum: the
+// kernel output words plus the host's table-slice inspection. Both
+// variants run exactly this accumulation.
+func (w *ROBroadcast) consume(sum float64, out []byte, slice []byte) float64 {
+	for i := 0; i+4 <= len(out); i += 4 {
+		sum += float64(uint32(out[i]) | uint32(out[i+1])<<8 | uint32(out[i+2])<<16 | uint32(out[i+3])<<24)
+	}
+	var s uint64
+	for i, b := range slice {
+		s = s*31 + uint64(b) + uint64(i%13)
+	}
+	return sum + float64(s%(1<<32))
+}
+
+// RunCUDA implements Benchmark: the table crosses the bus exactly once.
+func (w *ROBroadcast) RunCUDA(m *machine.Machine, rt *cudart.Runtime) (float64, error) {
+	hostTable := rt.MallocHost(w.TableBytes)
+	hostOut := rt.MallocHost(modesOutBytes)
+	devTable, err := rt.Malloc(w.TableBytes)
+	if err != nil {
+		return 0, err
+	}
+	devOut, err := rt.Malloc(modesOutBytes)
+	if err != nil {
+		return 0, err
+	}
+	w.tablePattern(hostTable, 0)
+	m.CPUTouch(w.TableBytes)
+	rt.MemcpyH2DAsync(devTable, hostTable)
+	var sum float64
+	for i := 0; i < w.Iters; i++ {
+		if err := rt.Launch("ro.scan", uint64(devTable), uint64(devOut),
+			uint64(w.TableBytes), uint64(i)); err != nil {
+			return 0, err
+		}
+		rt.Synchronize()
+		rt.MemcpyD2H(hostOut, devOut)
+		off := (int64(i) * w.slice()) % w.TableBytes
+		end := off + w.slice()
+		if end > w.TableBytes {
+			end = w.TableBytes
+		}
+		m.CPUTouch(modesOutBytes + (end - off))
+		sum = w.consume(sum, hostOut, hostTable[off:end])
+	}
+	for _, p := range []mem.Addr{devTable, devOut} {
+		if err := rt.Free(p); err != nil {
+			return 0, err
+		}
+	}
+	return sum, nil
+}
+
+// RunGMAC implements Benchmark: no explicit transfers; UseModes declares
+// the table read-only at allocation.
+func (w *ROBroadcast) RunGMAC(s gmac.Session) (float64, error) {
+	var tableOpts []gmac.AllocOption
+	if w.UseModes {
+		tableOpts = append(tableOpts, gmac.Mode(gmac.ReadOnly))
+	}
+	table, err := s.Alloc(w.TableBytes, tableOpts...)
+	if err != nil {
+		return 0, err
+	}
+	out, err := s.Alloc(modesOutBytes)
+	if err != nil {
+		return 0, err
+	}
+	m := s.Machine()
+	buf := make([]byte, 64<<10)
+	for off := int64(0); off < w.TableBytes; off += int64(len(buf)) {
+		n := int64(len(buf))
+		if off+n > w.TableBytes {
+			n = w.TableBytes - off
+		}
+		w.tablePattern(buf[:n], off)
+		if err := s.HostWrite(table+mem.Addr(off), buf[:n]); err != nil {
+			return 0, err
+		}
+		m.CPUTouch(n)
+	}
+	outBuf := make([]byte, modesOutBytes)
+	sliceBuf := make([]byte, w.slice())
+	var sum float64
+	for i := 0; i < w.Iters; i++ {
+		// Deliberately unannotated: the mode declaration, not a per-call
+		// write set, is what keeps the table host-valid here.
+		if err := s.Call("ro.scan", []uint64{uint64(table), uint64(out),
+			uint64(w.TableBytes), uint64(i)}); err != nil {
+			return 0, err
+		}
+		if err := s.HostRead(out, outBuf); err != nil {
+			return 0, err
+		}
+		off := (int64(i) * w.slice()) % w.TableBytes
+		end := off + w.slice()
+		if end > w.TableBytes {
+			end = w.TableBytes
+		}
+		if err := s.HostRead(table+mem.Addr(off), sliceBuf[:end-off]); err != nil {
+			return 0, err
+		}
+		m.CPUTouch(modesOutBytes + (end - off))
+		sum = w.consume(sum, outBuf, sliceBuf[:end-off])
+	}
+	for _, p := range []gmac.Ptr{table, out} {
+		if err := s.Free(p); err != nil {
+			return 0, err
+		}
+	}
+	return sum, nil
+}
+
+// WOScatter is the write-only scatter workload: every iteration the host
+// fully overwrites an input frame, a kernel reduces it into a small output,
+// and the host consumes only the output. Without a mode declaration each
+// rewrite of an invalidated frame block fetches the stale device copy
+// before overwriting it; declared ModeWriteOnly, those fetches are elided.
+type WOScatter struct {
+	// FrameBytes is the per-iteration input frame size.
+	FrameBytes int64
+	// Iters is the number of produce/consume rounds.
+	Iters int
+	// UseModes declares the frame ModeWriteOnly (the registry default).
+	UseModes bool
+}
+
+// DefaultWOScatter returns the evaluation-scale configuration.
+func DefaultWOScatter() *WOScatter {
+	return &WOScatter{FrameBytes: 4 << 20, Iters: 12, UseModes: true}
+}
+
+// SmallWOScatter returns a fast configuration for unit tests.
+func SmallWOScatter() *WOScatter {
+	return &WOScatter{FrameBytes: 128 << 10, Iters: 6, UseModes: true}
+}
+
+// Name implements Benchmark.
+func (*WOScatter) Name() string { return "wo-scatter" }
+
+// Description implements Benchmark.
+func (*WOScatter) Description() string {
+	return "Streams host-produced frames through a reducing kernel; the ModeWriteOnly ablation."
+}
+
+// framePattern fills buf with iteration iter's frame starting at byte base.
+func (*WOScatter) framePattern(buf []byte, iter int, base int64) {
+	for i := range buf {
+		buf[i] = byte((base+int64(i))*37 + int64(iter)*101)
+	}
+}
+
+// Register implements Benchmark.
+func (w *WOScatter) Register(dev *accel.Device) {
+	dev.Register(&accel.Kernel{
+		Name: "wo.consume",
+		// args: frame, out, frameBytes, salt — stripes the frame into the
+		// out words.
+		Run: func(devmem *mem.Space, args []uint64) {
+			frame, out := mem.Addr(args[0]), mem.Addr(args[1])
+			frameBytes, salt := int64(args[2]), uint32(args[3])
+			const words = modesOutBytes / 4
+			stripe := frameBytes / words
+			if stripe < 4 {
+				stripe = 4
+			}
+			for w := int64(0); w < words; w++ {
+				var acc uint32
+				for off := w * stripe; off+4 <= frameBytes && off < (w+1)*stripe; off += 16 {
+					acc += devmem.Uint32(frame + mem.Addr(off))
+				}
+				devmem.SetUint32(out+mem.Addr(w*4), acc+salt)
+			}
+		},
+		Cost: func(args []uint64) (float64, int64) {
+			frameBytes := int64(args[2])
+			return float64(frameBytes / 16), frameBytes/4 + modesOutBytes
+		},
+	})
+}
+
+// Prepare implements Benchmark (no input files).
+func (*WOScatter) Prepare(*machine.Machine) error { return nil }
+
+// consume folds one iteration's kernel output into the running checksum.
+func (*WOScatter) consume(sum float64, out []byte) float64 {
+	for i := 0; i+4 <= len(out); i += 4 {
+		sum += float64(uint32(out[i]) | uint32(out[i+1])<<8 | uint32(out[i+2])<<16 | uint32(out[i+3])<<24)
+	}
+	return sum
+}
+
+// RunCUDA implements Benchmark: explicit H2D frame copies every iteration.
+func (w *WOScatter) RunCUDA(m *machine.Machine, rt *cudart.Runtime) (float64, error) {
+	hostFrame := rt.MallocHost(w.FrameBytes)
+	hostOut := rt.MallocHost(modesOutBytes)
+	devFrame, err := rt.Malloc(w.FrameBytes)
+	if err != nil {
+		return 0, err
+	}
+	devOut, err := rt.Malloc(modesOutBytes)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i := 0; i < w.Iters; i++ {
+		w.framePattern(hostFrame, i, 0)
+		m.CPUTouch(w.FrameBytes)
+		rt.MemcpyH2DAsync(devFrame, hostFrame)
+		if err := rt.Launch("wo.consume", uint64(devFrame), uint64(devOut),
+			uint64(w.FrameBytes), uint64(i)); err != nil {
+			return 0, err
+		}
+		rt.Synchronize()
+		rt.MemcpyD2H(hostOut, devOut)
+		m.CPUTouch(modesOutBytes)
+		sum = w.consume(sum, hostOut)
+	}
+	for _, p := range []mem.Addr{devFrame, devOut} {
+		if err := rt.Free(p); err != nil {
+			return 0, err
+		}
+	}
+	return sum, nil
+}
+
+// RunGMAC implements Benchmark: the host writes frames straight into shared
+// memory; UseModes declares the frame write-only at allocation.
+func (w *WOScatter) RunGMAC(s gmac.Session) (float64, error) {
+	var frameOpts []gmac.AllocOption
+	if w.UseModes {
+		frameOpts = append(frameOpts, gmac.Mode(gmac.WriteOnly))
+	}
+	frame, err := s.Alloc(w.FrameBytes, frameOpts...)
+	if err != nil {
+		return 0, err
+	}
+	out, err := s.Alloc(modesOutBytes)
+	if err != nil {
+		return 0, err
+	}
+	m := s.Machine()
+	buf := make([]byte, 64<<10)
+	outBuf := make([]byte, modesOutBytes)
+	var sum float64
+	for i := 0; i < w.Iters; i++ {
+		// Full overwrite of the frame, chunk by chunk, through the faulting
+		// path: the write-only declaration makes each re-dirtied block skip
+		// the fetch of its dead device copy.
+		for off := int64(0); off < w.FrameBytes; off += int64(len(buf)) {
+			n := int64(len(buf))
+			if off+n > w.FrameBytes {
+				n = w.FrameBytes - off
+			}
+			w.framePattern(buf[:n], i, off)
+			if err := s.HostWrite(frame+mem.Addr(off), buf[:n]); err != nil {
+				return 0, err
+			}
+			m.CPUTouch(n)
+		}
+		// Unannotated: the call invalidates the frame, which the next
+		// iteration fully rewrites.
+		if err := s.Call("wo.consume", []uint64{uint64(frame), uint64(out),
+			uint64(w.FrameBytes), uint64(i)}); err != nil {
+			return 0, err
+		}
+		if err := s.HostRead(out, outBuf); err != nil {
+			return 0, err
+		}
+		m.CPUTouch(modesOutBytes)
+		sum = w.consume(sum, outBuf)
+	}
+	for _, p := range []gmac.Ptr{frame, out} {
+		if err := s.Free(p); err != nil {
+			return 0, err
+		}
+	}
+	return sum, nil
+}

@@ -27,13 +27,16 @@ func ParboilSmall() []Benchmark {
 	}
 }
 
-// All returns every benchmark in the suite (Parboil plus the two
-// micro-benchmarks) at evaluation scale.
+// All returns every benchmark in the suite (Parboil, the two
+// micro-benchmarks, and the two access-mode synthetics) at evaluation
+// scale.
 func All() []Benchmark {
-	return append(Parboil(), DefaultStencil(), DefaultVecAdd())
+	return append(Parboil(), DefaultStencil(), DefaultVecAdd(),
+		DefaultROBroadcast(), DefaultWOScatter())
 }
 
 // AllSmall returns every benchmark at unit-test scale.
 func AllSmall() []Benchmark {
-	return append(ParboilSmall(), SmallStencil(), SmallVecAdd())
+	return append(ParboilSmall(), SmallStencil(), SmallVecAdd(),
+		SmallROBroadcast(), SmallWOScatter())
 }
