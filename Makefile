@@ -57,13 +57,15 @@ baseline:
 smoke:
 	$(GO) run ./cmd/gmacbench -small -json /tmp/gmacbench-smoke.json fig8
 
-# Native fuzzing of the interval tree, the manager op stream, and the
-# oplog wire decoder, FUZZTIME per target (see docs/testing.md). The
-# decoder fuzzer seeds from the recorded corpus in testdata/corpus/.
+# Native fuzzing of the interval tree, the manager op stream, the oplog
+# wire decoder, and the race analyser, FUZZTIME per target (see
+# docs/testing.md). The decoder and race-check fuzzers seed from the
+# recorded corpus in testdata/corpus/.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzRBTree$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzManagerOps$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzOpLogDecode$$' -fuzztime $(FUZZTIME) ./internal/oplog
+	$(GO) test -run '^$$' -fuzz '^FuzzRaceCheck$$' -fuzztime $(FUZZTIME) ./internal/racecheck
 
 # Re-record the workload op-stream corpus (testdata/corpus/*.oplog): one
 # stream per (small Parboil workload, GMAC protocol). The chaos suite

@@ -8,6 +8,7 @@
 //	adsmtrace [-protocol batch|lazy|rolling] [-block 16384] [-rolling 2]
 //	          [-trace-json trace.json] [-report]
 //	          [-record run.oplog] [-replay run.oplog]
+//	          [-races path] [-races-json report.json]
 //
 // -trace-json exports the run's spans and events as Chrome trace_event
 // JSON, loadable in chrome://tracing or https://ui.perfetto.dev.
@@ -18,13 +19,21 @@
 // built from the stream's header, and checks the replayed counters
 // against the recorded totals (capture logs; flight dumps replay
 // leniently and skip the check).
+// -races runs the offline vector-clock race detector over a recorded
+// .oplog file — or over every .oplog in a directory (the committed
+// testdata/corpus, say) — printing both unordered access sites per race;
+// -races-json additionally writes the reports as JSON. The exit status is
+// 1 if any race was found, so CI can gate race-free corpora.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"repro/gmac"
 	"repro/machine"
@@ -38,7 +47,20 @@ func main() {
 	report := flag.Bool("report", false, "print the metrics registry and per-object report")
 	recordFile := flag.String("record", "", "record the run's op stream to `file` (binary .oplog)")
 	replayFile := flag.String("replay", "", "replay a recorded .oplog `file` instead of running the demo")
+	racesPath := flag.String("races", "", "run the offline race detector over an .oplog `file or directory` instead of running the demo")
+	racesJSON := flag.String("races-json", "", "with -races, also write the reports as JSON to `file`")
 	flag.Parse()
+
+	if *racesPath != "" {
+		nraces, err := races(*racesPath, *racesJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if nraces > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *replayFile != "" {
 		if err := replay(*replayFile); err != nil {
@@ -162,6 +184,68 @@ func main() {
 		fmt.Printf("\nrecorded %d ops to %s (replay with adsmtrace -replay)\n",
 			len(l.Ops), *recordFile)
 	}
+}
+
+// races runs the offline race detector over one .oplog file, or over every
+// .oplog in a directory, printing each report and optionally writing the
+// JSON aggregate. It returns the total race count.
+func races(path, jsonOut string) (int64, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	files := []string{path}
+	if info.IsDir() {
+		files, err = filepath.Glob(filepath.Join(path, "*.oplog"))
+		if err != nil {
+			return 0, err
+		}
+		if len(files) == 0 {
+			return 0, fmt.Errorf("adsmtrace: no .oplog files in %s", path)
+		}
+		sort.Strings(files)
+	}
+
+	type fileReport struct {
+		File string `json:"file"`
+		*gmac.RaceReport
+	}
+	var total int64
+	reports := make([]fileReport, 0, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return total, err
+		}
+		l, err := gmac.DecodeOpLog(data)
+		if err != nil {
+			return total, fmt.Errorf("%s: %w", f, err)
+		}
+		rep := gmac.AnalyzeRaces(l)
+		if rep.Label == "" {
+			rep.Label = filepath.Base(f)
+		}
+		if err := rep.WriteText(os.Stdout); err != nil {
+			return total, err
+		}
+		total += rep.Count
+		reports = append(reports, fileReport{File: f, RaceReport: rep})
+	}
+	if len(files) > 1 {
+		fmt.Printf("total: %d race(s) across %d streams\n", total, len(files))
+	}
+
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			return total, err
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			return total, err
+		}
+		fmt.Printf("wrote JSON race report to %s\n", jsonOut)
+	}
+	return total, nil
 }
 
 // replay re-executes a recorded op stream against a fresh context derived

@@ -111,6 +111,12 @@ type Config struct {
 	// transfer/launch faults (chaos testing): 0 selects the core default,
 	// negative disables retrying.
 	MaxRetries int
+	// RaceDetect enables the online vector-clock race detector: the
+	// runtime's coherence events feed a happens-before checker, detected
+	// races land in Stats.RacesDetected and Races(), and the first race
+	// triggers a flight dump. Off by default; when off, the fault hot
+	// path is unchanged (one nil check). See docs/race-detection.md.
+	RaceDetect bool
 }
 
 // DefaultBlockSize is the rolling-update block size used when Config leaves
@@ -135,6 +141,7 @@ func managerConfig(cfg Config) core.Config {
 		TreeNodeCost: 30 * sim.Nanosecond,
 		MprotectCost: 300 * sim.Nanosecond,
 		MaxRetries:   cfg.MaxRetries,
+		RaceDetect:   cfg.RaceDetect,
 	}
 }
 

@@ -23,6 +23,9 @@ const (
 	// HdrFlight marks a flight-recorder dump: a bounded window of the most
 	// recent ops rather than a complete capture — replay it leniently.
 	HdrFlight = oplog.HdrFlight
+	// HdrRaceDetect marks a stream recorded with the online race detector
+	// enabled; ReplayConfig re-enables it so RacesDetected reproduces.
+	HdrRaceDetect = oplog.HdrRaceDetect
 )
 
 // Op is one recorded operation.
@@ -54,6 +57,7 @@ func ReplayConfig(h OpLogHeader) Config {
 		RollingDelta: int(h.RollingDelta),
 		FixedRolling: int(h.FixedRolling),
 		MaxRetries:   int(h.MaxRetries),
+		RaceDetect:   h.Flags&HdrRaceDetect != 0,
 	}
 }
 

@@ -169,6 +169,72 @@ func TestConcurrentStormContext(t *testing.T) {
 	}
 }
 
+// TestConcurrentStormRaceDetect reruns the single-device storm with the
+// online race detector enabled. Under -race this gates the detector's own
+// thread-safety on the concurrent record path; and since every worker owns
+// its objects and every Call syncs, the detector must also stay silent —
+// its false-positive gate under real concurrency.
+func TestConcurrentStormRaceDetect(t *testing.T) {
+	const (
+		goroutines = 8
+		rounds     = 6
+		blockSize  = 4 << 10
+		objBytes   = 32 << 10
+	)
+	base := testutil.Seed(t, 7)
+	m := machine.SmallTestbed()
+	ctx, err := NewContext(m, Config{Protocol: RollingUpdate, BlockSize: blockSize, RaceDetect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	objs := make([]Ptr, goroutines)
+	kernels := make([]string, goroutines)
+	for i := range objs {
+		kernels[i] = fmt.Sprintf("bump%d", i)
+		registerBump(ctx, kernels[i])
+		if objs[i], err = ctx.Alloc(objBytes, ForKernels(kernels[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = stormWorker(ctx, kernels[i], objs[i], base+int64(i), rounds, objBytes, blockSize, true)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	if err := ctx.Manager().CheckInvariants(); err != nil {
+		t.Fatalf("invariants after storm: %v", err)
+	}
+	st := ctx.Stats()
+	if st.Invokes < goroutines*rounds {
+		t.Fatalf("storm did no work: %+v", st)
+	}
+	if st.RacesDetected != 0 {
+		t.Fatalf("detector flagged %d race(s) on a per-object storm:\n%v",
+			st.RacesDetected, ctx.Races())
+	}
+	if got := int64(len(ctx.Races())); got != st.RacesDetected {
+		t.Fatalf("Races() retained %d reports, Stats counted %d", got, st.RacesDetected)
+	}
+	for _, p := range objs {
+		if err := ctx.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestConcurrentStormMulti runs the same storm through a MultiContext, so
 // goroutines exercise the fault dispatcher, per-device routing and the
 // concurrent full-machine Sync at once.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/oplog"
+	"repro/internal/racecheck"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -103,6 +104,13 @@ type Config struct {
 	// RetryBase is the backoff of the first retry in virtual time; attempt
 	// i backs off RetryBase<<i. 0 selects DefaultRetryBase.
 	RetryBase sim.Time
+
+	// RaceDetect enables the online vector-clock race detector
+	// (internal/racecheck): every recorded op is also fed to a detector,
+	// races land in Stats.RacesDetected and trigger a flight dump. Off by
+	// default — the disabled record path stays a nil check, so the
+	// //adsm:noalloc fault hot path is unaffected.
+	RaceDetect bool
 }
 
 // Manager is the GMAC shared-memory manager: it owns the shared address
@@ -201,6 +209,14 @@ type Manager struct {
 	// recorded streams identify them stably across record and replay.
 	rec    atomic.Pointer[oplog.Ring]
 	objSeq atomic.Uint32
+	// race is the optional online race detector (Config.RaceDetect), fed
+	// from record; nil when disabled so the hot path pays one nil check.
+	// racesDetected mirrors the detector's count for Stats (atomic — the
+	// detector reports under its own leaf lock, below statsMu in the
+	// hierarchy); raceDumped latches the one flight dump per manager.
+	race          *racecheck.Detector
+	racesDetected atomic.Int64
+	raceDumped    atomic.Bool
 }
 
 // NewManager wires a manager to the host MMU, the host virtual address
@@ -235,9 +251,36 @@ func NewManager(cfg Config, clock *sim.Clock, bd *sim.Breakdown,
 	default:
 		return nil, fmt.Errorf("core: unknown protocol %v", cfg.Protocol)
 	}
+	if cfg.RaceDetect {
+		m.race = racecheck.New(m.OpLogHeader())
+		m.race.OnRace(m.onRace)
+	}
 	mmu.SetHandler(m.handleFault)
 	registerManager(m)
 	return m, nil
+}
+
+// onRace reacts to each race the online detector reports: it bumps the
+// stats mirror and the metrics counter, and the first race triggers a
+// flight dump (gated by ADSM_FLIGHT_DIR like every auto dump).
+func (m *Manager) onRace(racecheck.Race) {
+	m.racesDetected.Add(1)
+	m.mets.races.Inc()
+	if m.raceDumped.CompareAndSwap(false, true) {
+		oplog.AutoDump("race-detected")
+	}
+}
+
+// RaceDetector returns the online race detector, or nil when disabled.
+func (m *Manager) RaceDetector() *racecheck.Detector { return m.race }
+
+// Races returns the online detector's race reports (nil when detection is
+// disabled or no race was found).
+func (m *Manager) Races() []racecheck.Race {
+	if m.race == nil {
+		return nil
+	}
+	return m.race.Races()
 }
 
 // Protocol returns the active protocol kind.
@@ -249,8 +292,10 @@ func (m *Manager) Device() *accel.Device { return m.dev }
 // Stats returns a copy of the activity counters.
 func (m *Manager) Stats() Stats {
 	m.statsMu.Lock()
-	defer m.statsMu.Unlock()
-	return m.stats
+	s := m.stats
+	m.statsMu.Unlock()
+	s.RacesDetected = m.racesDetected.Load()
+	return s
 }
 
 // RollingCapacity returns the current rolling size (0 for other protocols).

@@ -30,6 +30,7 @@ type metricSet struct {
 	degraded, deviceLost            *metrics.Counter
 	modeMigrations                  *metrics.Counter
 	fetchElisions, flushElisions    *metrics.Counter
+	races                           *metrics.Counter
 
 	faultNs     *metrics.Histogram
 	searchDepth *metrics.Histogram
@@ -60,6 +61,7 @@ func newMetricSet(r *metrics.Registry, proto ProtocolKind) *metricSet {
 		modeMigrations: r.Counter(lbl("adsm_mode_migrations_total")),
 		fetchElisions:  r.Counter(lbl("adsm_fetch_elisions_total")),
 		flushElisions:  r.Counter(lbl("adsm_flush_elisions_total")),
+		races:          r.Counter(lbl("adsm_races_detected_total")),
 		faultNs:      r.Histogram(lbl("adsm_fault_service_ns"), metrics.LatencyBuckets),
 		searchDepth:  r.Histogram(lbl("adsm_search_depth_nodes"), metrics.DepthBuckets),
 		rollingOcc:   r.Gauge(lbl("adsm_rolling_occupancy")),

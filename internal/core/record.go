@@ -33,16 +33,21 @@ func init() {
 	})
 }
 
-// record stamps op with the current virtual time and this manager's id and
-// appends it to the flight ring and, if capturing, the capture ring.
+// record stamps op with the current virtual time, this manager's id and the
+// calling goroutine's host lane, and appends it to the flight ring, the
+// capture ring (if capturing), and the online race detector (if enabled).
 //
 //adsm:noalloc
 func (m *Manager) record(op oplog.Op) {
 	op.At = m.clock.Now()
 	op.Mgr = uint16(m.id)
+	op.Lane = m.clock.LaneID()
 	oplog.Flight().Record(op)
 	if r := m.rec.Load(); r != nil {
 		r.Record(op)
+	}
+	if d := m.race; d != nil {
+		d.Feed(op)
 	}
 }
 
@@ -80,6 +85,9 @@ func (m *Manager) OpLogHeader() oplog.Header {
 	}
 	if m.cfg.DisableCoalescing {
 		h.Flags |= oplog.HdrNoCoalesce
+	}
+	if m.cfg.RaceDetect {
+		h.Flags |= oplog.HdrRaceDetect
 	}
 	return h
 }

@@ -180,6 +180,33 @@ func TestRecordHotPathAllocs(t *testing.T) {
 	}
 }
 
+// TestFaultPathAllocs pins the end-to-end fault service path — signal
+// delivery, span search, state transition, rolling-cache push, mprotect,
+// record with lane attribution — at zero allocations while the race
+// detector is disabled (the default). With Config.RaceDetect the detector's
+// shadow state allocates by design; the no-alloc guarantee is scoped to the
+// detector-off configuration the noalloc analyzer audits statically.
+func TestFaultPathAllocs(t *testing.T) {
+	cfg := defaultCfg(RollingUpdate)
+	cfg.BlockSize = 4 << 10
+	r := newRig(t, cfg)
+	ptr, err := r.mgr.Alloc(32 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := []byte{1}
+	off := int64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		// Each write hits a fresh ReadOnly block: one write fault each.
+		if err := r.mgr.HostWrite(ptr+mem.Addr(off), one); err != nil {
+			t.Fatal(err)
+		}
+		off += 4 << 10
+	}); n != 0 {
+		t.Fatalf("fault path allocates %.1f times per fault with the detector off, want 0", n)
+	}
+}
+
 // TestRecordedStreamShape sanity-checks the recorded op mix of a workload.
 func TestRecordedStreamShape(t *testing.T) {
 	r := newRig(t, defaultCfg(RollingUpdate))

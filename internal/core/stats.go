@@ -51,6 +51,10 @@ type Stats struct {
 	ModeMigrations               int64
 	FetchElisions, FlushElisions int64
 	RegionAcquires, RegionReleases int64
+
+	// RacesDetected counts races reported by the online vector-clock
+	// detector (Config.RaceDetect; 0 when detection is disabled).
+	RacesDetected int64
 }
 
 // Sub returns the difference s - base, counter by counter. Experiment

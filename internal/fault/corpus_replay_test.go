@@ -69,6 +69,10 @@ func TestChaosCorpusReplay(t *testing.T) {
 				}
 				cfg := gmac.ReplayConfig(l.Header)
 				cfg.MaxRetries = 6 // keep recoverable schedules inside the budget
+				// Run the online race detector throughout: injected faults
+				// and their retries are derived events, so even a chaos
+				// replay of a well-synchronised workload must stay silent.
+				cfg.RaceDetect = true
 				ctx, err := gmac.NewContext(m, cfg)
 				if err != nil {
 					t.Fatal(err)
@@ -92,6 +96,10 @@ func TestChaosCorpusReplay(t *testing.T) {
 				st := ctx.Stats()
 				if st.RetryGiveups != 0 || st.DegradedObjects != 0 {
 					t.Errorf("recoverable schedule gave up: %+v", st)
+				}
+				if st.RacesDetected != 0 {
+					t.Errorf("race detector flagged %d false positive(s) under %s:\n%v",
+						st.RacesDetected, sched.name, mgr.Races())
 				}
 				injected += inj.Total()
 				retried += st.Retries

@@ -10,30 +10,32 @@ import (
 	"repro/internal/sim"
 )
 
-// Binary format v1 ("ADSMOPL1"), all integers varint-encoded:
+// Binary format v2 ("ADSMOPL1"), all integers varint-encoded:
 //
 //	magic[8]
-//	uvarint version (1)
+//	uvarint version (2; v1 streams are still decoded)
 //	header: varint protocol, uvarint blockSize, varint rollingDelta,
 //	        varint fixedRolling, varint maxRetries, uvarint flags,
 //	        string label
 //	string table: uvarint count, then count length-prefixed strings
 //	              (local ids 1..count; 0 = no note)
 //	ops: uvarint count, then per op:
-//	        byte kind, byte flags, uvarint mgr, varint Δat (vs previous
-//	        op), uvarint obj, uvarint addr, varint size, varint arg,
-//	        uvarint local note id
+//	        byte kind, byte flags, uvarint mgr, uvarint lane (v2+ only),
+//	        varint Δat (vs previous op), uvarint obj, uvarint addr,
+//	        varint size, varint arg, uvarint local note id
 //	totals: uvarint count, then per entry: string name, varint value
 //	        (sorted by name, so encoding is deterministic)
 //	metrics: uvarint length, then that many bytes (JSON; may be empty)
 //
 // Timestamps are delta-encoded against the previous op (they are nearly
 // monotonic), note strings are table-referenced, and object ids are small
-// sequence numbers, so a typical op costs ~10 bytes.
+// sequence numbers, so a typical op costs ~10 bytes. v2 adds the host-lane
+// id per op (one byte in the common no-lane case); v1 streams decode with
+// every Lane zero.
 
 const magic = "ADSMOPL1"
 
-const formatVersion = 1
+const formatVersion = 2
 
 // ErrCorrupt wraps every Decode failure.
 var ErrCorrupt = errors.New("oplog: corrupt op log")
@@ -77,6 +79,7 @@ func (l *Log) Encode() []byte {
 	for _, op := range l.Ops {
 		buf = append(buf, byte(op.Kind), op.Flags)
 		buf = binary.AppendUvarint(buf, uint64(op.Mgr))
+		buf = binary.AppendUvarint(buf, uint64(op.Lane))
 		buf = binary.AppendVarint(buf, int64(op.At)-prevAt)
 		prevAt = int64(op.At)
 		buf = binary.AppendUvarint(buf, uint64(op.Obj))
@@ -117,8 +120,9 @@ func Decode(data []byte) (*Log, error) {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	r.off = len(magic)
-	if v := r.uvarint(); r.err == nil && v != formatVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	version := r.uvarint()
+	if r.err == nil && (version < 1 || version > formatVersion) {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version)
 	}
 
 	var l Log
@@ -152,6 +156,9 @@ func Decode(data []byte) (*Log, error) {
 		op.Kind = Kind(r.byte())
 		op.Flags = r.byte()
 		op.Mgr = uint16(r.uvarint())
+		if version >= 2 {
+			op.Lane = uint32(r.uvarint())
+		}
 		prevAt += r.varint()
 		op.At = sim.Time(prevAt)
 		op.Obj = uint32(r.uvarint())

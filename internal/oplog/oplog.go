@@ -154,10 +154,19 @@ type Op struct {
 	// Note is an interned-string id (NoteID) for cold-path context:
 	// kernel names, retry sites, kernel bindings. 0 = none.
 	Note uint32
+	// Lane is the recording goroutine's host-thread lane (sim.Clock lane
+	// id; 0 = the shared single-threaded timeline). It attributes ops to
+	// concurrent host threads, which the race detector
+	// (internal/racecheck) models as vector-clock components. Format v2;
+	// v1 streams decode with Lane 0.
+	Lane uint32
 }
 
 func (op Op) String() string {
 	s := fmt.Sprintf("%12v  %-11s", op.At, op.Kind)
+	if op.Lane != 0 {
+		s += fmt.Sprintf(" lane%d", op.Lane)
+	}
 	if op.Obj != 0 {
 		s += fmt.Sprintf(" obj%d", op.Obj)
 	}
@@ -197,6 +206,10 @@ const (
 	HdrFlight uint32 = 1 << iota
 	// HdrNoCoalesce mirrors core.Config.DisableCoalescing.
 	HdrNoCoalesce
+	// HdrRaceDetect marks a stream recorded with the online race detector
+	// enabled (core.Config.RaceDetect): a replayer re-enables detection so
+	// the RacesDetected counter stays replay-conformant.
+	HdrRaceDetect
 )
 
 // Log is a complete recorded op stream: the configuration header, the

@@ -42,7 +42,7 @@ type slot struct {
 	addr atomic.Uint64
 	size atomic.Uint64
 	arg  atomic.Uint64
-	note atomic.Uint64
+	note atomic.Uint64 // lane<<32 | note
 }
 
 const slotWriting = ^uint64(0)
@@ -84,7 +84,7 @@ func (r *Ring) Record(op Op) {
 	s.addr.Store(uint64(op.Addr))
 	s.size.Store(uint64(op.Size))
 	s.arg.Store(uint64(op.Arg))
-	s.note.Store(uint64(op.Note))
+	s.note.Store(uint64(op.Lane)<<32 | uint64(op.Note))
 	s.seq.Store(i)
 }
 
@@ -148,6 +148,7 @@ func (r *Ring) Ops() []Op {
 			continue
 		}
 		kfmo := s.kfmo.Load()
+		lanenote := s.note.Load()
 		op := Op{
 			At:    sim.Time(s.at.Load()),
 			Kind:  Kind(kfmo >> 56),
@@ -157,7 +158,8 @@ func (r *Ring) Ops() []Op {
 			Addr:  mem.Addr(s.addr.Load()),
 			Size:  int64(s.size.Load()),
 			Arg:   int64(s.arg.Load()),
-			Note:  uint32(s.note.Load()),
+			Note:  uint32(lanenote),
+			Lane:  uint32(lanenote >> 32),
 		}
 		// A writer may have reclaimed the slot while the fields were
 		// loading; re-checking seq rejects the torn read.

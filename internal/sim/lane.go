@@ -23,6 +23,11 @@ import (
 // and transparently land on the caller's lane when one is active.
 type lane struct {
 	now int64
+	// id is the lane's dense process-lifetime identity (1-based; 0 means
+	// "no lane"). Consumers that attribute work to host threads — the op
+	// stream's Op.Lane field, and the race detector built on it — use the
+	// id, not the goroutine id, so identities stay small and stable.
+	id uint32
 }
 
 // goid returns the calling goroutine's id, parsed from the runtime stack
@@ -47,6 +52,8 @@ func goid() uint64 {
 type laneSet struct {
 	nactive atomic.Int64
 	lanes   sync.Map // goid -> *lane
+	// seq issues dense lane ids; ids are never reused within a clock.
+	seq atomic.Uint32
 }
 
 func (s *laneSet) current() *lane {
@@ -72,8 +79,21 @@ func (c *Clock) EnterLane() { c.EnterLaneAt(Time(c.now.Load())) } //adsm:allow l
 // workers' timelines independent of goroutine scheduling order, keeping
 // runs deterministic.
 func (c *Clock) EnterLaneAt(t Time) {
-	c.lanes.lanes.Store(goid(), &lane{now: int64(t)})
+	c.lanes.lanes.Store(goid(), &lane{now: int64(t), id: c.lanes.seq.Add(1)})
 	c.lanes.nactive.Add(1)
+}
+
+// LaneID returns the calling goroutine's lane identity: a small dense id
+// assigned at EnterLane, or 0 when the goroutine runs on the shared
+// timeline. Goroutines that never enter a lane — the whole single-threaded
+// world — take the nactive fast path and never look up their goroutine id.
+//
+//adsm:noalloc
+func (c *Clock) LaneID() uint32 {
+	if l := c.lanes.current(); l != nil {
+		return l.id
+	}
+	return 0
 }
 
 // ExitLane merges the calling goroutine's lane back into the shared

@@ -109,6 +109,9 @@ type Options struct {
 	// the workload's own declarations unchanged; gmac.Auto lets the
 	// runtime pick per-object protocols online.
 	Mode gmac.AccessMode
+	// RaceDetect enables the online race detector for the GMAC variant;
+	// detected races land in Report.GMAC.RacesDetected.
+	RaceDetect bool
 	// Machine builds the testbed (default machine.PaperTestbed).
 	Machine func() *machine.Machine
 }
@@ -155,6 +158,7 @@ func RunGMAC(b Benchmark, opt Options) (Report, error) {
 		BlockSize:    opt.BlockSize,
 		FixedRolling: opt.FixedRolling,
 		MaxRetries:   opt.MaxRetries,
+		RaceDetect:   opt.RaceDetect,
 	})
 	if err != nil {
 		return Report{}, err
