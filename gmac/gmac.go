@@ -117,6 +117,17 @@ type Config struct {
 	// triggers a flight dump. Off by default; when off, the fault hot
 	// path is unchanged (one nil check). See docs/race-detection.md.
 	RaceDetect bool
+	// DisableFaultBatching turns off span-fault batching: every host
+	// fault then fetches exactly its own block instead of the whole
+	// contiguous invalid run the adaptive streak detector predicts. Data
+	// results are byte-identical either way; the knob exists for A/B
+	// comparison. See docs/performance.md.
+	DisableFaultBatching bool
+	// DisableEvictionOverlap turns off double-buffered eager eviction:
+	// eviction DMA then waits for the transfer engine to go fully idle
+	// instead of overlapping the fault service that triggered it.
+	// Timing-only.
+	DisableEvictionOverlap bool
 }
 
 // DefaultBlockSize is the rolling-update block size used when Config leaves
@@ -131,17 +142,19 @@ func managerConfig(cfg Config) core.Config {
 		cfg.RollingDelta = 2
 	}
 	return core.Config{
-		Protocol:     cfg.Protocol,
-		BlockSize:    cfg.BlockSize,
-		RollingDelta: cfg.RollingDelta,
-		FixedRolling: cfg.FixedRolling,
-		MallocCost:   2 * sim.Microsecond,
-		FreeCost:     1 * sim.Microsecond,
-		LaunchCost:   2 * sim.Microsecond,
-		TreeNodeCost: 30 * sim.Nanosecond,
-		MprotectCost: 300 * sim.Nanosecond,
-		MaxRetries:   cfg.MaxRetries,
-		RaceDetect:   cfg.RaceDetect,
+		Protocol:               cfg.Protocol,
+		BlockSize:              cfg.BlockSize,
+		RollingDelta:           cfg.RollingDelta,
+		FixedRolling:           cfg.FixedRolling,
+		MallocCost:             2 * sim.Microsecond,
+		FreeCost:               1 * sim.Microsecond,
+		LaunchCost:             2 * sim.Microsecond,
+		TreeNodeCost:           30 * sim.Nanosecond,
+		MprotectCost:           300 * sim.Nanosecond,
+		MaxRetries:             cfg.MaxRetries,
+		RaceDetect:             cfg.RaceDetect,
+		DisableFaultBatching:   cfg.DisableFaultBatching,
+		DisableEvictionOverlap: cfg.DisableEvictionOverlap,
 	}
 }
 

@@ -26,6 +26,10 @@ const (
 	// HdrRaceDetect marks a stream recorded with the online race detector
 	// enabled; ReplayConfig re-enables it so RacesDetected reproduces.
 	HdrRaceDetect = oplog.HdrRaceDetect
+	// HdrNoFaultBatch marks a stream recorded with span-fault batching
+	// disabled; ReplayConfig disables it again so fault and transfer
+	// counters reproduce.
+	HdrNoFaultBatch = oplog.HdrNoFaultBatch
 )
 
 // Op is one recorded operation.
@@ -52,12 +56,13 @@ func (c *Context) FinishOpLog(label string) (*OpLog, error) {
 // recorded stream's header.
 func ReplayConfig(h OpLogHeader) Config {
 	return Config{
-		Protocol:     Protocol(h.Protocol),
-		BlockSize:    h.BlockSize,
-		RollingDelta: int(h.RollingDelta),
-		FixedRolling: int(h.FixedRolling),
-		MaxRetries:   int(h.MaxRetries),
-		RaceDetect:   h.Flags&HdrRaceDetect != 0,
+		Protocol:             Protocol(h.Protocol),
+		BlockSize:            h.BlockSize,
+		RollingDelta:         int(h.RollingDelta),
+		FixedRolling:         int(h.FixedRolling),
+		MaxRetries:           int(h.MaxRetries),
+		RaceDetect:           h.Flags&HdrRaceDetect != 0,
+		DisableFaultBatching: h.Flags&HdrNoFaultBatch != 0,
 	}
 }
 

@@ -14,7 +14,13 @@ var requiredAnnotations = map[string][]string{
 		"(*Manager).blockAt",
 		"(*Manager).objectAt",
 		"(*Manager).fetchBlockSync",
+		"(*Manager).fetchRunSync",
+		"(*Manager).faultRunLen",
 		"(*Manager).setProt",
+		"(*Manager).setProtRun",
+		"(*registry).objectAt",
+		"(*registry).blockAt",
+		"regShardOf",
 		"(*spanIndex).search",
 		"(*indexSnapshot).find",
 		"(*rollingCache).push",

@@ -1,0 +1,73 @@
+package benchgate
+
+import "testing"
+
+// TestCommittedBaselinesCompatible guards the PR9 re-baseline: every entry
+// already present in BENCH_PR4.json must still be within tolerance in
+// BENCH_PR9.json, so re-baselining cannot silently absorb a regression on a
+// path the span-fault work did not change. Wall-clock ns/op is excluded —
+// the two files were measured on different machine loads — but the virtual
+// metrics, allocation counts, figure counters and workload checksums are
+// deterministic and compared at full gate strictness.
+func TestCommittedBaselinesCompatible(t *testing.T) {
+	pr4, err := ReadSummary("../../BENCH_PR4.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr9, err := ReadSummary("../../BENCH_PR9.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := DefaultTolerance
+	tol.NsRatio = 1e9
+	if regs := Compare(pr4, pr9, tol); len(regs) != 0 {
+		for _, r := range regs {
+			t.Errorf("PR9 baseline regressed vs PR4: %v", r)
+		}
+	}
+}
+
+// TestPR9BaselineCoversNewBenches pins the acceptance numbers the new suite
+// was added for: the streaming bench must show the >=4x fault-service DMA
+// reduction from span batching, the contended sweep must be present at every
+// lane count, and the fault hot path must stay allocation-free.
+func TestPR9BaselineCoversNewBenches(t *testing.T) {
+	pr9, err := ReadSummary("../../BENCH_PR9.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	micro := make(map[string]Entry, len(pr9.Micro))
+	for _, e := range pr9.Micro {
+		micro[e.Name] = e
+	}
+
+	stream, ok := micro["BenchmarkStreamingFaults"]
+	if !ok {
+		t.Fatal("BenchmarkStreamingFaults missing from BENCH_PR9.json")
+	}
+	// One op is one block-sized read; the unbatched oracle faults once per
+	// op, so faults/op <= 0.25 is the committed form of the 4x bound.
+	if f := stream.Metrics["faults/op"]; f > 0.25 {
+		t.Errorf("streaming faults/op = %v, want <= 0.25 (4x batching)", f)
+	}
+	if stream.AllocsPerOp > 0.01 {
+		t.Errorf("streaming fault path allocates: %v allocs/op", stream.AllocsPerOp)
+	}
+
+	for _, lanes := range ContendedLanes {
+		name := "BenchmarkContendedFaults/" + ContendedName(lanes)
+		if _, ok := micro[name]; !ok {
+			t.Errorf("%s missing from BENCH_PR9.json", name)
+		}
+	}
+	// Virtual per-fault latency must improve as lanes are added: the sharded
+	// registry and MMU let disjoint lanes fault concurrently.
+	one := micro["BenchmarkContendedFaults/1lane"].Metrics["virt-ns/op"]
+	eight := micro["BenchmarkContendedFaults/8lanes"].Metrics["virt-ns/op"]
+	if one == 0 || eight == 0 {
+		t.Fatal("contended lanes missing virt-ns/op metric")
+	}
+	if eight >= one {
+		t.Errorf("8-lane virt-ns/op %v not below 1-lane %v: no contended scaling", eight, one)
+	}
+}

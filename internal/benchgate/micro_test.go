@@ -5,15 +5,23 @@ import "testing"
 // go test -bench entry points for the microbenchmarks; cmd/gmacbench runs
 // the same bodies through RunMicro, so both paths measure identical code.
 
-func BenchmarkFaultRead(b *testing.B)    { BenchFaultRead(b) }
-func BenchmarkFaultWrite(b *testing.B)   { BenchFaultWrite(b) }
-func BenchmarkRollingEvict(b *testing.B)  { BenchRollingEvict(b) }
-func BenchmarkReadOnlyFault(b *testing.B) { BenchReadOnlyFault(b) }
-func BenchmarkModeMigrate(b *testing.B)   { BenchModeMigrate(b) }
+func BenchmarkFaultRead(b *testing.B)       { BenchFaultRead(b) }
+func BenchmarkStreamingFaults(b *testing.B) { BenchStreamingFaults(b) }
+func BenchmarkFaultWrite(b *testing.B)      { BenchFaultWrite(b) }
+func BenchmarkRollingEvict(b *testing.B)    { BenchRollingEvict(b) }
+func BenchmarkReadOnlyFault(b *testing.B)   { BenchReadOnlyFault(b) }
+func BenchmarkModeMigrate(b *testing.B)     { BenchModeMigrate(b) }
 
 func BenchmarkBlockLookup(b *testing.B) {
 	for _, n := range BlockLookupSizes {
 		n := n
 		b.Run(BlockLookupName(n), func(b *testing.B) { BenchBlockLookup(b, n) })
+	}
+}
+
+func BenchmarkContendedFaults(b *testing.B) {
+	for _, lanes := range ContendedLanes {
+		lanes := lanes
+		b.Run(ContendedName(lanes), func(b *testing.B) { BenchContendedFaults(b, lanes) })
 	}
 }

@@ -17,6 +17,7 @@ var microBenches = []struct {
 	Fn   func(*testing.B)
 }{
 	{"BenchmarkFaultRead", BenchFaultRead},
+	{"BenchmarkStreamingFaults", BenchStreamingFaults},
 	{"BenchmarkFaultWrite", BenchFaultWrite},
 	{"BenchmarkRollingEvict", BenchRollingEvict},
 	{"BenchmarkReadOnlyFault", BenchReadOnlyFault},
@@ -27,17 +28,45 @@ var microBenches = []struct {
 // returns the summary rows. benchtime, when non-empty, overrides the
 // benchmarking duration ("0.3s", "100x", ...) via the testing package's
 // flag machinery.
+//
+// Wall ns/op on virtualised runners swings 2-3x between runs (cold page
+// cache, CPU frequency ramp, noisy neighbours), which would make the gate's
+// NsRatio meaningless. Each benchmark therefore gets a short discarded
+// warmup run, then the best (minimum ns/op) of three measured runs — the
+// standard robust estimator for microbenchmarks. The virtual metrics are
+// deterministic and unaffected either way.
 func RunMicro(benchtime string) ([]Entry, error) {
+	testing.Init()
+	measured := flag.Lookup("test.benchtime").Value.String()
 	if benchtime != "" {
-		testing.Init()
 		if err := flag.Set("test.benchtime", benchtime); err != nil {
 			return nil, fmt.Errorf("benchgate: bad benchtime %q: %w", benchtime, err)
 		}
+		measured = benchtime
 	}
-	out := make([]Entry, 0, len(microBenches)+len(BlockLookupSizes))
+	run := func(name string, fn func(*testing.B)) (Entry, error) {
+		if err := flag.Set("test.benchtime", "0.05s"); err != nil {
+			return Entry{}, err
+		}
+		testing.Benchmark(fn) // warmup, result discarded
+		if err := flag.Set("test.benchtime", measured); err != nil {
+			return Entry{}, err
+		}
+		var best Entry
+		for i := 0; i < 3; i++ {
+			e, err := entryFromResult(name, testing.Benchmark(fn))
+			if err != nil {
+				return Entry{}, err
+			}
+			if i == 0 || e.NsPerOp < best.NsPerOp {
+				best = e
+			}
+		}
+		return best, nil
+	}
+	out := make([]Entry, 0, len(microBenches)+len(BlockLookupSizes)+len(ContendedLanes))
 	for _, mb := range microBenches {
-		res := testing.Benchmark(mb.Fn)
-		e, err := entryFromResult(mb.Name, res)
+		e, err := run(mb.Name, mb.Fn)
 		if err != nil {
 			return nil, err
 		}
@@ -45,8 +74,17 @@ func RunMicro(benchtime string) ([]Entry, error) {
 	}
 	for _, n := range BlockLookupSizes {
 		n := n
-		res := testing.Benchmark(func(b *testing.B) { BenchBlockLookup(b, n) })
-		e, err := entryFromResult("BenchmarkBlockLookup/"+BlockLookupName(n), res)
+		e, err := run("BenchmarkBlockLookup/"+BlockLookupName(n),
+			func(b *testing.B) { BenchBlockLookup(b, n) })
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	for _, lanes := range ContendedLanes {
+		lanes := lanes
+		e, err := run("BenchmarkContendedFaults/"+ContendedName(lanes),
+			func(b *testing.B) { BenchContendedFaults(b, lanes) })
 		if err != nil {
 			return nil, err
 		}

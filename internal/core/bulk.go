@@ -53,9 +53,7 @@ func (m *Manager) BulkRead(addr mem.Addr, dst []byte) error {
 				_, terr := m.dev.TryMemcpyD2H(cur, src)
 				d := m.clock.Now() - t0
 				m.book(sim.CatCopy, d)
-				m.statsMu.Lock()
-				m.stats.D2HWait += d
-				m.statsMu.Unlock()
+				m.stats.D2HWait.Add(int64(d))
 				return terr
 			})
 			if err != nil {
@@ -110,9 +108,7 @@ func (m *Manager) BulkWrite(addr mem.Addr, src []byte) error {
 				_, terr := m.dev.TryMemcpyH2D(b.devAddr(), cur)
 				d := m.clock.Now() - t0
 				m.book(sim.CatCopy, d)
-				m.statsMu.Lock()
-				m.stats.H2DWait += d
-				m.statsMu.Unlock()
+				m.stats.H2DWait.Add(int64(d))
 				return terr
 			})
 			if err != nil {

@@ -139,6 +139,58 @@ func FuzzRBTree(f *testing.F) {
 		if _, _, ok := ix.search(0); ok {
 			t.Fatal("search succeeded against an invalidated snapshot")
 		}
+
+		// Cross-check the sharded registry against the same oracle. The
+		// fuzz addresses all live in one 1 MiB granule, so scale them up
+		// to granule size: interval containment is preserved exactly, and
+		// the intervals now spread across many shards.
+		const scale = regGranuleBits
+		reg := &registry{}
+		byAddr := map[mem.Addr]*Object{}
+		for base, iv := range oracle {
+			o := &Object{addr: base << scale, size: iv.size << scale}
+			if err := reg.insertObject(o); err != nil {
+				t.Fatalf("registry insert [%#x,+%d): %v", uint64(o.addr), o.size, err)
+			}
+			byAddr[base] = o
+		}
+		for a := mem.Addr(0); a <= 256*8; a++ {
+			got := reg.objectAt(a << scale)
+			if base, _, hit := find(a); hit {
+				if got != byAddr[base] {
+					t.Fatalf("registry objectAt(%#x) = %v, want object at %#x",
+						uint64(a<<scale), got, uint64(base<<scale))
+				}
+			} else if got != nil {
+				t.Fatalf("registry objectAt(%#x) = %v, oracle says absent", uint64(a<<scale), got)
+			}
+		}
+		if want := int64(len(oracle)); reg.nobjects.Load() != want {
+			t.Fatalf("registry holds %d objects, oracle %d", reg.nobjects.Load(), want)
+		}
+		// Remove every other object and re-verify: stale snapshots must
+		// invalidate shard by shard.
+		removed := map[mem.Addr]bool{}
+		i := 0
+		for base, o := range byAddr {
+			if i++; i%2 == 0 {
+				continue
+			}
+			reg.removeObject(o)
+			removed[base] = true
+		}
+		for a := mem.Addr(0); a <= 256*8; a++ {
+			got := reg.objectAt(a << scale)
+			base, _, hit := find(a)
+			if hit && !removed[base] {
+				if got != byAddr[base] {
+					t.Fatalf("after remove: objectAt(%#x) = %v, want object at %#x",
+						uint64(a<<scale), got, uint64(base<<scale))
+				}
+			} else if got != nil {
+				t.Fatalf("after remove: objectAt(%#x) = %v, want nil", uint64(a<<scale), got)
+			}
+		}
 	})
 }
 

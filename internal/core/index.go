@@ -68,6 +68,15 @@ func (s *indexSnapshot) find(addr mem.Addr) (any, int64) {
 type spanIndex struct {
 	gen  atomic.Uint64
 	snap atomic.Pointer[indexSnapshot]
+	// building single-flights snapshot reconstruction: when a rebuild is
+	// already in progress, concurrent stale readers answer from the tree
+	// directly instead of each re-walking it into a fresh snapshot (the
+	// rebuild-storm fix — see rebuild).
+	building atomic.Bool
+	// rebuilds counts published snapshots, observable by the rebuild-storm
+	// regression test. Deliberately not a Stats counter: the count depends
+	// on scheduling, so it would break replay conformance.
+	rebuilds atomic.Int64
 }
 
 // invalidate marks every published snapshot stale. The caller holds the
@@ -90,16 +99,37 @@ func (ix *spanIndex) search(addr mem.Addr) (v any, probes int64, ok bool) {
 	return v, probes, true
 }
 
-// rebuild constructs and publishes a snapshot of t at generation g, then
-// resolves addr against it. The caller must hold the registry read lock so
-// that g cannot move while the tree is walked (writers bump gen only under
-// the write lock). Concurrent rebuilds at the same generation are
-// idempotent — both publish equivalent snapshots.
+// rebuild resolves addr against t after the fast path found the snapshot
+// stale, publishing a fresh snapshot when this caller wins the rebuild
+// race. The caller must hold the registry read lock so that g cannot move
+// while the tree is walked (writers bump gen only under the write lock).
+//
+// Only one rebuilder runs at a time (the `building` flag): under registry
+// churn every faulting lane used to rebuild the full O(n) span array for
+// its own lookup, so a storm of concurrent invalidations degenerated into
+// n lanes × n spans of copying per generation. Losers of the race now fall
+// back to a direct O(log n) tree search — same answer, same probe-count
+// cost shape — and leave snapshot publication to the winner. The winner
+// additionally re-checks freshness against the published snapshot, so a
+// generation is rebuilt at most once no matter how many lanes notice it
+// went stale (the rebuild-storm regression test pins this bound).
 func (ix *spanIndex) rebuild(t *rbTree, g uint64, addr mem.Addr) (any, int64) {
+	if !ix.building.CompareAndSwap(false, true) {
+		// Another lane is already rebuilding: answer from the tree directly
+		// rather than duplicating the O(n) snapshot construction.
+		return t.search(addr)
+	}
+	defer ix.building.Store(false)
+	if snap := ix.snap.Load(); snap != nil && snap.gen == g {
+		// A concurrent rebuilder already published this generation while we
+		// were acquiring the flag.
+		return snap.find(addr)
+	}
 	snap := &indexSnapshot{gen: g, spans: make([]span, 0, t.Len())}
 	t.each(func(a mem.Addr, size int64, v any) {
 		snap.spans = append(snap.spans, span{addr: a, end: a + mem.Addr(size), val: v})
 	})
 	ix.snap.Store(snap)
+	ix.rebuilds.Add(1)
 	return snap.find(addr)
 }

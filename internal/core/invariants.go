@@ -55,9 +55,7 @@ func (m *Manager) checkInvariants() error {
 				return
 			}
 			off += b.size
-			m.treeMu.RLock()
-			got := m.blocks.lookup(b.addr)
-			m.treeMu.RUnlock()
+			got := m.reg.blockLookup(b.addr)
 			if got != any(b) {
 				err = fmt.Errorf("core: block tree disagrees at %#x", uint64(b.addr))
 				return

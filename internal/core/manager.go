@@ -88,6 +88,22 @@ type Config struct {
 	// experiments; the default (coalescing on) reduces the interconnect
 	// transfer count on streaming write patterns.
 	DisableCoalescing bool
+	// DisableFaultBatching turns off span-fault service: every host fault
+	// fetches exactly its own block, the paper's one-slow-path-per-block
+	// behaviour. The default (batching on) resolves the whole
+	// address-contiguous run of Invalid blocks the adaptive streak
+	// detector predicts in one DMA — the fetch-side mirror of eviction
+	// coalescing. For A/B comparison; data results are byte-identical
+	// either way.
+	DisableFaultBatching bool
+	// DisableEvictionOverlap turns off double-buffered eager eviction:
+	// every eviction DMA then waits for the H2D engine to go fully idle
+	// before issuing (§5.2's "evictions must wait for the previous
+	// transfer to finish"). The default (overlap on) admits one in-flight
+	// transfer behind the one being issued, so eviction DMA overlaps the
+	// fault service that triggered it. Timing-only: transfer counts and
+	// bytes are identical either way.
+	DisableEvictionOverlap bool
 
 	// Host-side costs of the GMAC API entry points.
 	MallocCost, FreeCost, LaunchCost sim.Time
@@ -127,12 +143,14 @@ type Config struct {
 //   - callMu: serialises Invoke/Sync (one call/return window at a time per
 //     accelerator) and guards invokeKernel. Never held with an Object.mu
 //     already held.
-//   - treeMu: an RWMutex over the two interval trees and nobjects. It is
-//     a leaf for writers and is taken for reading while holding Object.mu
-//     (the fault path's O(log n) search); no code path acquires Object.mu
-//     while holding treeMu, so the order Object.mu → treeMu is acyclic.
-//   - statsMu, evictMu, rollingCache.mu, and the MMU/device/clock locks
-//     are leaves: nothing else is acquired under them.
+//   - treeMu: the per-shard RWMutexes of the sharded registry
+//     (registry.go). Shards are locked one at a time, never nested, and
+//     may be taken for reading while holding Object.mu (the fault path's
+//     snapshot rebuild); no code path acquires Object.mu while holding a
+//     shard lock, so the order Object.mu → treeMu is acyclic.
+//   - flushMu, evictMu, rollingCache.mu, and the MMU/device/clock locks
+//     are leaves: nothing else is acquired under them. The aggregate stats
+//     are plain atomics (statsCounters) and take no lock at all.
 //
 // Cross-object rolling evictions are the one place a fault on object A
 // must touch object B: the fault path defers those victims to evictQ and
@@ -152,27 +170,22 @@ type Manager struct {
 	// mode machinery entirely (protocol.go).
 	moded       atomic.Int64
 	rollingObjs atomic.Int64
-	// treeMu guards objects, blocks and nobjects. The trees are the
-	// writer-side registry; readers go through the span indexes below and
-	// only take treeMu (shared) to rebuild a stale snapshot.
-	//
-	//adsm:lock treeMu 30
-	treeMu   sync.RWMutex
-	objects  *rbTree // Object intervals, host VA order
-	blocks   *rbTree // Block intervals: the fault handler's search tree
-	nobjects int
-	// objIdx and blkIdx are the RCU-style read path over the two trees:
-	// immutable sorted snapshots swapped atomically, so the fault handler's
-	// per-fault lookup takes no lock at all (index.go).
-	objIdx  spanIndex
-	blkIdx  spanIndex
+	// reg is the sharded object/block registry (registry.go): per-shard
+	// interval trees with RCU span indexes over them, so concurrent lanes
+	// fault, rebuild and allocate without contending on one write lock.
+	reg     registry
 	rolling *rollingCache
-	// statsMu guards stats (the aggregate counters; per-object counters
-	// are atomic).
+	// stats are the aggregate counters, one atomic per counter
+	// (statsCounters); per-object counters are atomic too.
+	stats statsCounters
+	// flushMu guards the eager-eviction double buffer: the completion
+	// times of the last two H2D transfers issued by flushRunEager
+	// (lastFlush newest). waitH2DSlot stalls only until prevFlush, so one
+	// transfer stays in flight while the next is prepared.
 	//
-	//adsm:lock statsMu 40 nowait
-	statsMu sync.Mutex
-	stats   Stats
+	//adsm:lock flushMu 41 nowait
+	flushMu              sync.Mutex
+	lastFlush, prevFlush sim.Time
 	// evictMu guards evictQ, the deferred cross-object eviction victim runs.
 	//
 	//adsm:lock evictMu 42 nowait
@@ -212,8 +225,8 @@ type Manager struct {
 	// race is the optional online race detector (Config.RaceDetect), fed
 	// from record; nil when disabled so the hot path pays one nil check.
 	// racesDetected mirrors the detector's count for Stats (atomic — the
-	// detector reports under its own leaf lock, below statsMu in the
-	// hierarchy); raceDumped latches the one flight dump per manager.
+	// detector reports under its own leaf lock in the hierarchy);
+	// raceDumped latches the one flight dump per manager.
 	race          *racecheck.Detector
 	racesDetected atomic.Int64
 	raceDumped    atomic.Bool
@@ -240,8 +253,6 @@ func NewManager(cfg Config, clock *sim.Clock, bd *sim.Breakdown,
 		mmu:     mmu,
 		va:      va,
 		dev:     dev,
-		objects: &rbTree{},
-		blocks:  &rbTree{},
 		rolling: newRollingCache(cfg.FixedRolling, cfg.RollingDelta, cfg.FixedRolling > 0, !cfg.DisableCoalescing),
 		mets:    newMetricSet(metrics.Default(), cfg.Protocol),
 		intro:   make(map[mem.Addr]*Object),
@@ -291,9 +302,7 @@ func (m *Manager) Device() *accel.Device { return m.dev }
 
 // Stats returns a copy of the activity counters.
 func (m *Manager) Stats() Stats {
-	m.statsMu.Lock()
-	s := m.stats
-	m.statsMu.Unlock()
+	s := m.stats.load()
 	s.RacesDetected = m.racesDetected.Load()
 	return s
 }
@@ -306,10 +315,15 @@ func (m *Manager) RollingLen() int { return m.rolling.Len() }
 
 // Objects returns the number of live shared objects.
 func (m *Manager) Objects() int {
-	m.treeMu.RLock()
-	defer m.treeMu.RUnlock()
-	return m.nobjects
+	return int(m.reg.nobjects.Load())
 }
+
+// IndexRebuilds returns how many span-index snapshots the registry has
+// published since construction, summed over shards. Exposed for the
+// rebuild-storm regression test: under churn the count must track the
+// invalidation generations, not the (much larger) number of stale
+// lookups.
+func (m *Manager) IndexRebuilds() int64 { return m.reg.rebuilds() }
 
 // SetTracer installs (or removes, with nil) an event log recording every
 // protocol action with virtual timestamps.
@@ -541,21 +555,9 @@ func (m *Manager) finishAlloc(o *Object) (mem.Addr, error) {
 	m.protoAlloc(o)
 	m.rolling.onAlloc()
 
-	m.treeMu.Lock()
-	if err := m.objects.insert(o.addr, o.size, o); err != nil {
-		m.treeMu.Unlock()
+	if err := m.reg.insertObject(o); err != nil {
 		return 0, err
 	}
-	for _, b := range o.blocks {
-		if err := m.blocks.insert(b.addr, b.size, b); err != nil {
-			m.treeMu.Unlock()
-			return 0, err
-		}
-	}
-	m.nobjects++
-	m.objIdx.invalidate()
-	m.blkIdx.invalidate()
-	m.treeMu.Unlock()
 
 	if o.mode != ModeReadWrite {
 		m.moded.Add(1)
@@ -563,9 +565,7 @@ func (m *Manager) finishAlloc(o *Object) (mem.Addr, error) {
 	if o.proto == RollingUpdate {
 		m.rollingObjs.Add(1)
 	}
-	m.statsMu.Lock()
-	m.stats.Allocs++
-	m.statsMu.Unlock()
+	m.stats.Allocs.Add(1)
 	m.mets.allocs.Inc()
 	m.introAdd(o)
 	m.emit(trace.Event{Kind: trace.EvAlloc, Addr: o.addr, Size: o.size})
@@ -618,15 +618,7 @@ func (m *Manager) Free(addr mem.Addr) error {
 	}
 
 	m.rolling.forget(o)
-	m.treeMu.Lock()
-	m.objects.remove(o.addr)
-	for _, b := range o.blocks {
-		m.blocks.remove(b.addr)
-	}
-	m.nobjects--
-	m.objIdx.invalidate()
-	m.blkIdx.invalidate()
-	m.treeMu.Unlock()
+	m.reg.removeObject(o)
 	m.mmu.Unmap(o.addr, m.pageAlignedSize(o.size))
 	if err := m.va.Unmap(o.addr); err != nil {
 		return err
@@ -641,9 +633,7 @@ func (m *Manager) Free(addr mem.Addr) error {
 	}
 	err := m.dev.Free(phys)
 	m.book(sim.CatCudaFree, m.clock.Now()-t0)
-	m.statsMu.Lock()
-	m.stats.Frees++
-	m.statsMu.Unlock()
+	m.stats.Frees.Add(1)
 	m.mets.frees.Inc()
 	m.introRemove(o)
 	m.emit(trace.Event{Kind: trace.EvFree, Addr: o.addr, Size: o.size})
@@ -652,28 +642,13 @@ func (m *Manager) Free(addr mem.Addr) error {
 }
 
 // objectAt returns the shared object containing addr, or nil. The common
-// case is a lock-free binary search of the current object snapshot; a stale
-// snapshot (registry changed since it was built) is rebuilt under the read
-// lock, then searched.
+// case is a lock-free binary search of the owning shard's current object
+// snapshot; a stale snapshot (shard changed since it was built) is rebuilt
+// under that shard's read lock, then searched.
 //
 //adsm:noalloc
 func (m *Manager) objectAt(addr mem.Addr) *Object {
-	v, _, ok := m.objIdx.search(addr)
-	if !ok {
-		v, _ = m.rebuildObjIdx(addr)
-	}
-	if v == nil {
-		return nil
-	}
-	return v.(*Object)
-}
-
-// rebuildObjIdx refreshes the object snapshot under the registry read lock
-// and resolves addr against it.
-func (m *Manager) rebuildObjIdx(addr mem.Addr) (any, int64) {
-	m.treeMu.RLock()
-	defer m.treeMu.RUnlock()
-	return m.objIdx.rebuild(m.objects, m.objIdx.gen.Load(), addr)
+	return m.reg.objectAt(addr)
 }
 
 // blockAt resolves the fault handler's block lookup: the payload containing
@@ -681,12 +656,7 @@ func (m *Manager) rebuildObjIdx(addr mem.Addr) (any, int64) {
 //
 //adsm:noalloc
 func (m *Manager) blockAt(addr mem.Addr) (any, int64) {
-	if v, probes, ok := m.blkIdx.search(addr); ok {
-		return v, probes
-	}
-	m.treeMu.RLock()
-	defer m.treeMu.RUnlock()
-	return m.blkIdx.rebuild(m.blocks, m.blkIdx.gen.Load(), addr)
+	return m.reg.blockAt(addr)
 }
 
 // IsShared reports whether addr falls inside a live shared object.
@@ -881,9 +851,7 @@ func (m *Manager) invoke(kernel string, h CallHints, args []uint64) error {
 	// start until the H2D queue drains, so this backlog is transfer time
 	// attributable to the host-to-device direction (Figure 11).
 	if drain := m.dev.H2DFreeAt() - m.clock.Now(); drain > 0 {
-		m.statsMu.Lock()
-		m.stats.H2DDrain += drain
-		m.statsMu.Unlock()
+		m.stats.H2DDrain.Add(int64(drain))
 	}
 	m.charge(sim.CatLaunch, m.cfg.LaunchCost)
 	err = m.retry(sim.CatLaunch, "launch "+kernel, func() error {
@@ -897,9 +865,7 @@ func (m *Manager) invoke(kernel string, h CallHints, args []uint64) error {
 		// is gone. Objects degrade lazily at the next entry point.
 		err = m.escalateDevice("launch "+kernel, err)
 	}
-	m.statsMu.Lock()
-	m.stats.Invokes++
-	m.statsMu.Unlock()
+	m.stats.Invokes.Add(1)
 	m.mets.invokes.Inc()
 	return err
 }
@@ -917,9 +883,7 @@ func (m *Manager) Sync() error {
 	m.record(oplog.Op{Kind: oplog.OpSync})
 	stall := m.dev.Synchronize()
 	m.book(sim.CatGPU, stall)
-	m.statsMu.Lock()
-	m.stats.Syncs++
-	m.statsMu.Unlock()
+	m.stats.Syncs.Add(1)
 	m.mets.syncs.Inc()
 	m.emit(trace.Event{Kind: trace.EvSync})
 	return m.acquireAll()
@@ -949,17 +913,13 @@ func (m *Manager) handleFault(f hostmmu.Fault) error {
 	v, visits := m.blockAt(f.Addr)
 	m.mets.searchDepth.Observe(visits)
 	search := sim.Time(visits) * m.cfg.TreeNodeCost
-	// One stats critical section per fault: the counters and the search
-	// charge land together.
-	m.statsMu.Lock()
-	m.stats.Faults++
+	m.stats.Faults.Add(1)
 	if f.Access == hostmmu.AccessWrite {
-		m.stats.WriteFaults++
+		m.stats.WriteFaults.Add(1)
 	} else {
-		m.stats.ReadFaults++
+		m.stats.ReadFaults.Add(1)
 	}
-	m.stats.SearchTime += search
-	m.statsMu.Unlock()
+	m.stats.SearchTime.Add(int64(search))
 	m.mets.faults.Inc()
 	if f.Access == hostmmu.AccessWrite {
 		m.mets.writeFaults.Inc()
@@ -1146,20 +1106,42 @@ func runSize(first *Block, n int) int64 {
 	return int64(last.addr-first.addr) + last.size
 }
 
-// waitH2DEngine stalls until the device's H2D DMA engine is free — §5.2:
-// "evictions must wait for the previous transfer to finish before
-// continuing" — and books the wait, the eager-transfer overlap cost
-// plotted in Figure 11.
-func (m *Manager) waitH2DEngine() {
-	wait := m.dev.H2DFreeAt() - m.clock.Now()
+// waitH2DSlot stalls until the eager-eviction path may issue its next H2D
+// transfer, booking the wait (the eager-transfer overlap cost plotted in
+// Figure 11). With the double buffer disabled this is §5.2's "evictions
+// must wait for the previous transfer to finish before continuing": the
+// engine must be fully idle. With it enabled (the default) one transfer
+// may still be in flight — the wait target is the completion of the
+// transfer before last — so eviction DMA overlaps the fault service that
+// triggered it instead of serialising behind it.
+func (m *Manager) waitH2DSlot() {
+	var target sim.Time
+	if m.cfg.DisableEvictionOverlap {
+		target = m.dev.H2DFreeAt()
+	} else {
+		m.flushMu.Lock()
+		target = m.prevFlush
+		m.flushMu.Unlock()
+	}
+	wait := target - m.clock.Now()
 	if wait <= 0 {
 		return
 	}
 	m.clock.Advance(wait)
-	m.statsMu.Lock()
-	m.stats.H2DWait += wait
-	m.statsMu.Unlock()
+	m.stats.H2DWait.Add(int64(wait))
 	m.book(sim.CatCopy, wait)
+}
+
+// noteFlushIssued records the completion time of an eager flush just
+// handed to the H2D engine, shifting the double buffer.
+func (m *Manager) noteFlushIssued(done sim.Time) {
+	m.flushMu.Lock()
+	if done >= m.lastFlush {
+		m.prevFlush, m.lastFlush = m.lastFlush, done
+	} else if done > m.prevFlush {
+		m.prevFlush = done
+	}
+	m.flushMu.Unlock()
 }
 
 // flushBlockEager transfers a dirty block to the accelerator without
@@ -1181,9 +1163,10 @@ func (m *Manager) flushRunEager(first *Block, n int) error {
 	o := first.obj
 	size := runSize(first, n)
 	for attempt := 0; ; attempt++ {
-		m.waitH2DEngine()
-		_, terr := m.dev.TryMemcpyH2DAsync(first.devAddr(), o.mapping.Space.Bytes(first.addr, size))
+		m.waitH2DSlot()
+		done, terr := m.dev.TryMemcpyH2DAsync(first.devAddr(), o.mapping.Space.Bytes(first.addr, size))
 		if terr == nil {
+			m.noteFlushIssued(done.At)
 			break
 		}
 		again, ferr := m.retryStep(sim.CatCopy, "flush", attempt, terr)
@@ -1210,9 +1193,7 @@ func (m *Manager) flushBlockSync(b *Block) error {
 		t0 := m.clock.Now()
 		_, terr := m.dev.TryMemcpyH2D(b.devAddr(), b.hostBytes())
 		d := m.clock.Now() - t0
-		m.statsMu.Lock()
-		m.stats.H2DWait += d
-		m.statsMu.Unlock()
+		m.stats.H2DWait.Add(int64(d))
 		m.book(sim.CatCopy, d)
 		if terr == nil {
 			break
@@ -1245,9 +1226,7 @@ func (m *Manager) fetchBlockSync(b *Block) error {
 		t0 := m.clock.Now()
 		_, terr := m.dev.TryMemcpyD2H(b.hostBytes(), b.devAddr())
 		d := m.clock.Now() - t0
-		m.statsMu.Lock()
-		m.stats.D2HWait += d
-		m.statsMu.Unlock()
+		m.stats.D2HWait.Add(int64(d))
 		m.book(sim.CatCopy, d)
 		if terr == nil {
 			break
@@ -1265,13 +1244,51 @@ func (m *Manager) fetchBlockSync(b *Block) error {
 	return nil
 }
 
+// fetchRunSync is fetchBlockSync over n consecutive Invalid blocks with a
+// single DMA transfer: the span-fault service that mirrors eviction
+// coalescing on the fetch side. One stall, one recorded transfer of the
+// run's total bytes, one OpFetch carrying the block count in Arg. Retries
+// re-copy the whole run (a corrupt attempt scribbles the host span) and
+// escalate like fetchBlockSync. The caller holds first.obj.mu and has
+// verified every block of the run is StateInvalid.
+//
+//adsm:noalloc
+func (m *Manager) fetchRunSync(first *Block, n int) error {
+	sp := m.beginSpan("fetch", "run")
+	defer m.endSpan(sp)
+	o := first.obj
+	size := runSize(first, n)
+	for attempt := 0; ; attempt++ {
+		t0 := m.clock.Now()
+		_, terr := m.dev.TryMemcpyD2H(o.mapping.Space.Bytes(first.addr, size), first.devAddr())
+		d := m.clock.Now() - t0
+		m.stats.D2HWait.Add(int64(d))
+		m.book(sim.CatCopy, d)
+		if terr == nil {
+			break
+		}
+		again, ferr := m.retryStep(sim.CatCopy, "fetch", attempt, terr)
+		if !again {
+			return m.escalateLocked(o, "fetch", ferr)
+		}
+	}
+	m.recordD2H(o, size)
+	m.stats.FaultBatches.Add(1)
+	m.stats.PrefetchedBlocks.Add(int64(n - 1))
+	m.mets.faultBatches.Inc()
+	m.mets.prefetchedBlocks.Add(int64(n - 1))
+	if m.tracer != nil {
+		m.emit(trace.Event{Kind: trace.EvFetch, Addr: first.addr, Size: size, Note: "run"})
+	}
+	m.record(oplog.Op{Kind: oplog.OpFetch, Obj: o.seq, Addr: first.addr, Size: size, Arg: int64(n)})
+	return nil
+}
+
 // recordH2D books one host-to-device transfer of n bytes against the
 // manager totals, the metrics registry, and the owning object.
 func (m *Manager) recordH2D(o *Object, n int64) {
-	m.statsMu.Lock()
-	m.stats.BytesH2D += n
-	m.stats.TransfersH2D++
-	m.statsMu.Unlock()
+	m.stats.BytesH2D.Add(n)
+	m.stats.TransfersH2D.Add(1)
 	m.mets.bytesH2D.Add(n)
 	m.mets.transfersH2D.Inc()
 	if o != nil {
@@ -1282,10 +1299,8 @@ func (m *Manager) recordH2D(o *Object, n int64) {
 
 // recordD2H books one device-to-host transfer of n bytes.
 func (m *Manager) recordD2H(o *Object, n int64) {
-	m.statsMu.Lock()
-	m.stats.BytesD2H += n
-	m.stats.TransfersD2H++
-	m.statsMu.Unlock()
+	m.stats.BytesD2H.Add(n)
+	m.stats.TransfersD2H.Add(1)
 	m.mets.bytesD2H.Add(n)
 	m.mets.transfersD2H.Inc()
 	if o != nil {
@@ -1310,9 +1325,7 @@ type evictRun struct {
 // blocks, not transfers, so the counter stays comparable whether or not
 // coalescing is enabled.
 func (m *Manager) noteEviction(first *Block, n int) {
-	m.statsMu.Lock()
-	m.stats.Evictions += int64(n)
-	m.statsMu.Unlock()
+	m.stats.Evictions.Add(int64(n))
 	m.mets.evictions.Add(int64(n))
 	first.obj.counters.evictions.Add(int64(n))
 	m.record(oplog.Op{Kind: oplog.OpEvict, Obj: first.obj.seq,
@@ -1437,13 +1450,9 @@ func mprotectFailed(what string, err error) {
 }
 
 // eachObject visits live objects in address order. The registry is
-// snapshotted under treeMu so callbacks run without holding it.
+// snapshotted shard by shard so callbacks run holding no shard lock.
 func (m *Manager) eachObject(f func(o *Object)) {
-	m.treeMu.RLock()
-	objs := make([]*Object, 0, m.nobjects)
-	m.objects.each(func(_ mem.Addr, _ int64, v any) { objs = append(objs, v.(*Object)) })
-	m.treeMu.RUnlock()
-	for _, o := range objs {
+	for _, o := range m.reg.snapshot() {
 		f(o)
 	}
 }

@@ -190,7 +190,12 @@ func TestHostAccessBounds(t *testing.T) {
 // the manager for stats inspection.
 func runKernelRoundTrip(t *testing.T, kind ProtocolKind) *rig {
 	t.Helper()
-	r := newRig(t, defaultCfg(kind))
+	cfg := defaultCfg(kind)
+	// The round-trip tests assert the paper's one-fault-per-block protocol
+	// behaviour; span batching (its own tests below) would merge the
+	// sequential read faults.
+	cfg.DisableFaultBatching = true
+	r := newRig(t, cfg)
 	r.registerFill(t)
 	const n = 64 << 10 // 64K floats = 256KB
 	ptr, err := r.mgr.Alloc(n * 4)
@@ -273,6 +278,160 @@ func TestCoherenceRoundTripRolling(t *testing.T) {
 	}
 	if r.mgr.RollingCapacity() != 2 {
 		t.Fatalf("rolling capacity = %d", r.mgr.RollingCapacity())
+	}
+}
+
+// invalidateAll pushes every block of the object at ptr to StateInvalid the
+// way a written-hinted invocation does: kernel fill + sync.
+func invalidateAll(t *testing.T, r *rig, ptr mem.Addr, n uint64) {
+	t.Helper()
+	if err := r.mgr.Invoke("fill", uint64(ptr), n, 0x40000000); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mgr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanFaultBatchingStreaming(t *testing.T) {
+	// A sequential read sweep over 16 invalid blocks rides the promotion
+	// ladder 1,2,4,8 — 5 fault-service DMAs instead of 16, with every
+	// byte still fetched exactly once.
+	r := newRig(t, defaultCfg(RollingUpdate))
+	r.registerFill(t)
+	const n = 256 << 10 // 1MB = 16 blocks of 64KB
+	ptr, err := r.mgr.Alloc(n * 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mgr.HostWrite(ptr, make([]byte, n*4)); err != nil {
+		t.Fatal(err)
+	}
+	invalidateAll(t, r, ptr, n)
+	base := r.mgr.Stats()
+	got := make([]byte, n*4)
+	if err := r.mgr.HostRead(ptr, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < int(n); i++ {
+		if got[i*4+3] != 0x40 {
+			t.Fatalf("element %d wrong: % x", i, got[i*4:i*4+4])
+		}
+	}
+	st := r.mgr.Stats().Sub(base)
+	if st.BytesD2H != n*4 {
+		t.Fatalf("streaming read fetched %d bytes, want %d", st.BytesD2H, n*4)
+	}
+	// Faults at blocks 0 (run 1), 1 (run 2), 3 (run 4), 7 (run 8), 15
+	// (run 1, object end).
+	if st.ReadFaults != 5 || st.TransfersD2H != 5 {
+		t.Fatalf("streaming faults: %+v", st)
+	}
+	if st.FaultBatches != 3 || st.PrefetchedBlocks != 11 {
+		t.Fatalf("batch counters: %+v", st)
+	}
+	if st.SpanPromotions != 4 {
+		t.Fatalf("promotions = %d, want 4", st.SpanPromotions)
+	}
+}
+
+func TestSpanFaultBatchingDemotesOnRandomAccess(t *testing.T) {
+	r := newRig(t, defaultCfg(RollingUpdate))
+	r.registerFill(t)
+	const n = 256 << 10 // 16 blocks
+	ptr, err := r.mgr.Alloc(n * 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mgr.HostWrite(ptr, make([]byte, n*4)); err != nil {
+		t.Fatal(err)
+	}
+	invalidateAll(t, r, ptr, n)
+	base := r.mgr.Stats()
+	buf := make([]byte, 4)
+	// Two sequential faults grow the span to 2; a fault far away must
+	// reset it to 1 rather than over-fetch around the random address.
+	for _, blk := range []int{0, 1, 10} {
+		if err := r.mgr.HostRead(ptr+mem.Addr(blk*64<<10), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.mgr.Stats().Sub(base)
+	if st.SpanDemotions != 1 {
+		t.Fatalf("demotions = %d, want 1: %+v", st.SpanDemotions, st)
+	}
+	// Block 10 was fetched alone: the demoted span must not prefetch 11.
+	if st.PrefetchedBlocks != 1 { // only block 2, from the 0,1 streak
+		t.Fatalf("prefetched = %d, want 1: %+v", st.PrefetchedBlocks, st)
+	}
+}
+
+func TestDisableFaultBatchingPins1BlockRuns(t *testing.T) {
+	cfg := defaultCfg(RollingUpdate)
+	cfg.DisableFaultBatching = true
+	r := newRig(t, cfg)
+	r.registerFill(t)
+	const n = 256 << 10
+	ptr, err := r.mgr.Alloc(n * 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mgr.HostWrite(ptr, make([]byte, n*4)); err != nil {
+		t.Fatal(err)
+	}
+	invalidateAll(t, r, ptr, n)
+	base := r.mgr.Stats()
+	got := make([]byte, n*4)
+	if err := r.mgr.HostRead(ptr, got); err != nil {
+		t.Fatal(err)
+	}
+	st := r.mgr.Stats().Sub(base)
+	if st.ReadFaults != 16 || st.TransfersD2H != 16 {
+		t.Fatalf("unbatched faults: %+v", st)
+	}
+	if st.FaultBatches != 0 || st.PrefetchedBlocks != 0 || st.SpanPromotions != 0 {
+		t.Fatalf("batching stats should be zero when disabled: %+v", st)
+	}
+}
+
+func TestSpanFaultBatchingFourXFewerDMAs(t *testing.T) {
+	// The acceptance bound: on a long sequential stream (64 invalid blocks)
+	// batching must cut fault-service DMAs by at least 4x versus the
+	// one-fault-per-block oracle. The ladder reaches the 16-block span cap
+	// by block 15 and stays there: faults at 0,1,3,7,15,31,47,63 = 8 DMAs.
+	run := func(disable bool) Stats {
+		cfg := defaultCfg(RollingUpdate)
+		cfg.DisableFaultBatching = disable
+		r := newRig(t, cfg)
+		r.registerFill(t)
+		const n = 1 << 20 // 4MB = 64 blocks of 64KB
+		ptr, err := r.mgr.Alloc(n * 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.mgr.HostWrite(ptr, make([]byte, n*4)); err != nil {
+			t.Fatal(err)
+		}
+		invalidateAll(t, r, ptr, n)
+		base := r.mgr.Stats()
+		got := make([]byte, n*4)
+		if err := r.mgr.HostRead(ptr, got); err != nil {
+			t.Fatal(err)
+		}
+		st := r.mgr.Stats().Sub(base)
+		if st.BytesD2H != n*4 {
+			t.Fatalf("disable=%v fetched %d bytes, want %d", disable, st.BytesD2H, n*4)
+		}
+		return st
+	}
+	oracle := run(true)
+	batched := run(false)
+	if oracle.TransfersD2H != 64 {
+		t.Fatalf("oracle DMAs = %d, want 64", oracle.TransfersD2H)
+	}
+	if 4*batched.TransfersD2H > oracle.TransfersD2H {
+		t.Fatalf("batching saved too little: %d DMAs vs oracle %d (need >= 4x)",
+			batched.TransfersD2H, oracle.TransfersD2H)
 	}
 }
 

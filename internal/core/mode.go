@@ -232,9 +232,7 @@ func (m *Manager) migrate(o *Object, to ProtocolKind) error {
 		m.rollingObjs.Add(1)
 	}
 	o.proto = to
-	m.statsMu.Lock()
-	m.stats.ModeMigrations++
-	m.statsMu.Unlock()
+	m.stats.ModeMigrations.Add(1)
 	m.mets.modeMigrations.Inc()
 	m.record(oplog.Op{Kind: oplog.OpModeMigrate, Obj: o.seq, Addr: o.addr,
 		Size: o.size, Arg: int64(from)<<8 | int64(to)})

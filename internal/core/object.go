@@ -170,6 +170,13 @@ type Object struct {
 	autoFaults, autoWrites, autoEvicts int64
 	autoVote                           ProtocolKind
 	autoStreak                         int
+	// Span-fault batching state (protocol.go), guarded by mu: nextFaultIdx
+	// is the block index the current sequential-fault streak predicts next
+	// (-1 before the first fault), fetchSpan the current adaptive fetch
+	// granularity in blocks (doubled up to maxFaultRun while the streak
+	// holds, reset to 1 on a non-sequential fault).
+	nextFaultIdx int
+	fetchSpan    int
 	// degraded marks an object that fell back to host-resident batch-update
 	// semantics after its device was lost: all blocks Dirty and writable,
 	// never transferred again. Set under mu; atomic because introspection
@@ -258,6 +265,8 @@ func (o *Object) BlockAt(addr mem.Addr) *Block {
 
 // makeBlocks divides the object into blocks of at most blockSize bytes.
 func (o *Object) makeBlocks(blockSize int64) {
+	o.nextFaultIdx = -1 // no streak until the first fault lands
+	o.fetchSpan = 1
 	if blockSize <= 0 || blockSize > o.size {
 		blockSize = o.size
 	}

@@ -30,6 +30,7 @@ type metricSet struct {
 	degraded, deviceLost            *metrics.Counter
 	modeMigrations                  *metrics.Counter
 	fetchElisions, flushElisions    *metrics.Counter
+	faultBatches, prefetchedBlocks  *metrics.Counter
 	races                           *metrics.Counter
 
 	faultNs     *metrics.Histogram
@@ -42,30 +43,32 @@ func newMetricSet(r *metrics.Registry, proto ProtocolKind) *metricSet {
 	p := proto.String()
 	lbl := func(name string) string { return metrics.Label(name, "protocol", p) }
 	return &metricSet{
-		faults:       r.Counter(lbl("adsm_faults_total")),
-		readFaults:   r.Counter(lbl("adsm_read_faults_total")),
-		writeFaults:  r.Counter(lbl("adsm_write_faults_total")),
-		bytesH2D:     r.Counter(lbl("adsm_bytes_h2d_total")),
-		bytesD2H:     r.Counter(lbl("adsm_bytes_d2h_total")),
-		transfersH2D: r.Counter(lbl("adsm_transfers_h2d_total")),
-		transfersD2H: r.Counter(lbl("adsm_transfers_d2h_total")),
-		evictions:    r.Counter(lbl("adsm_evictions_total")),
-		allocs:       r.Counter(lbl("adsm_allocs_total")),
-		frees:        r.Counter(lbl("adsm_frees_total")),
-		invokes:      r.Counter(lbl("adsm_invokes_total")),
-		syncs:        r.Counter(lbl("adsm_syncs_total")),
-		retries:      r.Counter(lbl("adsm_retries_total")),
-		retryGiveups: r.Counter(lbl("adsm_retry_giveups_total")),
-		degraded:     r.Counter(lbl("adsm_degraded_objects_total")),
-		deviceLost:   r.Counter(lbl("adsm_device_lost_total")),
-		modeMigrations: r.Counter(lbl("adsm_mode_migrations_total")),
-		fetchElisions:  r.Counter(lbl("adsm_fetch_elisions_total")),
-		flushElisions:  r.Counter(lbl("adsm_flush_elisions_total")),
-		races:          r.Counter(lbl("adsm_races_detected_total")),
-		faultNs:      r.Histogram(lbl("adsm_fault_service_ns"), metrics.LatencyBuckets),
-		searchDepth:  r.Histogram(lbl("adsm_search_depth_nodes"), metrics.DepthBuckets),
-		rollingOcc:   r.Gauge(lbl("adsm_rolling_occupancy")),
-		rollingHist:  r.Histogram(lbl("adsm_rolling_occupancy_blocks"), metrics.DepthBuckets),
+		faults:           r.Counter(lbl("adsm_faults_total")),
+		readFaults:       r.Counter(lbl("adsm_read_faults_total")),
+		writeFaults:      r.Counter(lbl("adsm_write_faults_total")),
+		bytesH2D:         r.Counter(lbl("adsm_bytes_h2d_total")),
+		bytesD2H:         r.Counter(lbl("adsm_bytes_d2h_total")),
+		transfersH2D:     r.Counter(lbl("adsm_transfers_h2d_total")),
+		transfersD2H:     r.Counter(lbl("adsm_transfers_d2h_total")),
+		evictions:        r.Counter(lbl("adsm_evictions_total")),
+		allocs:           r.Counter(lbl("adsm_allocs_total")),
+		frees:            r.Counter(lbl("adsm_frees_total")),
+		invokes:          r.Counter(lbl("adsm_invokes_total")),
+		syncs:            r.Counter(lbl("adsm_syncs_total")),
+		retries:          r.Counter(lbl("adsm_retries_total")),
+		retryGiveups:     r.Counter(lbl("adsm_retry_giveups_total")),
+		degraded:         r.Counter(lbl("adsm_degraded_objects_total")),
+		deviceLost:       r.Counter(lbl("adsm_device_lost_total")),
+		modeMigrations:   r.Counter(lbl("adsm_mode_migrations_total")),
+		fetchElisions:    r.Counter(lbl("adsm_fetch_elisions_total")),
+		flushElisions:    r.Counter(lbl("adsm_flush_elisions_total")),
+		faultBatches:     r.Counter(lbl("adsm_fault_batches_total")),
+		prefetchedBlocks: r.Counter(lbl("adsm_prefetched_blocks_total")),
+		races:            r.Counter(lbl("adsm_races_detected_total")),
+		faultNs:          r.Histogram(lbl("adsm_fault_service_ns"), metrics.LatencyBuckets),
+		searchDepth:      r.Histogram(lbl("adsm_search_depth_nodes"), metrics.DepthBuckets),
+		rollingOcc:       r.Gauge(lbl("adsm_rolling_occupancy")),
+		rollingHist:      r.Histogram(lbl("adsm_rolling_occupancy_blocks"), metrics.DepthBuckets),
 	}
 }
 

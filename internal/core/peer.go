@@ -53,9 +53,7 @@ func (m *Manager) PeerWrite(addr mem.Addr, src []byte) error {
 		// The I/O device writes accelerator memory directly; the transfer
 		// rides under the (much slower) disk transfer already charged.
 		m.dev.WriteBytes(o.devAddr+(addr-o.addr), src[:n])
-		m.statsMu.Lock()
-		m.stats.PeerBytesIn += n
-		m.statsMu.Unlock()
+		m.stats.PeerBytesIn.Add(n)
 		if b.state != StateInvalid {
 			b.state = StateInvalid
 			m.setProt(b, hostmmu.ProtNone)
@@ -96,9 +94,7 @@ func (m *Manager) PeerRead(addr mem.Addr, dst []byte) error {
 			o.mapping.Space.Read(addr, dst[:n])
 		} else {
 			m.dev.ReadBytes(o.devAddr+(addr-o.addr), dst[:n])
-			m.statsMu.Lock()
-			m.stats.PeerBytesOut += n
-			m.statsMu.Unlock()
+			m.stats.PeerBytesOut.Add(n)
 		}
 		addr += mem.Addr(n)
 		dst = dst[n:]

@@ -362,19 +362,56 @@ func (m *Manager) invalidateUnflushed(o *Object) error {
 //
 //adsm:noalloc
 func (m *Manager) noteFetchElisions(n int64) {
-	m.statsMu.Lock()
-	m.stats.FetchElisions += n
-	m.statsMu.Unlock()
+	m.stats.FetchElisions.Add(n)
 	m.mets.fetchElisions.Add(n)
 }
 
 // noteFlushElisions books n elided host-to-device block transfers: flushes
 // of dirty data a write-only declaration proved dead.
 func (m *Manager) noteFlushElisions(n int64) {
-	m.statsMu.Lock()
-	m.stats.FlushElisions += n
-	m.statsMu.Unlock()
+	m.stats.FlushElisions.Add(n)
 	m.mets.flushElisions.Add(n)
+}
+
+// maxFaultRun caps a span-fault batch, mirroring maxEvictRun on the
+// eviction side: one fault-service DMA covers at most this many blocks.
+const maxFaultRun = 16
+
+// faultRunLen decides how many blocks the fault on b should fetch in one
+// DMA, and advances the object's adaptive streak state. The span starts at
+// one block, doubles each time a fault lands exactly where the previous
+// run ended (a sequential streak: the streaming pattern Cudennec's S-DSM
+// survey identifies as the granularity win), and resets to one block on
+// any other fault (random access must not over-fetch). The returned run
+// never exceeds the contiguous stretch of Invalid blocks from b, the
+// adaptive span, maxFaultRun, or the object end. The caller holds
+// b.obj.mu; b is StateInvalid.
+//
+//adsm:noalloc
+func (m *Manager) faultRunLen(b *Block) int {
+	o := b.obj
+	if m.cfg.DisableFaultBatching || len(o.blocks) == 1 {
+		return 1
+	}
+	span := 1
+	if b.index == o.nextFaultIdx {
+		span = o.fetchSpan * 2
+		if span > maxFaultRun {
+			span = maxFaultRun
+		}
+		if span > o.fetchSpan {
+			m.stats.SpanPromotions.Add(1)
+		}
+	} else if o.fetchSpan > 1 {
+		m.stats.SpanDemotions.Add(1)
+	}
+	o.fetchSpan = span
+	n := 1
+	for n < span && b.index+n < len(o.blocks) && o.blocks[b.index+n].state == StateInvalid {
+		n++
+	}
+	o.nextFaultIdx = b.index + n
+	return n
 }
 
 // resolveFault implements the shared Figure 6(b) transitions for lazy- and
@@ -402,16 +439,41 @@ func resolveFault(m *Manager, b *Block, access hostmmu.Access) error {
 			m.emitTransition(b, before)
 			return nil
 		}
-		if err := m.fetchBlockSync(b); err != nil {
+		n := m.faultRunLen(b)
+		if n == 1 {
+			if err := m.fetchBlockSync(b); err != nil {
+				m.emitTransition(b, before)
+				return err
+			}
+			if access == hostmmu.AccessWrite {
+				b.state = StateDirty
+				m.setProt(b, hostmmu.ProtReadWrite)
+			} else {
+				b.state = StateReadOnly
+				m.setProt(b, hostmmu.ProtRead)
+			}
+			m.emitTransition(b, before)
+			return nil
+		}
+		// Span batch: fetch the whole Invalid run in one DMA. Prefetched
+		// blocks land ReadOnly — both copies match, and the next CPU write
+		// still faults — while the faulting block itself transitions by
+		// access kind exactly as the single-block path does.
+		if err := m.fetchRunSync(b, n); err != nil {
 			m.emitTransition(b, before)
 			return err
+		}
+		o := b.obj
+		for i := 1; i < n; i++ {
+			o.blocks[b.index+i].state = StateReadOnly
 		}
 		if access == hostmmu.AccessWrite {
 			b.state = StateDirty
 			m.setProt(b, hostmmu.ProtReadWrite)
+			m.setProtRun(o.blocks[b.index+1], n-1, hostmmu.ProtRead)
 		} else {
 			b.state = StateReadOnly
-			m.setProt(b, hostmmu.ProtRead)
+			m.setProtRun(b, n, hostmmu.ProtRead)
 		}
 		m.emitTransition(b, before)
 		return nil

@@ -89,6 +89,9 @@ func (m *Manager) OpLogHeader() oplog.Header {
 	if m.cfg.RaceDetect {
 		h.Flags |= oplog.HdrRaceDetect
 	}
+	if m.cfg.DisableFaultBatching {
+		h.Flags |= oplog.HdrNoFaultBatch
+	}
 	return h
 }
 

@@ -87,9 +87,7 @@ func (m *Manager) retryStep(cat sim.Category, what string, attempt int, err erro
 		return false, err
 	}
 	if attempt >= m.maxRetries() {
-		m.statsMu.Lock()
-		m.stats.RetryGiveups++
-		m.statsMu.Unlock()
+		m.stats.RetryGiveups.Add(1)
 		m.mets.retryGiveups.Inc()
 		m.record(oplog.Op{Kind: oplog.OpRetry, Flags: oplog.FlagGiveup,
 			Arg: int64(attempt), Note: oplog.NoteID(what)})
@@ -98,9 +96,7 @@ func (m *Manager) retryStep(cat sim.Category, what string, attempt int, err erro
 	}
 	backoff := m.retryBase() << uint(attempt)
 	m.charge(cat, backoff)
-	m.statsMu.Lock()
-	m.stats.Retries++
-	m.statsMu.Unlock()
+	m.stats.Retries.Add(1)
 	m.mets.retries.Inc()
 	m.emit(trace.Event{Kind: trace.EvRetry, Note: what})
 	m.record(oplog.Op{Kind: oplog.OpRetry, Arg: int64(attempt), Note: oplog.NoteID(what)})
@@ -112,9 +108,7 @@ func (m *Manager) markDeviceLost(cause error) {
 	if m.lost.Swap(true) {
 		return
 	}
-	m.statsMu.Lock()
-	m.stats.DeviceLostEvents++
-	m.statsMu.Unlock()
+	m.stats.DeviceLostEvents.Add(1)
 	m.mets.deviceLost.Inc()
 	m.emit(trace.Event{Kind: trace.EvDeviceLost, Note: cause.Error()})
 	// Cause strings carry addresses and attempt counts — unbounded
@@ -138,9 +132,7 @@ func (m *Manager) degradeObjectLocked(o *Object) {
 		m.setProtObject(o, hostmmu.ProtReadWrite)
 	}
 	o.degraded.Store(true)
-	m.statsMu.Lock()
-	m.stats.DegradedObjects++
-	m.statsMu.Unlock()
+	m.stats.DegradedObjects.Add(1)
 	m.mets.degraded.Inc()
 	m.emit(trace.Event{Kind: trace.EvDegrade, Addr: o.addr, Size: o.size})
 	m.record(oplog.Op{Kind: oplog.OpDegrade, Obj: o.seq, Addr: o.addr, Size: o.size})

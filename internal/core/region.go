@@ -47,9 +47,7 @@ func (m *Manager) AcquireRegion(addrs ...mem.Addr) error {
 			return err
 		}
 	}
-	m.statsMu.Lock()
-	m.stats.RegionAcquires++
-	m.statsMu.Unlock()
+	m.stats.RegionAcquires.Add(1)
 	return nil
 }
 
@@ -80,9 +78,7 @@ func (m *Manager) ReleaseRegion(addrs ...mem.Addr) error {
 			return err
 		}
 	}
-	m.statsMu.Lock()
-	m.stats.RegionReleases++
-	m.statsMu.Unlock()
+	m.stats.RegionReleases.Add(1)
 	return nil
 }
 

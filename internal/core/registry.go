@@ -1,0 +1,234 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mem"
+)
+
+// This file is the sharded object/block registry. PR 4 made the per-fault
+// lookup lock-free (the RCU span indexes of index.go), but every snapshot
+// rebuild and every Alloc/Free still funnelled through one global treeMu:
+// with N host lanes faulting concurrently under registry churn, that one
+// write lock was the remaining shared point of serialisation. The registry
+// is now split into regShards address-range shards, each owning its own
+// interval trees, span indexes, and RWMutex, so lanes working on disjoint
+// objects rebuild and mutate disjoint shards.
+//
+// Sharding is by address granule: the shard of an address is a
+// multiplicative hash of its 1 MiB granule number, so consecutive granules
+// spread across shards (disjoint benchmark objects land on different
+// shards even when allocated back to back) while every lookup is a pure
+// deterministic function of the address. An interval is inserted into
+// every shard its granules hash to; a point lookup needs only the shard of
+// its own granule, because any interval containing the address overlaps
+// that granule. The fault path stays allocation-free: shard selection is
+// two integer operations, then the shard's spanIndex fast path runs
+// exactly as before.
+
+const (
+	// regShardBits sets the shard count. 16 shards comfortably exceeds the
+	// simulated host's lane count while keeping the all-shards sweep of
+	// Alloc/Free cheap.
+	regShardBits = 4
+	regShards    = 1 << regShardBits
+	// regGranuleBits sets the 1 MiB address granule that maps to one shard.
+	// Smaller would spread single objects over all shards (making Alloc
+	// lock everything); larger would lump neighbouring benchmark objects
+	// onto one shard and re-create the contention this file removes.
+	regGranuleBits = 20
+)
+
+// regShardOf returns the shard owning addr's granule: a Fibonacci-hash
+// spread of the granule number so address-adjacent granules land on
+// different shards.
+//
+//adsm:noalloc
+func regShardOf(addr mem.Addr) int {
+	g := uint64(addr) >> regGranuleBits
+	return int((g * 0x9e3779b97f4a7c15) >> (64 - regShardBits))
+}
+
+// regShardMask returns the bitmask of shards overlapped by
+// [addr, addr+size), short-circuiting once every shard is included.
+func regShardMask(addr mem.Addr, size int64) uint32 {
+	if size <= 0 {
+		size = 1
+	}
+	const full = uint32(1)<<regShards - 1
+	first := uint64(addr) >> regGranuleBits
+	last := (uint64(addr) + uint64(size) - 1) >> regGranuleBits
+	var mask uint32
+	for g := first; g <= last; g++ {
+		mask |= 1 << regShardOf(mem.Addr(g<<regGranuleBits))
+		if mask == full {
+			break
+		}
+	}
+	return mask
+}
+
+// regShard is one slice of the registry: the interval trees are the
+// writer-side source of truth, the span indexes the RCU read path over
+// them, exactly the structure the pre-shard registry had globally.
+type regShard struct {
+	// mu guards this shard's trees. Shards are locked one at a time, never
+	// nested, so all shards can share the treeMu level of the hierarchy.
+	//
+	//adsm:lock treeMu 30
+	mu      sync.RWMutex
+	objects rbTree // Object intervals, host VA order
+	blocks  rbTree // Block intervals: the fault handler's search tree
+	objIdx  spanIndex
+	blkIdx  spanIndex
+}
+
+// registry is the sharded object/block registry.
+type registry struct {
+	shards   [regShards]regShard
+	nobjects atomic.Int64
+}
+
+// insertObject publishes o (and its blocks) to every shard its address
+// range overlaps. Insert failures can only come from overlapping
+// intervals — a manager bug, since the VA space never double-allocates —
+// and are returned with the registry partially updated, matching the
+// pre-shard behaviour.
+func (r *registry) insertObject(o *Object) error {
+	mask := regShardMask(o.addr, o.size)
+	for s := 0; s < regShards; s++ {
+		if mask&(1<<s) == 0 {
+			continue
+		}
+		sh := &r.shards[s]
+		sh.mu.Lock()
+		if err := sh.objects.insert(o.addr, o.size, o); err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		for _, b := range o.blocks {
+			if regShardMask(b.addr, b.size)&(1<<s) == 0 {
+				continue
+			}
+			if err := sh.blocks.insert(b.addr, b.size, b); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+		}
+		sh.objIdx.invalidate()
+		sh.blkIdx.invalidate()
+		sh.mu.Unlock()
+	}
+	r.nobjects.Add(1)
+	return nil
+}
+
+// removeObject withdraws o from every shard it was published to.
+func (r *registry) removeObject(o *Object) {
+	mask := regShardMask(o.addr, o.size)
+	for s := 0; s < regShards; s++ {
+		if mask&(1<<s) == 0 {
+			continue
+		}
+		sh := &r.shards[s]
+		sh.mu.Lock()
+		sh.objects.remove(o.addr)
+		for _, b := range o.blocks {
+			if regShardMask(b.addr, b.size)&(1<<s) == 0 {
+				continue
+			}
+			sh.blocks.remove(b.addr)
+		}
+		sh.objIdx.invalidate()
+		sh.blkIdx.invalidate()
+		sh.mu.Unlock()
+	}
+	r.nobjects.Add(-1)
+}
+
+// objectAt returns the object containing addr, or nil: the lock-free
+// snapshot search of addr's shard, with the single-flight rebuild slow
+// path behind it.
+//
+//adsm:noalloc
+func (r *registry) objectAt(addr mem.Addr) *Object {
+	sh := &r.shards[regShardOf(addr)]
+	v, _, ok := sh.objIdx.search(addr)
+	if !ok {
+		v, _ = sh.rebuildObj(addr)
+	}
+	if v == nil {
+		return nil
+	}
+	return v.(*Object)
+}
+
+// blockAt resolves the fault handler's block lookup against addr's shard:
+// the payload containing addr (nil if unshared) and the probe count
+// charged as §5.2 search cost.
+//
+//adsm:noalloc
+func (r *registry) blockAt(addr mem.Addr) (any, int64) {
+	sh := &r.shards[regShardOf(addr)]
+	if v, probes, ok := sh.blkIdx.search(addr); ok {
+		return v, probes
+	}
+	return sh.rebuildBlk(addr)
+}
+
+// rebuildObj refreshes the shard's object snapshot under its read lock and
+// resolves addr against it.
+func (sh *regShard) rebuildObj(addr mem.Addr) (any, int64) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.objIdx.rebuild(&sh.objects, sh.objIdx.gen.Load(), addr)
+}
+
+// rebuildBlk is rebuildObj for the block index.
+func (sh *regShard) rebuildBlk(addr mem.Addr) (any, int64) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.blkIdx.rebuild(&sh.blocks, sh.blkIdx.gen.Load(), addr)
+}
+
+// blockLookup answers the invariant checker's exact-tree probe: the block
+// tree payload at addr, read under the owning shard's lock (bypassing the
+// snapshots, so tree/snapshot divergence is detectable).
+func (r *registry) blockLookup(addr mem.Addr) any {
+	sh := &r.shards[regShardOf(addr)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.blocks.lookup(addr)
+}
+
+// snapshot returns the live objects in address order. Each object is
+// collected from its home shard only (the shard of its start address), so
+// multi-shard objects appear exactly once without a dedup map; the final
+// sort restores the global address order a single tree walk used to give.
+func (r *registry) snapshot() []*Object {
+	objs := make([]*Object, 0, r.nobjects.Load())
+	for s := range r.shards {
+		sh := &r.shards[s]
+		sh.mu.RLock()
+		sh.objects.each(func(a mem.Addr, _ int64, v any) {
+			if regShardOf(a) == s {
+				objs = append(objs, v.(*Object))
+			}
+		})
+		sh.mu.RUnlock()
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].addr < objs[j].addr })
+	return objs
+}
+
+// rebuilds sums the published-snapshot count across shards (the
+// rebuild-storm regression test's observable).
+func (r *registry) rebuilds() int64 {
+	var n int64
+	for s := range r.shards {
+		n += r.shards[s].objIdx.rebuilds.Load() + r.shards[s].blkIdx.rebuilds.Load()
+	}
+	return n
+}

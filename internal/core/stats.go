@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"reflect"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -48,13 +49,77 @@ type Stats struct {
 	// Access-mode activity (mode.go): auto-mode protocol migrations, block
 	// fetches elided by read-only/write-only declarations, flushes elided by
 	// write-only hints, and regional acquire/release scopes.
-	ModeMigrations               int64
-	FetchElisions, FlushElisions int64
+	ModeMigrations                 int64
+	FetchElisions, FlushElisions   int64
 	RegionAcquires, RegionReleases int64
+
+	// Span-fault batching activity (protocol.go): multi-block fault-service
+	// DMAs (FaultBatches), blocks brought in by them beyond the faulting one
+	// (PrefetchedBlocks), and the adaptive-granularity decisions that size
+	// the runs (SpanPromotions doubles the streak span, SpanDemotions resets
+	// it on non-sequential faults).
+	FaultBatches, PrefetchedBlocks int64
+	SpanPromotions, SpanDemotions  int64
 
 	// RacesDetected counts races reported by the online vector-clock
 	// detector (Config.RaceDetect; 0 when detection is disabled).
 	RacesDetected int64
+}
+
+// statsCounters is the lock-free backing store for Stats: one atomic per
+// counter, field names identical to Stats so load can copy by name. The
+// mutation sites sit on the fault hot path of every concurrent lane, so a
+// shared stats mutex would serialise exactly the fault storms the sharded
+// registry lets proceed in parallel; plain atomic adds keep the counters
+// race-free with no critical section at all. TestStatsCountersParity pins
+// the field-name correspondence (and load panics on any divergence, so a
+// counter added to one struct but not the other cannot ship).
+type statsCounters struct {
+	BytesH2D, BytesD2H         atomic.Int64
+	TransfersH2D, TransfersD2H atomic.Int64
+
+	Faults, ReadFaults, WriteFaults atomic.Int64
+
+	Evictions atomic.Int64
+
+	H2DWait, D2HWait atomic.Int64
+	H2DDrain         atomic.Int64
+
+	SearchTime atomic.Int64
+
+	PeerBytesIn, PeerBytesOut atomic.Int64
+
+	Allocs, Frees, Invokes, Syncs atomic.Int64
+
+	Retries, RetryGiveups             atomic.Int64
+	DegradedObjects, DeviceLostEvents atomic.Int64
+
+	ModeMigrations                 atomic.Int64
+	FetchElisions, FlushElisions   atomic.Int64
+	RegionAcquires, RegionReleases atomic.Int64
+
+	FaultBatches, PrefetchedBlocks atomic.Int64
+	SpanPromotions, SpanDemotions  atomic.Int64
+
+	RacesDetected atomic.Int64
+}
+
+// load snapshots the atomic counters into a Stats value, matching fields
+// by name. A statsCounters field with no Stats counterpart panics here, so
+// the two structs cannot silently drift apart.
+func (c *statsCounters) load() Stats {
+	var out Stats
+	cv := reflect.ValueOf(c).Elem()
+	ov := reflect.ValueOf(&out).Elem()
+	for i := 0; i < cv.NumField(); i++ {
+		name := cv.Type().Field(i).Name
+		f := ov.FieldByName(name)
+		if !f.IsValid() {
+			panic(fmt.Sprintf("core: statsCounters field %s has no Stats counterpart", name))
+		}
+		f.SetInt(cv.Field(i).Addr().Interface().(*atomic.Int64).Load())
+	}
+	return out
 }
 
 // Sub returns the difference s - base, counter by counter. Experiment

@@ -2,6 +2,7 @@ package core
 
 import (
 	"reflect"
+	"sync/atomic"
 	"testing"
 )
 
@@ -27,6 +28,38 @@ func TestStatsSubCoversEveryField(t *testing.T) {
 		if got := dv.Field(i).Int(); got != want {
 			t.Errorf("Sub dropped field %s: got %d, want %d",
 				dv.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestStatsCountersParity pins the field-for-field correspondence between
+// Stats and its atomic backing store statsCounters: same field count, same
+// names in the same order, and load copies every value. load itself panics
+// on a statsCounters field missing from Stats; this test also catches the
+// reverse direction (a Stats field with no atomic counterpart, which load
+// would silently leave zero).
+func TestStatsCountersParity(t *testing.T) {
+	st := reflect.TypeOf(Stats{})
+	ct := reflect.TypeOf(statsCounters{})
+	if st.NumField() != ct.NumField() {
+		t.Fatalf("Stats has %d fields, statsCounters %d", st.NumField(), ct.NumField())
+	}
+	for i := 0; i < st.NumField(); i++ {
+		if st.Field(i).Name != ct.Field(i).Name {
+			t.Errorf("field %d: Stats.%s vs statsCounters.%s",
+				i, st.Field(i).Name, ct.Field(i).Name)
+		}
+	}
+	var c statsCounters
+	cv := reflect.ValueOf(&c).Elem()
+	for i := 0; i < cv.NumField(); i++ {
+		cv.Field(i).Addr().Interface().(*atomic.Int64).Store(int64(1 + 13*i))
+	}
+	got := reflect.ValueOf(c.load())
+	for i := 0; i < got.NumField(); i++ {
+		if want := int64(1 + 13*i); got.Field(i).Int() != want {
+			t.Errorf("load dropped field %s: got %d, want %d",
+				got.Type().Field(i).Name, got.Field(i).Int(), want)
 		}
 	}
 }

@@ -94,17 +94,43 @@ type Stats struct {
 	SignalTime  sim.Time // accumulated signal-delivery cost
 }
 
+// Page-table sharding. The page table used to be one map under one
+// RWMutex: every concurrent lane's protection check and every fault
+// handler's mprotect met on that lock. It is now split into mmuShards
+// address-range shards — the same 1 MiB-granule Fibonacci hash the core
+// registry shards by, so a lane's working set and its neighbour's land on
+// different shards — and each protection check touches only the shard of
+// the page it probes.
+const (
+	mmuShardBits    = 4
+	mmuShardCount   = 1 << mmuShardBits
+	mmuGranuleBits  = 20
+	mmuGranuleBytes = 1 << mmuGranuleBits
+)
+
+// mmuShard is one slice of the page table.
+type mmuShard struct {
+	mu    sync.RWMutex
+	pages map[mem.Addr]Prot
+}
+
+// shardOf returns the shard owning addr's 1 MiB granule.
+func (m *MMU) shardOf(addr mem.Addr) *mmuShard {
+	g := uint64(addr) >> mmuGranuleBits
+	return &m.shards[(g*0x9e3779b97f4a7c15)>>(64-mmuShardBits)]
+}
+
 // MMU is the software memory-protection unit. All times are charged to the
 // virtual clock; the breakdown receives the Signal category.
 //
 // The MMU is safe for concurrent use: protection checks from several host
-// goroutines read the page table under a shared lock, and fault delivery
-// runs with no MMU lock held (the handler re-enters via Mprotect), exactly
-// as a real kernel delivers signals outside the page-table spinlock.
+// goroutines read the sharded page table under per-shard shared locks, and
+// fault delivery runs with no MMU lock held (the handler re-enters via
+// Mprotect), exactly as a real kernel delivers signals outside the
+// page-table spinlock. Shard locks are taken one at a time, never nested.
 type MMU struct {
 	pageSize   int64
-	mu         sync.RWMutex // guards pages
-	pages      map[mem.Addr]Prot
+	shards     [mmuShardCount]mmuShard
 	handler    atomic.Pointer[FaultHandler]
 	clock      *sim.Clock
 	breakdown  *sim.Breakdown
@@ -130,13 +156,16 @@ func New(cfg Config, clock *sim.Clock, breakdown *sim.Breakdown) *MMU {
 	if cfg.PageSize <= 0 || cfg.PageSize&(cfg.PageSize-1) != 0 {
 		panic(fmt.Sprintf("hostmmu: page size %d is not a power of two", cfg.PageSize))
 	}
-	return &MMU{
+	m := &MMU{
 		pageSize:   cfg.PageSize,
-		pages:      make(map[mem.Addr]Prot),
 		clock:      clock,
 		breakdown:  breakdown,
 		signalCost: cfg.SignalCost,
 	}
+	for i := range m.shards {
+		m.shards[i].pages = make(map[mem.Addr]Prot)
+	}
+	return m
 }
 
 // PageSize returns the MMU page size.
@@ -166,16 +195,32 @@ func (m *MMU) pageBase(addr mem.Addr) mem.Addr {
 	return addr &^ mem.Addr(m.pageSize-1)
 }
 
+// granuleEnd returns the first page past addr's 1 MiB granule: the point
+// where the next page may hash to a different shard.
+func granuleEnd(addr mem.Addr) mem.Addr {
+	return (addr | (mmuGranuleBytes - 1)) + 1
+}
+
 // Map registers [addr, addr+size) with the given protection. Addr must be
 // page-aligned; size is rounded up to whole pages.
 func (m *MMU) Map(addr mem.Addr, size int64, prot Prot) {
 	if addr != m.pageBase(addr) {
 		panic(fmt.Sprintf("hostmmu: unaligned map at %#x", uint64(addr)))
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for off := int64(0); off < size; off += m.pageSize {
-		m.pages[addr+mem.Addr(off)] = prot
+	end := addr + mem.Addr(size)
+	for p := addr; p < end; {
+		// Pages change shard only at granule boundaries: lock once per
+		// maximal same-shard run, not once per page.
+		stop := granuleEnd(p)
+		if stop > end {
+			stop = end
+		}
+		sh := m.shardOf(p)
+		sh.mu.Lock()
+		for ; p < stop; p += mem.Addr(m.pageSize) {
+			sh.pages[p] = prot
+		}
+		sh.mu.Unlock()
 	}
 }
 
@@ -184,46 +229,74 @@ func (m *MMU) Unmap(addr mem.Addr, size int64) {
 	if addr != m.pageBase(addr) {
 		panic(fmt.Sprintf("hostmmu: unaligned unmap at %#x", uint64(addr)))
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for off := int64(0); off < size; off += m.pageSize {
-		delete(m.pages, addr+mem.Addr(off))
+	end := addr + mem.Addr(size)
+	for p := addr; p < end; {
+		stop := granuleEnd(p)
+		if stop > end {
+			stop = end
+		}
+		sh := m.shardOf(p)
+		sh.mu.Lock()
+		for ; p < stop; p += mem.Addr(m.pageSize) {
+			delete(sh.pages, p)
+		}
+		sh.mu.Unlock()
 	}
 }
 
 // Mprotect changes the protection of [addr, addr+size). All pages in the
 // range must be mapped; on an unmapped page the whole call is undone and an
-// error returned. The common case (every page mapped) walks the page table
-// once, saving old protections on the stack for the rollback path.
+// error returned. The common case (every page mapped) walks each same-shard
+// page run under one shard lock, saving old protections on the stack for
+// the cold rollback path.
 func (m *MMU) Mprotect(addr mem.Addr, size int64, prot Prot) error {
 	base := m.pageBase(addr)
 	end := addr + mem.Addr(size)
 	var oldBuf [32]Prot
 	old := oldBuf[:0]
-	m.mu.Lock()
-	for p := base; p < end; p += mem.Addr(m.pageSize) {
-		was, ok := m.pages[p]
-		if !ok {
-			for q, i := base, 0; q < p; q, i = q+mem.Addr(m.pageSize), i+1 {
-				m.pages[q] = old[i]
-			}
-			m.mu.Unlock()
-			return fmt.Errorf("%w: mprotect %#x", ErrUnmapped, uint64(p))
+	for p := base; p < end; {
+		stop := granuleEnd(p)
+		if stop > end {
+			stop = end
 		}
-		old = append(old, was)
-		m.pages[p] = prot
+		sh := m.shardOf(p)
+		sh.mu.Lock()
+		for ; p < stop; p += mem.Addr(m.pageSize) {
+			was, ok := sh.pages[p]
+			if !ok {
+				sh.mu.Unlock()
+				m.rollbackProt(base, p, old)
+				return fmt.Errorf("%w: mprotect %#x", ErrUnmapped, uint64(p))
+			}
+			old = append(old, was)
+			sh.pages[p] = prot
+		}
+		sh.mu.Unlock()
 	}
-	m.mu.Unlock()
 	m.mprotects.Add(1)
 	return nil
+}
+
+// rollbackProt restores the saved protections of [base, stop) after a
+// failed Mprotect. Cold path: a per-page shard lock is fine here, and the
+// affected pages cannot concurrently change — the faulting object's lock is
+// held by the caller that is now erroring out.
+func (m *MMU) rollbackProt(base, stop mem.Addr, old []Prot) {
+	for q, i := base, 0; q < stop; q, i = q+mem.Addr(m.pageSize), i+1 {
+		sh := m.shardOf(q)
+		sh.mu.Lock()
+		sh.pages[q] = old[i]
+		sh.mu.Unlock()
+	}
 }
 
 // Protection returns the protection of the page containing addr, and
 // whether that page is mapped.
 func (m *MMU) Protection(addr mem.Addr) (Prot, bool) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	p, ok := m.pages[m.pageBase(addr)]
+	sh := m.shardOf(addr)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	p, ok := sh.pages[m.pageBase(addr)]
 	return p, ok
 }
 
@@ -258,9 +331,10 @@ func (m *MMU) check(addr mem.Addr, size int64, access Access) error {
 		// handler returns, so loop until the page permits the access; the
 		// handler must make progress or we report a fault loop.
 		for tries := 0; ; tries++ {
-			m.mu.RLock()
-			prot, ok := m.pages[page]
-			m.mu.RUnlock()
+			sh := m.shardOf(page)
+			sh.mu.RLock()
+			prot, ok := sh.pages[page]
+			sh.mu.RUnlock()
 			if !ok {
 				return fmt.Errorf("%w: %#x", ErrUnmapped, uint64(page))
 			}

@@ -69,10 +69,10 @@ const (
 	// Format v1 appends only, so later input kinds land after the derived
 	// block; Input() enumerates them explicitly.
 
-	OpModeMigrate    // derived: auto-mode protocol migration; Arg = from<<8|to
-	OpRegionPtr      // input: one pointer of the next region acquire/release
-	OpRegionAcquire  // input: regional acquire scope; Arg = pointer count
-	OpRegionRelease  // input: regional release scope; Arg = pointer count
+	OpModeMigrate   // derived: auto-mode protocol migration; Arg = from<<8|to
+	OpRegionPtr     // input: one pointer of the next region acquire/release
+	OpRegionAcquire // input: regional acquire scope; Arg = pointer count
+	OpRegionRelease // input: regional release scope; Arg = pointer count
 
 	nKinds
 )
@@ -210,6 +210,10 @@ const (
 	// enabled (core.Config.RaceDetect): a replayer re-enables detection so
 	// the RacesDetected counter stays replay-conformant.
 	HdrRaceDetect
+	// HdrNoFaultBatch mirrors core.Config.DisableFaultBatching: span-fault
+	// batching changes fault and transfer counts, so a replayer must run
+	// with the same setting for counter conformance.
+	HdrNoFaultBatch
 )
 
 // Log is a complete recorded op stream: the configuration header, the

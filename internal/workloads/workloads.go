@@ -112,6 +112,9 @@ type Options struct {
 	// RaceDetect enables the online race detector for the GMAC variant;
 	// detected races land in Report.GMAC.RacesDetected.
 	RaceDetect bool
+	// DisableFaultBatching turns off span-fault batching for the GMAC
+	// variant (the batched/unbatched conformance comparison).
+	DisableFaultBatching bool
 	// Machine builds the testbed (default machine.PaperTestbed).
 	Machine func() *machine.Machine
 }
@@ -154,11 +157,12 @@ func RunGMAC(b Benchmark, opt Options) (Report, error) {
 		return Report{}, fmt.Errorf("%s: prepare: %w", b.Name(), err)
 	}
 	ctx, err := gmac.NewContext(m, gmac.Config{
-		Protocol:     opt.Protocol,
-		BlockSize:    opt.BlockSize,
-		FixedRolling: opt.FixedRolling,
-		MaxRetries:   opt.MaxRetries,
-		RaceDetect:   opt.RaceDetect,
+		Protocol:             opt.Protocol,
+		BlockSize:            opt.BlockSize,
+		FixedRolling:         opt.FixedRolling,
+		MaxRetries:           opt.MaxRetries,
+		RaceDetect:           opt.RaceDetect,
+		DisableFaultBatching: opt.DisableFaultBatching,
 	})
 	if err != nil {
 		return Report{}, err
