@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all check fmt vet build test race bench bench-micro bench-contended bench-conformance bench-gate baseline smoke fuzz chaos record-corpus clean FORCE
+.PHONY: all check fmt vet vet-json build test race bench bench-micro bench-contended bench-conformance bench-gate baseline smoke fuzz chaos record-corpus clean FORCE
 
 all: check
 
@@ -13,13 +13,21 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Static analysis: the standard go vet suite, then adsmvet — the ADSM
-# multichecker (coherence, lanepair, lockorder, noalloc, statecase; see
-# docs/static-analysis.md) — driven through `go vet -vettool` so results
-# land in the build cache and incremental runs are cheap. Any diagnostic
-# fails the build.
+# multichecker (allowcheck, coherence, lanepair, lockorder, modecheck,
+# noalloc, statecase; see docs/static-analysis.md) — driven through
+# `go vet -vettool` so every package, its _test.go files, and the cmd/
+# mains are analyzed, and results land in the build cache (keyed on the
+# tool's -V=full version, which folds in the Go toolchain version, so a
+# Go upgrade invalidates them along with the rebuilt tool). Any
+# diagnostic fails the build. `make vet-json` writes the machine-readable
+# report CI archives as an artifact.
 vet: bin/adsmvet
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(abspath bin/adsmvet) ./...
+
+vet-json: bin/adsmvet
+	./bin/adsmvet -json ./... > adsmvet.json || true
+	@echo wrote adsmvet.json
 
 bin/adsmvet: FORCE
 	$(GO) build -o bin/adsmvet ./cmd/adsmvet

@@ -1,6 +1,7 @@
-// adsmvet is the ADSM static-analysis multichecker: five analyzers that
-// mechanically enforce the repository's coherence, locking, and hot-path
-// conventions (see docs/static-analysis.md).
+// adsmvet is the ADSM static-analysis multichecker: the analyzer suite
+// that mechanically enforces the repository's coherence, locking,
+// access-mode, and hot-path conventions (see docs/static-analysis.md),
+// interprocedurally via the callgraph summary engine.
 //
 // It runs two ways:
 //
@@ -10,8 +11,18 @@
 // The second form speaks cmd/go's unitchecker protocol: respond to
 // -V=full with a version line, to -flags with a JSON flag inventory, and
 // otherwise accept a *.cfg file describing one already-built package unit
-// (sources plus export data for every dependency). Both modes run the
-// same analyzers and exit nonzero on any diagnostic.
+// (sources plus export data for every dependency). The vetx "facts" files
+// the protocol threads from dependency to dependent carry the callgraph
+// engine's per-package function summaries (see internal/analysis/callgraph),
+// so interprocedural findings cross package boundaries even though each
+// package is checked in isolation.
+//
+// Exit codes, in both modes: 0 means every analyzed package is clean;
+// 1 means diagnostics were reported (or a package failed to parse or
+// typecheck); 2 means the tool itself was misused or failed internally.
+// -json changes only the output encoding — a run that prints a non-empty
+// diagnostics array still exits 1, so CI can both archive the JSON
+// artifact and fail the step with no extra plumbing.
 package main
 
 import (
@@ -24,16 +35,18 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/analyzers"
+	"repro/internal/analysis/callgraph"
 	"repro/internal/analysis/load"
 )
 
 // version is the build identifier reported to cmd/go. It must not look
 // like a devel version or the go command refuses to cache vet results.
-const version = "v1.0.0"
+const version = "v1.1.0"
 
 func main() {
 	if err := analyzers.Validate(); err != nil {
@@ -42,9 +55,11 @@ func main() {
 	}
 	args := os.Args[1:]
 
-	// cmd/go handshake 1: tool identity for the build cache.
+	// cmd/go handshake 1: tool identity for the build cache. The toolchain
+	// version is folded into the identity token so upgrading Go invalidates
+	// cached vet results along with the rebuilt vettool.
 	if len(args) == 1 && args[0] == "-V=full" {
-		fmt.Printf("adsmvet version %s\n", version)
+		fmt.Printf("adsmvet version %s+%s\n", version, runtime.Version())
 		return
 	}
 
@@ -151,6 +166,7 @@ type vetConfig struct {
 	GoFiles     []string
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	PackageVetx map[string]string
 
 	SucceedOnTypecheckFailure bool
 	VetxOnly                  bool
@@ -158,8 +174,13 @@ type vetConfig struct {
 }
 
 // unitchecker analyzes one pre-built package unit described by a cmd/go
-// vet.cfg file. Diagnostics go to stderr; the exit code tells cmd/go
-// whether the package passed.
+// vet.cfg file. The unit is typechecked even when cmd/go asks only for
+// facts (VetxOnly): the vetx output is the package's callgraph summary
+// blob, which dependents need for interprocedural analysis. Standard
+// library units skip summarization — the engine's built-in table covers
+// the std functions hot paths may use — and get an empty blob.
+// Diagnostics go to stderr; the exit code tells cmd/go whether the
+// package passed.
 func unitchecker(cfgPath string, suite []*analysis.Analyzer, jsonOut bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -171,14 +192,21 @@ func unitchecker(cfgPath string, suite []*analysis.Analyzer, jsonOut bool) int {
 		fmt.Fprintf(os.Stderr, "adsmvet: parsing %s: %v\n", cfgPath, err)
 		return 2
 	}
-	// cmd/go expects the facts file even though adsmvet exports no facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("adsmvet\n"), 0o666); err != nil {
+	writeVetx := func(blob []byte) bool {
+		if cfg.VetxOutput == "" {
+			return true
+		}
+		if err := os.WriteFile(cfg.VetxOutput, blob, 0o666); err != nil {
 			fmt.Fprintln(os.Stderr, "adsmvet:", err)
+			return false
+		}
+		return true
+	}
+	emptyBlob, _ := (&callgraph.PkgSummary{Version: callgraph.SummaryVersion}).Encode()
+	if cfg.VetxOnly && !moduleLocal(cfg.ImportPath) {
+		if !writeVetx(emptyBlob) {
 			return 2
 		}
-	}
-	if cfg.VetxOnly {
 		return 0
 	}
 
@@ -188,6 +216,7 @@ func unitchecker(cfgPath string, suite []*analysis.Analyzer, jsonOut bool) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
+				writeVetx(emptyBlob)
 				return 0
 			}
 			fmt.Fprintln(os.Stderr, "adsmvet:", err)
@@ -212,12 +241,44 @@ func unitchecker(cfgPath string, suite []*analysis.Analyzer, jsonOut bool) int {
 	pkg, info, err := load.Check(fset, pkgPath, files, importer.ForCompiler(fset, cfg.Compiler, lookup))
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(emptyBlob)
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "adsmvet: typechecking %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
 	unit := &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	unit.DepBlob = func(path string) []byte {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageVetx[path]
+		if !ok {
+			return nil
+		}
+		blob, err := os.ReadFile(file)
+		if err != nil {
+			return nil
+		}
+		return blob
+	}
+
+	cg, err := callgraph.Summarize(unit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adsmvet:", err)
+		return 2
+	}
+	blob, err := cg.Export().Encode()
+	if err != nil {
+		blob = emptyBlob
+	}
+	if !writeVetx(blob) {
+		return 2
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
 	diags, err := analysis.Run(unit, suite)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adsmvet:", err)
@@ -230,14 +291,46 @@ func unitchecker(cfgPath string, suite []*analysis.Analyzer, jsonOut bool) int {
 	return 0
 }
 
+// moduleLocal distinguishes this module's packages (whose summaries carry
+// interprocedural facts) from the standard library (covered by the
+// engine's built-in table). The repository is a single self-contained
+// module with no external dependencies, so a path prefix is exact.
+func moduleLocal(importPath string) bool {
+	return importPath == "repro" || strings.HasPrefix(importPath, "repro/") ||
+		strings.HasPrefix(importPath, "command-line-arguments")
+}
+
 func report(w io.Writer, diags []analysis.Diagnostic, jsonOut bool) {
 	if jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Chain:    d.Chain,
+			})
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "\t")
-		enc.Encode(diags)
+		enc.Encode(out)
 		return
 	}
 	for _, d := range diags {
 		fmt.Fprintln(w, d.String())
 	}
+}
+
+// jsonDiagnostic is the stable machine-readable diagnostic shape emitted
+// by -json (documented in docs/static-analysis.md): one object per
+// finding, with the interprocedural call chain rendered outermost-first.
+type jsonDiagnostic struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Column   int      `json:"column"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Chain    []string `json:"chain,omitempty"`
 }

@@ -1,0 +1,70 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/noalloc"
+)
+
+// TestAllowCheckAudit drives the suppression auditor programmatically:
+// allowcheck diagnostics land on the //adsm:allow directive's own line,
+// where a `// want` comment cannot sit, so the golden-comment harness
+// cannot express these expectations.
+func TestAllowCheckAudit(t *testing.T) {
+	root := analysistest.SrcRoot(t)
+	unit, err := load.Dir(filepath.Join(root, "allowcheck", "basic"), root)
+	if err != nil {
+		t.Fatalf("loading allowcheck/basic: %v", err)
+	}
+	diags, err := analysis.Run(unit, []*analysis.Analyzer{noalloc.Analyzer, analysis.AllowCheck})
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+
+	for _, d := range diags {
+		if d.Analyzer != analysis.AllowCheck.Name {
+			t.Errorf("diagnostic escaped its suppression: %s", d)
+		}
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (reasonless + stale):\n%s", len(diags), render(diags))
+	}
+	if !strings.Contains(diags[0].Message, "//adsm:allow needs a reason") {
+		t.Errorf("first diagnostic should flag the reasonless directive, got: %s", diags[0])
+	}
+	if !strings.Contains(diags[1].Message, "stale //adsm:allow: it suppresses no noalloc diagnostic any more") {
+		t.Errorf("second diagnostic should flag the stale directive, got: %s", diags[1])
+	}
+}
+
+// TestAllowCheckSkipsUnjudged re-runs the audit without noalloc in the
+// suite: with no analyzer running, no directive can be judged stale, and
+// the reasonless one is still flagged (the reason requirement does not
+// depend on what ran).
+func TestAllowCheckSkipsUnjudged(t *testing.T) {
+	root := analysistest.SrcRoot(t)
+	unit, err := load.Dir(filepath.Join(root, "allowcheck", "basic"), root)
+	if err != nil {
+		t.Fatalf("loading allowcheck/basic: %v", err)
+	}
+	diags, err := analysis.Run(unit, []*analysis.Analyzer{analysis.AllowCheck})
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "needs a reason") {
+		t.Fatalf("got %d diagnostics, want exactly the reasonless one:\n%s", len(diags), render(diags))
+	}
+}
+
+func render(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}

@@ -23,6 +23,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // An Analyzer is one named static check.
@@ -44,6 +45,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Unit is the loaded package under analysis; interprocedural analyzers
+	// reach the callgraph summary engine through it (callgraph.Of caches
+	// the per-package graph and summaries here so the four consumers share
+	// one computation).
+	Unit *Unit
+
 	diags *[]Diagnostic
 }
 
@@ -52,6 +59,10 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Chain is the interprocedural call chain leading to the violation,
+	// outermost call first, rendered one frame per entry ("core.helper at
+	// manager.go:120"). Empty for intra-procedural findings.
+	Chain []string
 }
 
 // String renders the diagnostic in the canonical file:line:col form.
@@ -68,33 +79,109 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportChainf records a diagnostic at pos carrying an interprocedural
+// call chain (outermost frame first).
+func (p *Pass) ReportChainf(pos token.Pos, chain []string, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+	})
+}
+
 // Unit is one loaded, type-checked package ready for analysis.
 type Unit struct {
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// DepUnits maps import paths of module-local (or testdata-sibling)
+	// dependencies to their loaded units, so the summary engine can
+	// compute dependency summaries from source. The map is shared between
+	// all units of one load and may include this unit itself.
+	DepUnits map[string]*Unit
+
+	// DepBlob returns the serialized callgraph summary blob for a
+	// dependency package (nil when unknown). Set in unitchecker mode,
+	// where dependency summaries arrive as vetx facts files instead of
+	// loaded source.
+	DepBlob func(pkgPath string) []byte
+
+	cacheMu sync.Mutex
+	cache   map[string]any
+}
+
+// Cache memoizes a per-unit computation under key, so independent
+// analyzers share one callgraph/summary build per package.
+func (u *Unit) Cache(key string, build func() (any, error)) (any, error) {
+	u.cacheMu.Lock()
+	defer u.cacheMu.Unlock()
+	if v, ok := u.cache[key]; ok {
+		if err, isErr := v.(error); isErr {
+			return nil, err
+		}
+		return v, nil
+	}
+	v, err := build()
+	if u.cache == nil {
+		u.cache = map[string]any{}
+	}
+	if err != nil {
+		u.cache[key] = err
+		return nil, err
+	}
+	u.cache[key] = v
+	return v, nil
+}
+
+// AllowCheck is the suppression auditor: it validates //adsm:allow
+// directives rather than source code. Each directive must carry a reason
+// (`//adsm:allow noalloc: cold error path`), and a directive that no
+// longer suppresses any diagnostic of the analyzers that ran is reported
+// as stale. It is meaningful when run alongside the full suite (the
+// default); a directive naming an analyzer that did not run is never
+// reported stale.
+var AllowCheck = &Analyzer{
+	Name: "allowcheck",
+	Doc:  "require a reason on every //adsm:allow suppression and flag stale suppressions",
+	Run:  func(*Pass) error { return nil }, // handled by the framework after filtering
 }
 
 // Run applies every analyzer to the unit and returns the surviving
 // diagnostics: findings on lines carrying an //adsm:allow suppression are
-// dropped, and the rest are sorted by position.
+// dropped, and the rest are sorted by position. When the suite includes
+// AllowCheck, the suppression directives themselves are audited after
+// filtering.
 func Run(unit *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	auditAllows := false
+	ran := map[string]bool{}
 	for _, a := range analyzers {
+		if a == AllowCheck || a.Name == AllowCheck.Name {
+			auditAllows = true
+			continue
+		}
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      unit.Fset,
 			Files:     unit.Files,
 			Pkg:       unit.Pkg,
 			TypesInfo: unit.TypesInfo,
+			Unit:      unit,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
 	}
-	diags = filterAllowed(unit, diags)
+	directives := allowDirectives(unit)
+	diags = filterAllowed(directives, diags)
+	if auditAllows {
+		diags = append(diags, auditDirectives(directives, ran)...)
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -111,11 +198,19 @@ func Run(unit *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// filterAllowed drops diagnostics suppressed by an //adsm:allow directive
-// on the same line or the line immediately above.
-func filterAllowed(unit *Unit, diags []Diagnostic) []Diagnostic {
-	// allow maps file -> line -> allowed analyzer names ("" = all).
-	allow := map[string]map[int][]string{}
+// allowDirective is one parsed //adsm:allow comment. The canonical shape
+// is `//adsm:allow <analyzer...>: <reason>`; no analyzer names means every
+// analyzer is suppressed on that line.
+type allowDirective struct {
+	pos       token.Position
+	names     []string // empty = all analyzers
+	hasReason bool
+	used      int // diagnostics this directive suppressed in this run
+}
+
+// allowDirectives parses every //adsm:allow comment in the unit.
+func allowDirectives(unit *Unit) []*allowDirective {
+	var dirs []*allowDirective
 	for _, f := range unit.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -123,42 +218,102 @@ func filterAllowed(unit *Unit, diags []Diagnostic) []Diagnostic {
 				if !ok {
 					continue
 				}
-				pos := unit.Fset.Position(c.Pos())
-				m := allow[pos.Filename]
-				if m == nil {
-					m = map[int][]string{}
-					allow[pos.Filename] = m
+				d := &allowDirective{pos: unit.Fset.Position(c.Pos())}
+				names := rest
+				if i := strings.IndexByte(rest, ':'); i >= 0 {
+					names = rest[:i]
+					d.hasReason = strings.TrimSpace(rest[i+1:]) != ""
 				}
-				names := strings.Fields(rest)
-				if len(names) == 0 {
-					names = []string{""}
-				}
-				m[pos.Line] = append(m[pos.Line], names...)
+				d.names = strings.Fields(names)
+				dirs = append(dirs, d)
 			}
 		}
 	}
+	return dirs
+}
+
+// filterAllowed drops diagnostics suppressed by an //adsm:allow directive
+// on the same line or the line immediately above, crediting the directive
+// that granted each suppression.
+func filterAllowed(dirs []*allowDirective, diags []Diagnostic) []Diagnostic {
 	kept := diags[:0]
 	for _, d := range diags {
-		if !allowed(allow, d) {
+		if !allowed(dirs, d) {
 			kept = append(kept, d)
 		}
 	}
 	return kept
 }
 
-func allowed(allow map[string]map[int][]string, d Diagnostic) bool {
-	m := allow[d.Pos.Filename]
-	if m == nil {
-		return false
-	}
-	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, name := range m[line] {
-			if name == "" || name == d.Analyzer {
-				return true
-			}
+func allowed(dirs []*allowDirective, d Diagnostic) bool {
+	for _, dir := range dirs {
+		if dir.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if dir.pos.Line != d.Pos.Line && dir.pos.Line != d.Pos.Line-1 {
+			continue
+		}
+		if dir.matches(d.Analyzer) {
+			dir.used++
+			return true
 		}
 	}
 	return false
+}
+
+func (dir *allowDirective) matches(analyzer string) bool {
+	if len(dir.names) == 0 {
+		return true
+	}
+	for _, n := range dir.names {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// auditDirectives produces the AllowCheck diagnostics: directives missing
+// a reason, and directives that suppressed nothing even though every
+// analyzer they name ran (stale suppressions left behind after the code
+// they excused was fixed or deleted).
+func auditDirectives(dirs []*allowDirective, ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range dirs {
+		if !dir.hasReason {
+			out = append(out, Diagnostic{
+				Analyzer: AllowCheck.Name,
+				Pos:      dir.pos,
+				Message:  "//adsm:allow needs a reason: write `//adsm:allow <analyzer...>: <why this is safe>`",
+			})
+			continue
+		}
+		if dir.used > 0 {
+			continue
+		}
+		stale := true
+		for _, n := range dir.names {
+			if !ran[n] {
+				stale = false // that analyzer did not run; cannot judge
+				break
+			}
+		}
+		if stale {
+			out = append(out, Diagnostic{
+				Analyzer: AllowCheck.Name,
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("stale //adsm:allow: it suppresses no %s diagnostic any more; delete it", strings.Join(orAll(dir.names), "/")),
+			})
+		}
+	}
+	return out
+}
+
+func orAll(names []string) []string {
+	if len(names) == 0 {
+		return []string{"analyzer"}
+	}
+	return names
 }
 
 // directive reports whether the comment text is the //adsm:<name> directive

@@ -9,16 +9,22 @@ import (
 	"repro/internal/analysis/coherence"
 	"repro/internal/analysis/lanepair"
 	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/modecheck"
 	"repro/internal/analysis/noalloc"
 	"repro/internal/analysis/statecase"
 )
 
-// All returns the adsmvet analyzer suite in stable order.
+// All returns the adsmvet analyzer suite in stable order. AllowCheck is
+// the driver-side pseudo-analyzer auditing //adsm:allow directives
+// (missing reasons, stale suppressions); it rides along so its flag and
+// JSON identity exist like any other analyzer's.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		analysis.AllowCheck,
 		coherence.Analyzer,
 		lanepair.Analyzer,
 		lockorder.Analyzer,
+		modecheck.Analyzer,
 		noalloc.Analyzer,
 		statecase.Analyzer,
 	}

@@ -1,0 +1,404 @@
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// AllocFinding is one allocating construct in a function body. What is the
+// human-readable description ("make allocates"); analyzers prepend their
+// own context ("%s is //adsm:noalloc: %s").
+type AllocFinding struct {
+	Pos  token.Pos
+	What string
+}
+
+// AllocWalk reports every allocating construct in a function body, in
+// source order. It is the single definition of "allocates" shared by the
+// noalloc analyzer (which reports each finding inside annotated functions)
+// and the summary engine (which takes the first finding as the function's
+// direct-allocation fact).
+//
+// Flagged constructs: function literals (except immediately deferred
+// ones, which compile to open-coded defers), go statements, defer inside
+// a loop, the builtins append/make/new, map/slice/&composite literals,
+// fmt calls, non-constant string concatenation, string<->[]byte/[]rune
+// conversions, interface boxing, and method-value expressions.
+func AllocWalk(info *types.Info, body *ast.BlockStmt) []AllocFinding {
+	w := &allocWalker{info: info}
+	w.stmt(body, 0)
+	return w.found
+}
+
+// allocWalker carries the walk state; loopDepth tracks whether a defer
+// statement sits inside a loop.
+type allocWalker struct {
+	info  *types.Info
+	found []AllocFinding
+}
+
+func (w *allocWalker) report(pos token.Pos, format string, args ...any) {
+	w.found = append(w.found, AllocFinding{Pos: pos, What: fmt.Sprintf(format, args...)})
+}
+
+// stmt dispatches on statement shape so that defer and go statements can
+// be treated specially before their sub-expressions are scanned.
+func (w *allocWalker) stmt(s ast.Stmt, loopDepth int) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			w.stmt(sub, loopDepth)
+		}
+	case *ast.GoStmt:
+		w.report(s.Pos(), "go statement allocates a goroutine")
+	case *ast.DeferStmt:
+		if loopDepth > 0 {
+			w.report(s.Pos(), "defer inside a loop heap-allocates")
+		}
+		// An immediately deferred func literal is an open-coded defer:
+		// allowed, but its body still runs on the hot path, so scan it.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmt(lit.Body, 0)
+			for _, arg := range s.Call.Args {
+				w.expr(arg)
+			}
+			w.boxedArgs(s.Call)
+		} else {
+			// `defer x.M()` is a direct call, not a method value.
+			w.call(s.Call)
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init, loopDepth)
+		w.exprOpt(s.Cond)
+		w.stmt(s.Post, loopDepth)
+		w.stmt(s.Body, loopDepth+1)
+	case *ast.RangeStmt:
+		w.exprOpt(s.Key)
+		w.exprOpt(s.Value)
+		w.expr(s.X)
+		w.stmt(s.Body, loopDepth+1)
+	case *ast.IfStmt:
+		w.stmt(s.Init, loopDepth)
+		w.expr(s.Cond)
+		w.stmt(s.Body, loopDepth)
+		w.stmt(s.Else, loopDepth)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, loopDepth)
+		w.exprOpt(s.Tag)
+		w.stmt(s.Body, loopDepth)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, loopDepth)
+		w.stmt(s.Assign, loopDepth)
+		w.stmt(s.Body, loopDepth)
+	case *ast.SelectStmt:
+		w.stmt(s.Body, loopDepth)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e)
+		}
+		for _, sub := range s.Body {
+			w.stmt(sub, loopDepth)
+		}
+	case *ast.CommClause:
+		w.stmt(s.Comm, loopDepth)
+		for _, sub := range s.Body {
+			w.stmt(sub, loopDepth)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, loopDepth)
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+		w.boxed(s.Value, chanElem(w.info, s.Chan))
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e)
+		}
+		if len(s.Lhs) == len(s.Rhs) {
+			for i := range s.Lhs {
+				w.boxed(s.Rhs[i], w.info.TypeOf(s.Lhs[i]))
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, v := range vs.Values {
+				w.expr(v)
+				if i < len(vs.Names) {
+					w.boxed(v, w.info.TypeOf(vs.Names[i]))
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	default:
+		// Unknown statement kinds: scan conservatively for expressions.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.expr(e)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func (w *allocWalker) exprOpt(e ast.Expr) {
+	if e != nil {
+		w.expr(e)
+	}
+}
+
+// expr reports allocating expressions, recursing into sub-expressions.
+func (w *allocWalker) expr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.FuncLit:
+		w.report(e.Pos(), "function literal allocates a closure; hoist it to a named function")
+		// Do not descend: the closure itself is the finding.
+	case *ast.CompositeLit:
+		w.compositeLit(e, false)
+	case *ast.UnaryExpr:
+		if lit, ok := e.X.(*ast.CompositeLit); ok && e.Op == token.AND {
+			w.compositeLit(lit, true)
+			return
+		}
+		w.expr(e.X)
+	case *ast.BinaryExpr:
+		w.expr(e.X)
+		w.expr(e.Y)
+		if e.Op == token.ADD && !isConstExpr(w.info, e) && isString(w.info.TypeOf(e.X)) {
+			w.report(e.Pos(), "string concatenation allocates")
+		}
+	case *ast.CallExpr:
+		w.call(e)
+	case *ast.ParenExpr:
+		w.expr(e.X)
+	case *ast.SelectorExpr:
+		w.expr(e.X)
+		if sel, ok := w.info.Selections[e]; ok && sel.Kind() == types.MethodVal {
+			// x.M in non-call position binds the receiver: a closure.
+			// Call positions never reach here (call() skips the Fun
+			// selector), so any method value seen here allocates.
+			w.report(e.Pos(), "method value %s binds its receiver and allocates", e.Sel.Name)
+		}
+	case *ast.IndexExpr:
+		w.expr(e.X)
+		w.expr(e.Index)
+	case *ast.IndexListExpr:
+		w.expr(e.X)
+		for _, i := range e.Indices {
+			w.expr(i)
+		}
+	case *ast.SliceExpr:
+		w.expr(e.X)
+		w.exprOpt(e.Low)
+		w.exprOpt(e.High)
+		w.exprOpt(e.Max)
+	case *ast.StarExpr:
+		w.expr(e.X)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X)
+	case *ast.KeyValueExpr:
+		w.expr(e.Key)
+		w.expr(e.Value)
+	case *ast.Ident, *ast.BasicLit, *ast.ArrayType, *ast.MapType,
+		*ast.ChanType, *ast.FuncType, *ast.StructType, *ast.InterfaceType:
+	}
+}
+
+func (w *allocWalker) compositeLit(lit *ast.CompositeLit, addressed bool) {
+	t := w.info.TypeOf(lit)
+	switch t.Underlying().(type) {
+	case *types.Map:
+		w.report(lit.Pos(), "map literal allocates")
+	case *types.Slice:
+		w.report(lit.Pos(), "slice literal allocates its backing array")
+	default:
+		if addressed {
+			w.report(lit.Pos(), "&composite literal may heap-allocate")
+		}
+	}
+	for _, elt := range lit.Elts {
+		w.expr(elt)
+	}
+}
+
+// call handles call expressions: builtins, fmt, conversions, and interface
+// boxing of arguments.
+func (w *allocWalker) call(call *ast.CallExpr) {
+	info := w.info
+
+	switch {
+	case analysis.IsBuiltinCall(info, call, "append"):
+		w.report(call.Pos(), "append may grow its backing array")
+	case analysis.IsBuiltinCall(info, call, "make"):
+		w.report(call.Pos(), "make allocates")
+	case analysis.IsBuiltinCall(info, call, "new"):
+		w.report(call.Pos(), "new allocates")
+	}
+
+	// Type conversion?
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		w.conversion(call, tv.Type)
+		w.expr(call.Args[0])
+		return
+	}
+
+	if fn := analysis.CalleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Name() == "fmt" {
+		w.report(call.Pos(), "fmt call allocates; move formatting to a cold helper")
+		// fmt's variadic ...any boxing is subsumed by this finding.
+		for _, arg := range call.Args {
+			w.expr(arg)
+		}
+		return
+	}
+
+	// Don't treat the callee selector as a method value.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		w.expr(fun.X)
+	case *ast.Ident:
+	default:
+		w.expr(call.Fun)
+	}
+	for _, arg := range call.Args {
+		w.expr(arg)
+	}
+	w.boxedArgs(call)
+}
+
+// conversion flags allocating conversions: string<->[]byte/[]rune and
+// concrete-to-interface.
+func (w *allocWalker) conversion(call *ast.CallExpr, target types.Type) {
+	src := w.info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	if isConstExpr(w.info, call) {
+		return
+	}
+	switch {
+	case isString(target) && isByteOrRuneSlice(src):
+		w.report(call.Pos(), "[]byte/[]rune-to-string conversion allocates")
+	case isByteOrRuneSlice(target) && isString(src):
+		w.report(call.Pos(), "string-to-slice conversion allocates")
+	default:
+		w.boxed(call.Args[0], target)
+	}
+}
+
+// boxedArgs flags concrete arguments passed in interface-typed parameters.
+func (w *allocWalker) boxedArgs(call *ast.CallExpr) {
+	tv, ok := w.info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	if call.Ellipsis.IsValid() {
+		// f(xs...) passes the slice through: no per-element boxing.
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		}
+		w.boxed(arg, pt)
+	}
+}
+
+// boxed reports when a concrete (non-interface) value flows into an
+// interface-typed slot.
+func (w *allocWalker) boxed(e ast.Expr, target types.Type) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	src := w.info.TypeOf(e)
+	if src == nil || types.IsInterface(src) {
+		return
+	}
+	if b, ok := src.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	// Pointers, chans, maps, funcs and unsafe.Pointer fit in the iface
+	// word without allocating.
+	switch src.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return
+	}
+	if b, ok := src.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return
+	}
+	if isConstExpr(w.info, e) {
+		// Constants under 256 (and small zero values) use the runtime's
+		// static boxes; be permissive for constants.
+		return
+	}
+	w.report(e.Pos(), "converting %s to interface %s allocates (boxing)", src, target)
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+func chanElem(info *types.Info, ch ast.Expr) types.Type {
+	t := info.TypeOf(ch)
+	if t == nil {
+		return nil
+	}
+	c, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return nil
+	}
+	return c.Elem()
+}

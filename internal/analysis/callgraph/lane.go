@@ -1,0 +1,221 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// LaneEnter is one lane-entering event in a function body that is not
+// followed by a dominated exit: either a direct EnterLane/EnterLaneAt
+// call (Callee nil) or a call to a wrapper whose summary enters a lane.
+type LaneEnter struct {
+	Pos      token.Pos
+	Callee   *types.Func    // nil for a direct EnterLane call
+	Chain    []SummaryFrame // wrapper path: first frame is the callee
+	EnterPos string         // where the underlying EnterLane sits
+}
+
+// IsLaneMethodCall reports whether call invokes a *method* with one of the
+// given names (EnterLane and friends are methods of sim.Clock; requiring a
+// method receiver avoids matching unrelated local functions).
+func IsLaneMethodCall(info *types.Info, call *ast.CallExpr, names ...string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	matched := false
+	for _, name := range names {
+		if sel.Sel.Name == name {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return false
+	}
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// laneEnterOf classifies a call as a lane-entering event: a direct
+// EnterLane/EnterLaneAt, or a call to a function whose summary says
+// calling it leaves a lane open.
+func (in *Info) laneEnterOf(call *ast.CallExpr) (enter bool, le LaneEnter) {
+	if IsLaneMethodCall(in.Unit.TypesInfo, call, "EnterLane", "EnterLaneAt") {
+		return true, LaneEnter{Pos: call.Pos()}
+	}
+	for _, e := range in.resolve(call) {
+		s := in.Summary(e.Callee)
+		if s == nil || !s.LaneEnters {
+			continue
+		}
+		return true, LaneEnter{
+			Pos:      call.Pos(),
+			Callee:   e.Callee,
+			Chain:    PrependFrame(in.Frame(e.Callee, call.Pos()), s.LaneChain),
+			EnterPos: s.LanePos,
+		}
+	}
+	return false, LaneEnter{}
+}
+
+// laneExitOf classifies a call as a lane-exiting event: a direct ExitLane
+// or a call to a helper whose summary exits a lane.
+func (in *Info) laneExitOf(call *ast.CallExpr) bool {
+	if IsLaneMethodCall(in.Unit.TypesInfo, call, "ExitLane") {
+		return true
+	}
+	for _, e := range in.resolve(call) {
+		if s := in.Summary(e.Callee); s != nil && s.LaneExits {
+			return true
+		}
+	}
+	return false
+}
+
+// UnpairedLaneEnters returns, in source order, every lane-entering event
+// in body with no dominated exit: no `defer ...ExitLane()` (or deferred
+// exit helper) later in the same block, and no exit statement before a
+// return. Nested function literals are separate functions and are not
+// descended into.
+func (in *Info) UnpairedLaneEnters(body *ast.BlockStmt) []LaneEnter {
+	paired := map[*ast.CallExpr]bool{}
+	forEachBlock(body, func(list []ast.Stmt) {
+		in.pairBlock(list, paired)
+	})
+	var out []LaneEnter
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if enter, le := in.laneEnterOf(call); enter && !paired[call] {
+			out = append(out, le)
+		}
+		return true
+	})
+	return out
+}
+
+// forEachBlock invokes f on every statement list in the function body,
+// without descending into nested function literals.
+func forEachBlock(body *ast.BlockStmt, f func([]ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			f(n.List)
+		case *ast.CaseClause:
+			f(n.Body)
+		case *ast.CommClause:
+			f(n.Body)
+		}
+		return true
+	})
+}
+
+// pairBlock pairs lane-entering statements with following exit/defer
+// statements in one statement list.
+func (in *Info) pairBlock(list []ast.Stmt, paired map[*ast.CallExpr]bool) {
+	for i, stmt := range list {
+		enter := in.enterCall(stmt)
+		if enter == nil {
+			continue
+		}
+		for _, later := range list[i+1:] {
+			if d, ok := later.(*ast.DeferStmt); ok && in.laneExitOf(d.Call) {
+				paired[enter] = true
+				break
+			}
+			if in.containsExit(later) {
+				paired[enter] = true
+				break
+			}
+			if containsReturn(later) {
+				break // a return path escapes before the exit
+			}
+		}
+	}
+}
+
+// enterCall returns the lane-entering call when stmt is exactly such a
+// call statement (the supported pairing shape).
+func (in *Info) enterCall(stmt ast.Stmt) *ast.CallExpr {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if enter, _ := in.laneEnterOf(call); !enter {
+		return nil
+	}
+	return call
+}
+
+// containsExit reports whether the statement contains a lane-exiting call
+// outside nested function literals.
+func (in *Info) containsExit(stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && in.laneExitOf(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// containsReturn reports whether the statement contains a return outside
+// nested function literals.
+func containsReturn(stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// laneUsage reports whether the body contains any lane-entering or
+// lane-exiting events at all (outside nested function literals).
+func (in *Info) laneUsage(body *ast.BlockStmt) (enters, exits bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if e, _ := in.laneEnterOf(call); e {
+			enters = true
+		}
+		if in.laneExitOf(call) {
+			exits = true
+		}
+		return true
+	})
+	return enters, exits
+}

@@ -1,0 +1,120 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// LockDecl is one //adsm:lock annotated mutex field: a name, a level in
+// the acquisition order, and whether it is a nowait leaf that must never
+// be held across blocking operations.
+type LockDecl struct {
+	Name   string
+	Level  int
+	Nowait bool
+}
+
+// ParseLockDirective parses the payload of `//adsm:lock <name> <level>
+// [nowait]`, returning a non-empty problem description on malformed input.
+func ParseLockDirective(rest string) (LockDecl, string) {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 || len(fields) > 3 {
+		return LockDecl{}, "want `//adsm:lock <name> <level> [nowait]`"
+	}
+	level, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return LockDecl{}, "level must be an integer"
+	}
+	decl := LockDecl{Name: fields[0], Level: level}
+	if len(fields) == 3 {
+		if fields[2] != "nowait" {
+			return LockDecl{}, "third word must be `nowait`"
+		}
+		decl.Nowait = true
+	}
+	return decl, ""
+}
+
+// collectLocks gathers the package's annotated mutex fields, keyed by the
+// field object. Malformed directives are skipped here; the lockorder
+// analyzer reports them.
+func collectLocks(unit *analysis.Unit) map[types.Object]LockDecl {
+	locks := map[types.Object]LockDecl{}
+	for _, file := range unit.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				rest, ok := analysis.Directive(field.Doc, "lock")
+				if !ok {
+					rest, ok = analysis.Directive(field.Comment, "lock")
+				}
+				if !ok {
+					continue
+				}
+				decl, perr := ParseLockDirective(rest)
+				if perr != "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := unit.TypesInfo.Defs[name]; obj != nil {
+						locks[obj] = decl
+					}
+				}
+			}
+			return true
+		})
+	}
+	return locks
+}
+
+// LockOp recognizes m.<field>.<op>() where op is a sync mutex method,
+// returning the field object and operation name ("Lock", "RUnlock", ...).
+func LockOp(info *types.Info, call *ast.CallExpr) (types.Object, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return nil, ""
+	}
+	// The receiver must itself be a selector or identifier naming a
+	// mutex-typed variable/field.
+	var obj types.Object
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+	case *ast.Ident:
+		obj = info.Uses[x]
+	default:
+		return nil, ""
+	}
+	if obj == nil {
+		return nil, ""
+	}
+	// Confirm the method belongs to the sync package (Mutex/RWMutex).
+	if fn := analysis.CalleeFunc(info, call); fn != nil {
+		if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return nil, ""
+		}
+	}
+	return obj, op
+}
+
+// isAcquireOp reports whether a lock operation takes the lock.
+func isAcquireOp(op string) bool {
+	switch op {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return true
+	}
+	return false
+}

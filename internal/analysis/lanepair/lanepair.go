@@ -1,18 +1,28 @@
 // Package lanepair checks that every sim.Clock.EnterLane has a dominated
-// ExitLane.
+// ExitLane — including EnterLane calls hidden inside helper wrappers.
 //
 // Per-goroutine time lanes (PR 2) model concurrent host threads against
 // the single virtual clock: EnterLane forks the goroutine's view of time,
 // ExitLane merges it back by max-folding into the shared clock. A lane
 // left open silently freezes that goroutine's contribution to simulated
 // time — a bug that only shows up as subtly wrong figures, never as a
-// test failure. This analyzer requires, for each EnterLane/EnterLaneAt
-// statement, either
+// test failure. This analyzer requires, for each lane-entering statement,
+// either
 //
-//   - a `defer ...ExitLane()` later in the same block (covering every
-//     return path), or
-//   - a statement containing an ExitLane call later in the same block,
+//   - a `defer ...ExitLane()` (or a deferred call to a lane-exiting
+//     helper) later in the same block, covering every return path, or
+//   - a statement containing a lane-exiting call later in the same block,
 //     with no `return` statement in between (which would leak the lane).
+//
+// Lane entry and exit are resolved through the callgraph engine's
+// summaries, so a helper that calls EnterLane without exiting counts as
+// entering a lane at its call sites (and its callers must pair it), and
+// a helper that only calls ExitLane counts as an exit. A function that
+// deliberately leaves a lane open for its caller — the wrapper pattern —
+// must be annotated //adsm:lanewrapper: the annotation suppresses the
+// diagnostic inside the wrapper while making every call site subject to
+// pairing, and the diagnostic at an unpaired wrapper call carries the
+// chain down to the underlying EnterLane.
 //
 // A bare ExitLane with no preceding EnterLane is legal (documented as a
 // no-op) and is not flagged.
@@ -20,171 +30,62 @@ package lanepair
 
 import (
 	"go/ast"
-	"go/types"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 )
 
 // Analyzer is the lanepair analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "lanepair",
-	Doc:  "require every sim.Clock.EnterLane to be matched by a dominated ExitLane",
+	Doc:  "require every sim.Clock.EnterLane (or lane-entering helper call) to be matched by a dominated ExitLane",
 	Run:  run,
 }
 
 func run(pass *analysis.Pass) error {
+	info, err := callgraph.Of(pass)
+	if err != nil {
+		return err
+	}
 	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			var body *ast.BlockStmt
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
-				body = fn.Body
-			case *ast.FuncLit:
-				body = fn.Body
-			default:
-				return true
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				if _, wrapper := analysis.FuncDirective(pass.Fset, file, fn, "lanewrapper"); !wrapper && fn.Body != nil {
+					checkFunc(pass, info, fn.Body)
+				}
+				// //adsm:lanewrapper leaves its lane open by design; its
+				// call sites are checked instead. Function literals inside
+				// any declaration are still separate functions.
 			}
-			if body != nil {
-				checkFunc(pass, body)
-			}
-			return true
-		})
+			checkLits(pass, info, decl)
+		}
 	}
 	return nil
 }
 
-// checkFunc verifies lane pairing within one function body. Nested
-// function literals are separate functions (a lane entered in a closure
-// must exit in that closure) and are handled by their own Inspect visit.
-func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
-	paired := map[*ast.CallExpr]bool{}
-	forEachBlock(body, func(list []ast.Stmt) {
-		checkBlock(pass, list, paired)
-	})
-	// Any EnterLane call not proven paired by block scanning — e.g. in an
-	// if-condition or argument position — is reported.
-	ast.Inspect(body, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if ok && isLaneCall(pass, call, "EnterLane", "EnterLaneAt") && !paired[call] {
-			pass.Reportf(call.Pos(), "EnterLane is not followed by a dominated ExitLane (use `defer ...ExitLane()` or call ExitLane on every path before returning)")
+// checkLits checks every function literal nested under a declaration (a
+// lane entered in a closure must exit in that closure).
+func checkLits(pass *analysis.Pass, info *callgraph.Info, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkFunc(pass, info, lit.Body)
 		}
 		return true
 	})
 }
 
-// forEachBlock invokes f on every statement list in the function body,
-// without descending into nested function literals.
-func forEachBlock(body *ast.BlockStmt, f func([]ast.Stmt)) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			return false
-		case *ast.BlockStmt:
-			f(n.List)
-		case *ast.CaseClause:
-			f(n.Body)
-		case *ast.CommClause:
-			f(n.Body)
-		}
-		return true
-	})
-}
-
-// checkBlock pairs EnterLane statements with following ExitLane/defer
-// statements in one statement list.
-func checkBlock(pass *analysis.Pass, list []ast.Stmt, paired map[*ast.CallExpr]bool) {
-	for i, stmt := range list {
-		enter := enterCall(pass, stmt)
-		if enter == nil {
+// checkFunc reports every unpaired lane-entering event in one function
+// body. Nested function literals are excluded by the engine's walk and
+// handled by their own checkLits visit.
+func checkFunc(pass *analysis.Pass, info *callgraph.Info, body *ast.BlockStmt) {
+	for _, le := range info.UnpairedLaneEnters(body) {
+		if le.Callee == nil {
+			pass.Reportf(le.Pos, "EnterLane is not followed by a dominated ExitLane (use `defer ...ExitLane()` or call ExitLane on every path before returning)")
 			continue
 		}
-		for _, later := range list[i+1:] {
-			if d, ok := later.(*ast.DeferStmt); ok && isLaneCall(pass, d.Call, "ExitLane") {
-				paired[enter] = true
-				break
-			}
-			if containsExit(pass, later) {
-				paired[enter] = true
-				break
-			}
-			if containsReturn(later) {
-				break // a return path escapes before ExitLane
-			}
-		}
+		pass.ReportChainf(le.Pos,
+			callgraph.ChainStrings(le.Chain, "EnterLane", le.EnterPos),
+			"call to %s enters a lane (EnterLane at %s%s) and is not followed by a dominated ExitLane (defer an exit, exit on every path, or annotate this caller //adsm:lanewrapper)",
+			callgraph.Display(le.Callee), le.EnterPos, callgraph.ViaSuffix(le.Chain))
 	}
-}
-
-// enterCall returns the EnterLane/EnterLaneAt call when stmt is exactly
-// such a call statement (the supported pairing shape).
-func enterCall(pass *analysis.Pass, stmt ast.Stmt) *ast.CallExpr {
-	es, ok := stmt.(*ast.ExprStmt)
-	if !ok {
-		return nil
-	}
-	call, ok := es.X.(*ast.CallExpr)
-	if !ok || !isLaneCall(pass, call, "EnterLane", "EnterLaneAt") {
-		return nil
-	}
-	return call
-}
-
-// containsExit reports whether the statement contains an ExitLane call
-// outside nested function literals.
-func containsExit(pass *analysis.Pass, stmt ast.Stmt) bool {
-	found := false
-	ast.Inspect(stmt, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		if call, ok := n.(*ast.CallExpr); ok && isLaneCall(pass, call, "ExitLane") {
-			found = true
-		}
-		return !found
-	})
-	return found
-}
-
-// containsReturn reports whether the statement contains a return outside
-// nested function literals.
-func containsReturn(stmt ast.Stmt) bool {
-	found := false
-	ast.Inspect(stmt, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		if _, ok := n.(*ast.ReturnStmt); ok {
-			found = true
-		}
-		return !found
-	})
-	return found
-}
-
-// isLaneCall reports whether call invokes a *method* with one of the given
-// names (EnterLane and friends are methods of sim.Clock; requiring a
-// method receiver avoids matching unrelated local functions).
-func isLaneCall(pass *analysis.Pass, call *ast.CallExpr, names ...string) bool {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	matched := false
-	for _, name := range names {
-		if sel.Sel.Name == name {
-			matched = true
-			break
-		}
-	}
-	if !matched {
-		return false
-	}
-	fn := analysis.CalleeFunc(pass.TypesInfo, call)
-	if fn == nil {
-		return false
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	return ok && sig.Recv() != nil
 }

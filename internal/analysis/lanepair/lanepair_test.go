@@ -10,3 +10,7 @@ import (
 func TestBasic(t *testing.T) {
 	analysistest.Run(t, lanepair.Analyzer, "lanepair/basic")
 }
+
+func TestWrapper(t *testing.T) {
+	analysistest.Run(t, lanepair.Analyzer, "lanepair/wrapper")
+}

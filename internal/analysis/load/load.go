@@ -96,8 +96,29 @@ func Units(dir string, patterns ...string) ([]*analysis.Unit, error) {
 			variant[p.ForTest] = true
 		}
 	}
-	var units []*analysis.Unit
 	fset := token.NewFileSet()
+
+	// Source-load every module-local package in its PLAIN (non-test)
+	// variant into a shared dependency map, so the callgraph engine can
+	// summarize a root's module-local callees from source. Plain variants
+	// only: the plain import graph is acyclic, while a test variant can
+	// be imported by its own dependencies' test packages.
+	depUnits := map[string]*analysis.Unit{}
+	for _, p := range pkgs {
+		if p.Standard || p.Module == nil || len(p.GoFiles) == 0 ||
+			p.ForTest != "" || strings.ContainsRune(p.ImportPath, ' ') ||
+			strings.HasSuffix(p.ImportPath, ".test") || p.Error != nil {
+			continue
+		}
+		unit, err := checkUnit(fset, p, exports)
+		if err != nil {
+			return nil, err
+		}
+		unit.DepUnits = depUnits
+		depUnits[p.ImportPath] = unit
+	}
+
+	var units []*analysis.Unit
 	for _, p := range pkgs {
 		switch {
 		case p.DepOnly || p.Standard || len(p.GoFiles) == 0:
@@ -110,10 +131,15 @@ func Units(dir string, patterns ...string) ([]*analysis.Unit, error) {
 		if p.Error != nil {
 			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
 		}
+		if unit := depUnits[p.ImportPath]; unit != nil {
+			units = append(units, unit) // plain root: already loaded above
+			continue
+		}
 		unit, err := checkUnit(fset, p, exports)
 		if err != nil {
 			return nil, err
 		}
+		unit.DepUnits = depUnits
 		units = append(units, unit)
 	}
 	sort.Slice(units, func(i, j int) bool { return units[i].Pkg.Path() < units[j].Pkg.Path() })
@@ -205,12 +231,18 @@ func Dir(dir string, roots ...string) (*analysis.Unit, error) {
 		roots: roots,
 		std:   importer.ForCompiler(fset, "source", nil),
 		pkgs:  map[string]*types.Package{},
+		units: map[string]*analysis.Unit{},
 	}
-	pkg, files, info, err := imp.load(dir, importPathOf(dir, roots))
+	path := importPathOf(dir, roots)
+	pkg, files, info, err := imp.load(dir, path)
 	if err != nil {
 		return nil, err
 	}
-	return &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+	unit := imp.units[path]
+	if unit == nil {
+		unit = &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, DepUnits: imp.units}
+	}
+	return unit, nil
 }
 
 // importPathOf derives the import path a testdata directory is reachable
@@ -225,12 +257,15 @@ func importPathOf(dir string, roots []string) string {
 }
 
 // dirImporter resolves imports for Dir units: testdata siblings first,
-// standard library second.
+// standard library second. Sibling packages loaded from source are also
+// retained as analysis units (di.units), so the callgraph engine can
+// summarize cross-package callees in golden tests.
 type dirImporter struct {
 	fset  *token.FileSet
 	roots []string
 	std   types.Importer
 	pkgs  map[string]*types.Package
+	units map[string]*analysis.Unit
 }
 
 func (di *dirImporter) Import(path string) (*types.Package, error) {
@@ -279,5 +314,8 @@ func (di *dirImporter) load(dir, path string) (*types.Package, []*ast.File, *typ
 		return nil, nil, nil, fmt.Errorf("package %s: %v", path, err)
 	}
 	di.pkgs[path] = pkg
+	di.units[path] = &analysis.Unit{
+		Fset: di.fset, Files: files, Pkg: pkg, TypesInfo: info, DepUnits: di.units,
+	}
 	return pkg, files, info, nil
 }

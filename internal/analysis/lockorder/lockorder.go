@@ -19,13 +19,20 @@
 // channel sends/receives, select, range-over-channel, sync.WaitGroup.Wait,
 // sync.Cond.Wait, or calls to functions annotated //adsm:blocking.
 //
-// The analysis is intra-procedural over an approximate CFG: branch bodies
-// are analyzed against a copy of the held-lock set, a deferred Unlock
-// keeps its lock held to function end, and function literals start with an
-// empty held set (goroutines do not inherit the spawner's locks).
+// The held-set analysis is an approximate CFG walk: branch bodies are
+// analyzed against a copy of the held-lock set, a deferred Unlock keeps
+// its lock held to function end, and function literals start with an
+// empty held set (goroutines do not inherit the spawner's locks). Call
+// sites are then checked against the callgraph engine's bottom-up
+// summaries: a call made while locks are held is a diagnostic when the
+// callee — at any depth, across module-local package boundaries — acquires
+// an annotated lock at a level not strictly above every held one, or may
+// block while a nowait lock is held. Diagnostics carry the call chain to
+// the offending acquire or wait.
 package lockorder
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -33,6 +40,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 )
 
 // Analyzer is the lockorder analyzer.
@@ -63,7 +71,13 @@ func run(pass *analysis.Pass) error {
 		return err
 	}
 	if len(locks) == 0 {
-		return nil // package has no annotated locks: nothing to check
+		// No annotated locks means nothing can ever be held here, and every
+		// check below is conditioned on a non-empty held set.
+		return nil
+	}
+	info, err := callgraph.Of(pass)
+	if err != nil {
+		return err
 	}
 	blocking := blockingFuncs(pass)
 	for _, file := range pass.Files {
@@ -72,7 +86,7 @@ func run(pass *analysis.Pass) error {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			c := &checker{pass: pass, locks: locks, blocking: blocking}
+			c := &checker{pass: pass, info: info, locks: locks, blocking: blocking}
 			c.block(fn.Body.List, nil)
 		}
 	}
@@ -157,6 +171,7 @@ func blockingFuncs(pass *analysis.Pass) map[*types.Func]bool {
 // checker walks one function body threading the held-lock list.
 type checker struct {
 	pass     *analysis.Pass
+	info     *callgraph.Info
 	locks    map[types.Object]lockInfo
 	blocking map[*types.Func]bool
 }
@@ -301,6 +316,7 @@ func (c *checker) exprEvents(e ast.Expr, h []held) []held {
 				return true
 			}
 			c.checkBlockingCall(n, h)
+			c.checkCalleeSummary(n, h)
 		}
 		return true
 	}
@@ -351,6 +367,50 @@ func (c *checker) checkBlockingCall(call *ast.CallExpr, h []held) {
 	}
 	if fn.Name() == "Wait" && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
 		c.checkNowait(call.Pos(), "sync."+recvName(fn)+".Wait", h)
+	}
+}
+
+// checkCalleeSummary checks one call site against the callee's engine
+// summary while locks are held: transitive lock acquisitions must sit
+// strictly above every held level, and transitively-blocking callees are
+// subject to the nowait rule. Callees the local maps already cover
+// (//adsm:blocking functions, sync waits) are skipped so nothing is
+// reported twice; unknown callees are presumed lock-free and non-blocking
+// (the noalloc analyzer is the conservative one).
+func (c *checker) checkCalleeSummary(call *ast.CallExpr, h []held) {
+	if len(h) == 0 {
+		return
+	}
+	for _, e := range c.info.Callees(call) {
+		fn := e.Callee
+		if c.blocking[fn] {
+			continue // checkBlockingCall reported it
+		}
+		if fn.Name() == "Wait" && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			continue // checkBlockingCall reported it
+		}
+		cs := c.info.Summary(fn)
+		if cs == nil {
+			continue
+		}
+		callee := callgraph.Display(fn)
+		frame := c.info.Frame(fn, call.Pos())
+		for _, u := range cs.Acquires {
+			full := callgraph.PrependFrame(frame, u.Chain)
+			for _, prev := range h {
+				if prev.info.level >= u.Level {
+					c.pass.ReportChainf(call.Pos(),
+						callgraph.ChainStrings(full, "acquire "+u.Name, u.Pos),
+						"call to %s acquires lock %s (level %d) at %s while holding %s (level %d)%s; the ADSM lock order requires strictly ascending levels",
+						callee, u.Name, u.Level, u.Pos, prev.info.name, prev.info.level, callgraph.ViaSuffix(full))
+				}
+			}
+		}
+		if cs.Blocks {
+			what := fmt.Sprintf("call to %s, which may block (%s at %s)%s",
+				callee, cs.BlockWhat, cs.BlockPos, callgraph.ViaSuffix(callgraph.PrependFrame(frame, cs.BlockChain)))
+			c.checkNowait(call.Pos(), what, h)
+		}
 	}
 }
 

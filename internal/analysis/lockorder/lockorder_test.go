@@ -10,3 +10,7 @@ import (
 func TestBasic(t *testing.T) {
 	analysistest.Run(t, lockorder.Analyzer, "lockorder/basic")
 }
+
+func TestChain(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "lockorder/chain")
+}

@@ -1,0 +1,427 @@
+// Package modecheck enforces the PR 7 access-mode contracts at vet time.
+//
+// An allocation's AccessMode is a promise about host behaviour for the
+// object's whole lifetime: ReadOnly objects are sealed at their first
+// kernel release (a later host write fails with ErrModeViolation),
+// WriteOnly objects elide every device-to-host fetch (a host read of
+// device-written data fails the same way). The runtime enforces both —
+// but at run time, on the inputs that happen to execute. This analyzer
+// moves the common shapes of those failures to `make vet`:
+//
+//   - a host write (HostWrite, Memset, MemcpyToShared, MemcpyShared dst,
+//     or a kernel Call annotated Writes) reaching a pointer allocated
+//     with gmac.Mode(gmac.ReadOnly);
+//   - a host read (HostRead, MemcpyFromShared, MemcpyShared src) of a
+//     pointer allocated gmac.Mode(gmac.WriteOnly) before any write has
+//     populated it;
+//   - a host read, through a helper, of a pointer an async kernel
+//     (Call with Writes and Async) may still be writing, before a Sync.
+//     Direct reads of async results are the coherence analyzer's
+//     diagnostic; modecheck adds the interprocedural case it cannot see.
+//
+// Host accesses are resolved through the callgraph engine's summaries, so
+// a write buried two helpers deep is flagged at the outer call with the
+// chain down to the access. The tracking itself is deliberately local and
+// linear: a pointer is followed from its `p, err := s.Alloc(...)` site
+// through the statements of that function in source order, and tracking
+// stops — silently, never reporting — as soon as the pointer is
+// reassigned, aliased, taken by address, returned, or passed to a
+// function the engine has no summary for. Within those bounds every
+// diagnostic corresponds to a run-time ErrModeViolation (or a stale
+// read) on the path that executes the flagged statements in order.
+package modecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+)
+
+// Analyzer is the modecheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "modecheck",
+	Doc:  "flag host accesses that violate gmac access-mode contracts (ReadOnly/WriteOnly/Async), through helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	info, err := callgraph.Of(pass)
+	if err != nil {
+		return err
+	}
+	for _, n := range info.Nodes {
+		if n.Decl.Body == nil {
+			continue
+		}
+		c := &collector{pass: pass, info: info}
+		c.visit(n.Decl.Body, false)
+		process(pass, c.events)
+	}
+	return nil
+}
+
+type evKind int
+
+const (
+	evDefine      evKind = iota // p, err := s.Alloc(..., gmac.Mode(...))
+	evAccess                    // host write/read of a tracked pointer
+	evKernelWrite               // Call(..., gmac.Writes(p), [gmac.Async()])
+	evSync                      // s.Sync(): every pending async write lands
+	evKill                      // tracking ends: reassigned, aliased, escaped
+)
+
+// event is one mode-relevant occurrence in source order.
+type event struct {
+	pos       token.Pos
+	kind      evKind
+	obj       types.Object
+	mode      string // evDefine: "ReadOnly", "WriteOnly", or ""
+	write     bool   // evAccess
+	what      string // evAccess: underlying method name
+	accessPos string // evAccess: where the underlying access sits
+	chain     []callgraph.SummaryFrame
+	async     bool // evKernelWrite
+}
+
+// collector walks one function body emitting events. The walk mirrors
+// callgraph.InspectInline's literal policy: nested function literals run
+// on their own schedule and are not part of this function's event order.
+type collector struct {
+	pass   *analysis.Pass
+	info   *callgraph.Info
+	events []event
+}
+
+func (c *collector) add(e event) {
+	c.events = append(c.events, e)
+}
+
+// visit walks n. inCall marks positions inside call arguments, where bare
+// pointer identifiers are accounted for by call classification instead of
+// the conservative alias kill.
+func (c *collector) visit(n ast.Node, inCall bool) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.FuncLit:
+		return
+	case *ast.GoStmt:
+		// The goroutine's accesses are unordered against ours: stop
+		// tracking any pointer it captures.
+		c.killAllUnder(n)
+		return
+	case *ast.DeferStmt:
+		// Deferred work runs at returns, out of line with this walk; a
+		// deferred Sync in particular does NOT order before earlier
+		// statements. Stop tracking pointers it touches.
+		c.killAllUnder(n)
+		return
+	case *ast.AssignStmt:
+		c.assign(n)
+		return
+	case *ast.CallExpr:
+		c.call(n)
+		return
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && c.isPtrIdent(id) {
+				c.add(event{pos: n.Pos(), kind: evKill, obj: c.pass.TypesInfo.Uses[id]})
+				return
+			}
+		}
+	case *ast.Ident:
+		if !inCall && c.isPtrIdent(n) {
+			// Bare use outside a call: alias, comparison, return value.
+			c.add(event{pos: n.Pos(), kind: evKill, obj: c.pass.TypesInfo.Uses[n]})
+		}
+		return
+	}
+	c.children(n, inCall)
+}
+
+// children visits n's direct children with the same context.
+func (c *collector) children(n ast.Node, inCall bool) {
+	ast.Inspect(n, func(ch ast.Node) bool {
+		if ch == n {
+			return true
+		}
+		c.visit(ch, inCall)
+		return false
+	})
+}
+
+// killAllUnder emits a kill for every tracked-pointer identifier in the
+// subtree (conservative escape).
+func (c *collector) killAllUnder(n ast.Node) {
+	ast.Inspect(n, func(ch ast.Node) bool {
+		if id, ok := ch.(*ast.Ident); ok && c.isPtrIdent(id) {
+			c.add(event{pos: id.Pos(), kind: evKill, obj: c.pass.TypesInfo.Uses[id]})
+		}
+		return true
+	})
+}
+
+// assign handles p, err := s.Alloc(...) defines, and kills tracking on any
+// other assignment touching a pointer.
+func (c *collector) assign(n *ast.AssignStmt) {
+	if obj, mode, ok := c.allocDefine(n); ok {
+		c.add(event{pos: n.Pos(), kind: evDefine, obj: obj, mode: mode})
+		return
+	}
+	for _, rhs := range n.Rhs {
+		c.visit(rhs, false)
+	}
+	for _, lhs := range n.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if c.isPtrIdent(id) && n.Tok == token.ASSIGN {
+				c.add(event{pos: id.Pos(), kind: evKill, obj: c.pass.TypesInfo.Uses[id]})
+			}
+			continue
+		}
+		c.visit(lhs, false)
+	}
+}
+
+// allocDefine recognizes `p, err := sess.Alloc(size, opts...)` with p
+// gmac.Ptr-typed, returning p's object and the declared mode ("" when no
+// gmac.Mode option is present — the pointer is still tracked for async
+// bookkeeping).
+func (c *collector) allocDefine(n *ast.AssignStmt) (types.Object, string, bool) {
+	if len(n.Rhs) != 1 || len(n.Lhs) == 0 {
+		return nil, "", false
+	}
+	call, ok := n.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil, "", false
+	}
+	fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Alloc" {
+		return nil, "", false
+	}
+	id, ok := n.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, "", false
+	}
+	var obj types.Object
+	if n.Tok == token.DEFINE {
+		obj = c.pass.TypesInfo.Defs[id]
+	} else {
+		obj = c.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil || !callgraph.IsGmacPtr(obj.Type()) {
+		return nil, "", false
+	}
+	return obj, c.allocModeOf(call), true
+}
+
+// allocModeOf extracts the gmac.Mode(...) option's constant, if any.
+func (c *collector) allocModeOf(call *ast.CallExpr) string {
+	for _, arg := range call.Args {
+		oc, ok := arg.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		ofn := analysis.CalleeFunc(c.pass.TypesInfo, oc)
+		if ofn == nil || ofn.Name() != "Mode" || ofn.Pkg() == nil || ofn.Pkg().Name() != "gmac" || len(oc.Args) != 1 {
+			continue
+		}
+		var sel *ast.Ident
+		switch a := ast.Unparen(oc.Args[0]).(type) {
+		case *ast.SelectorExpr:
+			sel = a.Sel
+		case *ast.Ident:
+			sel = a
+		}
+		if sel == nil {
+			continue
+		}
+		switch name := sel.Name; name {
+		case "ReadOnly", "ModeReadOnly":
+			return "ReadOnly"
+		case "WriteOnly", "ModeWriteOnly":
+			return "WriteOnly"
+		}
+	}
+	return ""
+}
+
+// call classifies one call: host-access effects (direct methods or helper
+// summaries), kernel launches with Writes annotations, Sync barriers, and
+// pointer escapes into unsummarized callees.
+func (c *collector) call(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+	consumed := map[ast.Expr]bool{}
+
+	for _, eff := range c.info.PtrEffects(call) {
+		id, ok := ast.Unparen(eff.Arg).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		c.add(event{pos: call.Pos(), kind: evAccess, obj: info.Uses[id],
+			write: eff.Write, what: eff.What, accessPos: eff.Pos, chain: eff.Chain})
+		consumed[eff.Arg] = true
+	}
+
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Sync":
+			if len(call.Args) == 0 {
+				c.add(event{pos: call.Pos(), kind: evSync})
+			}
+		case "Call", "CallSync":
+			c.kernelCall(call, sel.Sel.Name == "CallSync", consumed)
+		}
+	}
+
+	// Any pointer passed to a callee without a summary may be written,
+	// read, or retained there: stop tracking it. Callees the engine does
+	// know (module-local helpers, the gmac session API itself) already
+	// had their effects applied above.
+	neutral := false
+	if fn := analysis.CalleeFunc(info, call); fn != nil {
+		if fn.Pkg() != nil && fn.Pkg().Name() == "gmac" {
+			neutral = true
+		} else if c.info.Summary(fn) != nil {
+			neutral = true
+		}
+	}
+	for _, arg := range call.Args {
+		if consumed[arg] {
+			continue
+		}
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			if c.isPtrIdent(id) && !neutral {
+				c.add(event{pos: arg.Pos(), kind: evKill, obj: info.Uses[id]})
+			}
+			continue
+		}
+		c.visit(arg, true)
+	}
+}
+
+// kernelCall handles sess.Call(kernel, args, opts...): a Writes(p) option
+// is a kernel write of p — immediate for synchronous calls, pending until
+// Sync when Async() is present.
+func (c *collector) kernelCall(call *ast.CallExpr, syncing bool, consumed map[ast.Expr]bool) {
+	info := c.pass.TypesInfo
+	async := false
+	var written []*ast.Ident
+	for _, arg := range call.Args {
+		oc, ok := arg.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		ofn := analysis.CalleeFunc(info, oc)
+		if ofn == nil || ofn.Pkg() == nil || ofn.Pkg().Name() != "gmac" {
+			continue
+		}
+		switch ofn.Name() {
+		case "Async":
+			async = true
+			consumed[arg] = true
+		case "Writes", "WriteOnlyHint":
+			for _, wa := range oc.Args {
+				if id, ok := ast.Unparen(wa).(*ast.Ident); ok && c.isPtrIdent(id) {
+					written = append(written, id)
+				}
+			}
+			consumed[arg] = true
+		case "ReadOnlyHint":
+			consumed[arg] = true // kernel-side read: no host access
+		}
+	}
+	if syncing {
+		async = false
+	}
+	for _, id := range written {
+		c.add(event{pos: call.Pos(), kind: evKernelWrite, obj: info.Uses[id], async: async})
+	}
+	if syncing {
+		c.add(event{pos: call.End(), kind: evSync})
+	}
+}
+
+// isPtrIdent reports whether id names a gmac.Ptr-typed object.
+func (c *collector) isPtrIdent(id *ast.Ident) bool {
+	obj := c.pass.TypesInfo.Uses[id]
+	return obj != nil && callgraph.IsGmacPtr(obj.Type())
+}
+
+// state is the per-pointer tracking record.
+type state struct {
+	name     string
+	mode     string
+	allocPos string
+	wrote    bool   // some write (host or kernel) has reached it
+	asyncAt  string // pending async kernel write's launch position
+}
+
+// process replays the events in source order, reporting contract
+// violations.
+func process(pass *analysis.Pass, events []event) {
+	vars := map[types.Object]*state{}
+	shortPos := func(p token.Pos) string {
+		pos := pass.Fset.Position(p)
+		return filepath.Base(pos.Filename) + ":" + strconv.Itoa(pos.Line)
+	}
+	for _, e := range events {
+		switch e.kind {
+		case evDefine:
+			vars[e.obj] = &state{name: e.obj.Name(), mode: e.mode, allocPos: shortPos(e.pos)}
+		case evKill:
+			delete(vars, e.obj)
+		case evSync:
+			for _, st := range vars {
+				st.asyncAt = ""
+			}
+		case evKernelWrite:
+			st := vars[e.obj]
+			if st == nil {
+				break
+			}
+			if st.mode == "ReadOnly" {
+				pass.Reportf(e.pos,
+					"kernel declares Writes(%s), but %s is allocated gmac.ReadOnly at %s; ReadOnly objects are sealed after their first release (ErrModeViolation at run time)",
+					st.name, st.name, st.allocPos)
+			}
+			st.wrote = true
+			if e.async {
+				st.asyncAt = shortPos(e.pos)
+			}
+		case evAccess:
+			st := vars[e.obj]
+			if st == nil {
+				break
+			}
+			if e.write {
+				if st.mode == "ReadOnly" {
+					pass.ReportChainf(e.pos,
+						callgraph.ChainStrings(e.chain, e.what+" "+st.name, e.accessPos),
+						"%s writes %s, which is allocated gmac.ReadOnly at %s; writes to ReadOnly objects fail with ErrModeViolation%s",
+						e.what, st.name, st.allocPos, callgraph.ViaSuffix(e.chain))
+				}
+				st.wrote = true
+				break
+			}
+			if st.mode == "WriteOnly" && !st.wrote {
+				pass.ReportChainf(e.pos,
+					callgraph.ChainStrings(e.chain, e.what+" "+st.name, e.accessPos),
+					"%s reads %s, which is allocated gmac.WriteOnly at %s and not yet written; reads of WriteOnly objects fail with ErrModeViolation%s",
+					e.what, st.name, st.allocPos, callgraph.ViaSuffix(e.chain))
+			}
+			if st.asyncAt != "" && len(e.chain) > 0 {
+				// Direct async reads are the coherence analyzer's
+				// diagnostic; only the helper-mediated read is new here.
+				pass.ReportChainf(e.pos,
+					callgraph.ChainStrings(e.chain, e.what+" "+st.name, e.accessPos),
+					"%s reads %s while the async kernel launched at %s may still be writing it; Sync first%s",
+					e.what, st.name, st.asyncAt, callgraph.ViaSuffix(e.chain))
+			}
+		}
+	}
+}

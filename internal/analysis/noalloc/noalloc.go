@@ -1,5 +1,6 @@
 // Package noalloc rejects allocating constructs in functions annotated
-// //adsm:noalloc.
+// //adsm:noalloc — in their own bodies and, transitively, in everything
+// they call.
 //
 // The PR 4 fault hot path earned its 0 allocs/op the hard way; the
 // AllocsPerRun tests prove the property dynamically, but only for the
@@ -7,7 +8,8 @@
 // so a refactor that reintroduces a closure, an fmt call, or interface
 // boxing fails `make vet` before it ever reaches a benchmark.
 //
-// Flagged constructs:
+// Constructs flagged in the annotated body itself (see callgraph.AllocWalk
+// for the walker):
 //
 //   - function literals (closure allocation), except immediately deferred
 //     ones — `defer func(){...}()` compiles to an open-coded defer and the
@@ -24,434 +26,126 @@
 //   - method-value expressions (x.M used as a value allocates a bound
 //     closure)
 //
-// The analysis is intra-procedural: cold paths that must allocate
-// (error formatting, overflow growth) belong in separate non-annotated
-// helper functions.
+// Calls are checked against the callgraph engine's bottom-up summaries
+// (package callgraph): a //adsm:noalloc function may call
+//
+//   - other //adsm:noalloc functions (trusted alloc-free; their own bodies
+//     are checked at their definition),
+//   - //adsm:cold functions directly — the blessed escape hatch onto a
+//     deliberately allocating slow path — but not through an unannotated
+//     middleman, which would hide the transition,
+//   - functions whose summary is alloc-free (computed transitively, across
+//     module-local package boundaries via dependency summaries),
+//   - the small standard-library allowlist (sync, sync/atomic, math,
+//     math/bits, unsafe).
+//
+// Anything else — an allocating callee, or a callee the engine cannot
+// summarize (unknown stdlib, unresolved dynamic call) — is a diagnostic
+// carrying the full call chain down to the allocating construct.
 //
 // A small built-in table (required.go) additionally demands the
 // annotation on the known hot-path functions of internal/core and
-// internal/sim, so deleting the directive is itself a diagnostic.
+// internal/sim, so deleting the directive is itself a diagnostic — and a
+// table entry naming a function that no longer exists is reported too, so
+// the table cannot silently rot after a rename.
 package noalloc
 
 import (
-	"go/ast"
-	"go/token"
-	"go/types"
+	"sort"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 )
 
 // Analyzer is the noalloc analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "noalloc",
-	Doc:  "reject allocating constructs in //adsm:noalloc functions",
+	Doc:  "reject allocating constructs in //adsm:noalloc functions, transitively through calls",
 	Run:  run,
 }
 
 func run(pass *analysis.Pass) error {
+	info, err := callgraph.Of(pass)
+	if err != nil {
+		return err
+	}
 	required := requiredSet(pass.Pkg.Path())
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
-				continue
-			}
-			_, annotated := analysis.FuncDirective(pass.Fset, file, fn, "noalloc")
-			key := analysis.FuncKey(fn)
-			if required[key] && !annotated {
-				pass.Reportf(fn.Name.Pos(),
-					"%s is on the ADSM fault hot path and must be annotated //adsm:noalloc", key)
-				continue
-			}
-			if annotated {
-				checkFunc(pass, fn)
-			}
+	declared := map[string]bool{}
+	for _, n := range info.Nodes {
+		key := analysis.FuncKey(n.Decl)
+		declared[key] = true
+		if n.Decl.Body == nil {
+			continue
+		}
+		_, annotated := analysis.FuncDirective(pass.Fset, n.File, n.Decl, "noalloc")
+		if required[key] && !annotated {
+			pass.Reportf(n.Decl.Name.Pos(),
+				"%s is on the ADSM fault hot path and must be annotated //adsm:noalloc", key)
+			continue
+		}
+		if annotated {
+			checkFunc(pass, info, n)
 		}
 	}
+	reportVanished(pass, required, declared)
 	return nil
 }
 
-// checkFunc walks an annotated function body reporting every allocating
-// construct.
-func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
-	w := &walker{pass: pass, fname: analysis.FuncKey(fn)}
-	w.stmt(fn.Body, 0)
+// reportVanished flags required-annotation table entries that name no
+// declared function, pointing at the package clause: after a rename or
+// delete, the table must be updated, not left naming ghosts.
+func reportVanished(pass *analysis.Pass, required, declared map[string]bool) {
+	var missing []string
+	for key := range required {
+		if !declared[key] {
+			missing = append(missing, key)
+		}
+	}
+	sort.Strings(missing)
+	for _, key := range missing {
+		if len(pass.Files) == 0 {
+			break
+		}
+		pass.Reportf(pass.Files[0].Name.Pos(),
+			"noalloc required-annotation table lists %s, but %s declares no such function; update internal/analysis/noalloc/required.go",
+			key, pass.Pkg.Path())
+	}
 }
 
-// walker carries the per-function state; loopDepth tracks whether a defer
-// statement sits inside a loop.
-type walker struct {
-	pass  *analysis.Pass
-	fname string
-}
-
-// stmt dispatches on statement shape so that defer and go statements can
-// be treated specially before their sub-expressions are scanned.
-func (w *walker) stmt(s ast.Stmt, loopDepth int) {
-	switch s := s.(type) {
-	case nil:
-	case *ast.BlockStmt:
-		for _, sub := range s.List {
-			w.stmt(sub, loopDepth)
+// checkFunc checks one annotated function: every allocating construct in
+// its own body, then every call edge against the callee's summary.
+func checkFunc(pass *analysis.Pass, info *callgraph.Info, n *callgraph.Node) {
+	fname := analysis.FuncKey(n.Decl)
+	for _, f := range callgraph.AllocWalk(pass.TypesInfo, n.Decl.Body) {
+		pass.Reportf(f.Pos, "%s is //adsm:noalloc: %s", fname, f.What)
+	}
+	for _, e := range n.Edges {
+		if obj, _ := callgraph.LockOp(pass.TypesInfo, e.Call); obj != nil {
+			continue // sync mutex ops are alloc-free
 		}
-	case *ast.GoStmt:
-		w.pass.Reportf(s.Pos(), "%s is //adsm:noalloc: go statement allocates a goroutine", w.fname)
-	case *ast.DeferStmt:
-		if loopDepth > 0 {
-			w.pass.Reportf(s.Pos(), "%s is //adsm:noalloc: defer inside a loop heap-allocates", w.fname)
+		if analysis.CalleePkgName(pass.TypesInfo, e.Call) == "fmt" {
+			continue // AllocWalk already flagged the fmt call itself
 		}
-		// An immediately deferred func literal is an open-coded defer:
-		// allowed, but its body still runs on the hot path, so scan it.
-		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			w.stmt(lit.Body, 0)
-			for _, arg := range s.Call.Args {
-				w.expr(arg)
+		callee := callgraph.Display(e.Callee)
+		cs := info.Summary(e.Callee)
+		switch {
+		case cs == nil:
+			what := "has unknown allocation behavior; annotate it //adsm:noalloc or //adsm:cold, or keep it off the hot path"
+			if e.Dynamic {
+				what = "is a dynamic call the engine cannot resolve; devirtualize it or keep it off the hot path"
 			}
-			w.boxedArgs(s.Call)
-		} else {
-			// `defer x.M()` is a direct call, not a method value.
-			w.call(s.Call)
-		}
-	case *ast.ForStmt:
-		w.stmt(s.Init, loopDepth)
-		w.exprOpt(s.Cond)
-		w.stmt(s.Post, loopDepth)
-		w.stmt(s.Body, loopDepth+1)
-	case *ast.RangeStmt:
-		w.exprOpt(s.Key)
-		w.exprOpt(s.Value)
-		w.expr(s.X)
-		w.stmt(s.Body, loopDepth+1)
-	case *ast.IfStmt:
-		w.stmt(s.Init, loopDepth)
-		w.expr(s.Cond)
-		w.stmt(s.Body, loopDepth)
-		w.stmt(s.Else, loopDepth)
-	case *ast.SwitchStmt:
-		w.stmt(s.Init, loopDepth)
-		w.exprOpt(s.Tag)
-		w.stmt(s.Body, loopDepth)
-	case *ast.TypeSwitchStmt:
-		w.stmt(s.Init, loopDepth)
-		w.stmt(s.Assign, loopDepth)
-		w.stmt(s.Body, loopDepth)
-	case *ast.SelectStmt:
-		w.stmt(s.Body, loopDepth)
-	case *ast.CaseClause:
-		for _, e := range s.List {
-			w.expr(e)
-		}
-		for _, sub := range s.Body {
-			w.stmt(sub, loopDepth)
-		}
-	case *ast.CommClause:
-		w.stmt(s.Comm, loopDepth)
-		for _, sub := range s.Body {
-			w.stmt(sub, loopDepth)
-		}
-	case *ast.LabeledStmt:
-		w.stmt(s.Stmt, loopDepth)
-	case *ast.ExprStmt:
-		w.expr(s.X)
-	case *ast.SendStmt:
-		w.expr(s.Chan)
-		w.expr(s.Value)
-		w.boxed(s.Value, chanElem(w.pass, s.Chan))
-	case *ast.IncDecStmt:
-		w.expr(s.X)
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			w.expr(e)
-		}
-		for _, e := range s.Lhs {
-			w.expr(e)
-		}
-		if len(s.Lhs) == len(s.Rhs) {
-			for i := range s.Lhs {
-				w.boxed(s.Rhs[i], w.pass.TypesInfo.TypeOf(s.Lhs[i]))
-			}
-		}
-	case *ast.DeclStmt:
-		gd, ok := s.Decl.(*ast.GenDecl)
-		if !ok {
-			return
-		}
-		for _, spec := range gd.Specs {
-			vs, ok := spec.(*ast.ValueSpec)
-			if !ok {
-				continue
-			}
-			for i, v := range vs.Values {
-				w.expr(v)
-				if i < len(vs.Names) {
-					w.boxed(v, w.pass.TypesInfo.TypeOf(vs.Names[i]))
-				}
-			}
-		}
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			w.expr(e)
-		}
-		w.boxedReturns(s)
-	case *ast.BranchStmt, *ast.EmptyStmt:
-	default:
-		// Unknown statement kinds: scan conservatively for expressions.
-		ast.Inspect(s, func(n ast.Node) bool {
-			if e, ok := n.(ast.Expr); ok {
-				w.expr(e)
-				return false
-			}
-			return true
-		})
-	}
-}
-
-func (w *walker) exprOpt(e ast.Expr) {
-	if e != nil {
-		w.expr(e)
-	}
-}
-
-// expr reports allocating expressions, recursing into sub-expressions.
-func (w *walker) expr(e ast.Expr) {
-	switch e := e.(type) {
-	case nil:
-	case *ast.FuncLit:
-		w.pass.Reportf(e.Pos(), "%s is //adsm:noalloc: function literal allocates a closure; hoist it to a named function", w.fname)
-		// Do not descend: the closure itself is the finding.
-	case *ast.CompositeLit:
-		w.compositeLit(e, false)
-	case *ast.UnaryExpr:
-		if lit, ok := e.X.(*ast.CompositeLit); ok && e.Op == token.AND {
-			w.compositeLit(lit, true)
-			return
-		}
-		w.expr(e.X)
-	case *ast.BinaryExpr:
-		w.expr(e.X)
-		w.expr(e.Y)
-		if e.Op == token.ADD && !isConst(w.pass, e) && isString(w.pass.TypesInfo.TypeOf(e.X)) {
-			w.pass.Reportf(e.Pos(), "%s is //adsm:noalloc: string concatenation allocates", w.fname)
-		}
-	case *ast.CallExpr:
-		w.call(e)
-	case *ast.ParenExpr:
-		w.expr(e.X)
-	case *ast.SelectorExpr:
-		w.expr(e.X)
-		if sel, ok := w.pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.MethodVal {
-			// x.M in non-call position binds the receiver: a closure.
-			// Call positions never reach here (call() skips the Fun
-			// selector), so any method value seen here allocates.
-			w.pass.Reportf(e.Pos(), "%s is //adsm:noalloc: method value %s binds its receiver and allocates", w.fname, e.Sel.Name)
-		}
-	case *ast.IndexExpr:
-		w.expr(e.X)
-		w.expr(e.Index)
-	case *ast.IndexListExpr:
-		w.expr(e.X)
-		for _, i := range e.Indices {
-			w.expr(i)
-		}
-	case *ast.SliceExpr:
-		w.expr(e.X)
-		w.exprOpt(e.Low)
-		w.exprOpt(e.High)
-		w.exprOpt(e.Max)
-	case *ast.StarExpr:
-		w.expr(e.X)
-	case *ast.TypeAssertExpr:
-		w.expr(e.X)
-	case *ast.KeyValueExpr:
-		w.expr(e.Key)
-		w.expr(e.Value)
-	case *ast.Ident, *ast.BasicLit, *ast.ArrayType, *ast.MapType,
-		*ast.ChanType, *ast.FuncType, *ast.StructType, *ast.InterfaceType:
-	}
-}
-
-func (w *walker) compositeLit(lit *ast.CompositeLit, addressed bool) {
-	t := w.pass.TypesInfo.TypeOf(lit)
-	switch t.Underlying().(type) {
-	case *types.Map:
-		w.pass.Reportf(lit.Pos(), "%s is //adsm:noalloc: map literal allocates", w.fname)
-	case *types.Slice:
-		w.pass.Reportf(lit.Pos(), "%s is //adsm:noalloc: slice literal allocates its backing array", w.fname)
-	default:
-		if addressed {
-			w.pass.Reportf(lit.Pos(), "%s is //adsm:noalloc: &composite literal may heap-allocate", w.fname)
+			pass.ReportChainf(e.Call.Pos(),
+				[]string{callee + " (unknown)"},
+				"%s is //adsm:noalloc: call to %s %s", fname, callee, what)
+		case cs.NoAlloc, cs.Cold:
+			// Trusted: noalloc callees are checked at their definition;
+			// a direct //adsm:cold call is the blessed slow-path handoff.
+		case cs.Allocates:
+			full := callgraph.PrependFrame(info.Frame(e.Callee, e.Call.Pos()), cs.AllocChain)
+			pass.ReportChainf(e.Call.Pos(),
+				callgraph.ChainStrings(full, cs.AllocWhat, cs.AllocPos),
+				"%s is //adsm:noalloc: call to %s allocates: %s at %s%s",
+				fname, callee, cs.AllocWhat, cs.AllocPos, callgraph.ViaSuffix(full[1:]))
 		}
 	}
-	for _, elt := range lit.Elts {
-		w.expr(elt)
-	}
-}
-
-// call handles call expressions: builtins, fmt, conversions, and interface
-// boxing of arguments.
-func (w *walker) call(call *ast.CallExpr) {
-	info := w.pass.TypesInfo
-
-	switch {
-	case analysis.IsBuiltinCall(info, call, "append"):
-		w.pass.Reportf(call.Pos(), "%s is //adsm:noalloc: append may grow its backing array", w.fname)
-	case analysis.IsBuiltinCall(info, call, "make"):
-		w.pass.Reportf(call.Pos(), "%s is //adsm:noalloc: make allocates", w.fname)
-	case analysis.IsBuiltinCall(info, call, "new"):
-		w.pass.Reportf(call.Pos(), "%s is //adsm:noalloc: new allocates", w.fname)
-	}
-
-	// Type conversion?
-	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
-		w.conversion(call, tv.Type)
-		w.expr(call.Args[0])
-		return
-	}
-
-	if analysis.CalleePkgName(info, call) == "fmt" {
-		w.pass.Reportf(call.Pos(), "%s is //adsm:noalloc: fmt call allocates; move formatting to a cold helper", w.fname)
-		// fmt's variadic ...any boxing is subsumed by this finding.
-		for _, arg := range call.Args {
-			w.expr(arg)
-		}
-		return
-	}
-
-	// Don't treat the callee selector as a method value.
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.SelectorExpr:
-		w.expr(fun.X)
-	case *ast.Ident:
-	default:
-		w.expr(call.Fun)
-	}
-	for _, arg := range call.Args {
-		w.expr(arg)
-	}
-	w.boxedArgs(call)
-}
-
-// conversion flags allocating conversions: string<->[]byte/[]rune and
-// concrete-to-interface.
-func (w *walker) conversion(call *ast.CallExpr, target types.Type) {
-	src := w.pass.TypesInfo.TypeOf(call.Args[0])
-	if src == nil {
-		return
-	}
-	if isConst(w.pass, call) {
-		return
-	}
-	switch {
-	case isString(target) && isByteOrRuneSlice(src):
-		w.pass.Reportf(call.Pos(), "%s is //adsm:noalloc: []byte/[]rune-to-string conversion allocates", w.fname)
-	case isByteOrRuneSlice(target) && isString(src):
-		w.pass.Reportf(call.Pos(), "%s is //adsm:noalloc: string-to-slice conversion allocates", w.fname)
-	default:
-		w.boxed(call.Args[0], target)
-	}
-}
-
-// boxedArgs flags concrete arguments passed in interface-typed parameters.
-func (w *walker) boxedArgs(call *ast.CallExpr) {
-	tv, ok := w.pass.TypesInfo.Types[call.Fun]
-	if !ok || tv.IsType() {
-		return
-	}
-	sig, ok := tv.Type.Underlying().(*types.Signature)
-	if !ok {
-		return
-	}
-	params := sig.Params()
-	if params.Len() == 0 {
-		return
-	}
-	if call.Ellipsis.IsValid() {
-		// f(xs...) passes the slice through: no per-element boxing.
-		return
-	}
-	for i, arg := range call.Args {
-		var pt types.Type
-		if sig.Variadic() && i >= params.Len()-1 {
-			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
-		} else if i < params.Len() {
-			pt = params.At(i).Type()
-		}
-		w.boxed(arg, pt)
-	}
-}
-
-// boxedReturns flags concrete values returned as interface results.
-func (w *walker) boxedReturns(ret *ast.ReturnStmt) {
-	// The enclosing signature is found via the statement position: walk is
-	// per-FuncDecl, so scan outwards is unnecessary — instead rely on the
-	// types of the returned expressions vs. declared results being checked
-	// at the assignment the compiler sees. We approximate: a return of a
-	// concrete composite/call into an interface result is rare on hot
-	// paths; the assignment and argument checks catch the common cases.
-	_ = ret
-}
-
-// boxed reports when a concrete (non-interface) value flows into an
-// interface-typed slot.
-func (w *walker) boxed(e ast.Expr, target types.Type) {
-	if target == nil || !types.IsInterface(target) {
-		return
-	}
-	src := w.pass.TypesInfo.TypeOf(e)
-	if src == nil || types.IsInterface(src) {
-		return
-	}
-	if b, ok := src.(*types.Basic); ok && b.Kind() == types.UntypedNil {
-		return
-	}
-	// Pointers, chans, maps, funcs and unsafe.Pointer fit in the iface
-	// word without allocating.
-	switch src.Underlying().(type) {
-	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
-		return
-	}
-	if b, ok := src.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
-		return
-	}
-	if isConst(w.pass, e) {
-		// Constants under 256 (and small zero values) use the runtime's
-		// static boxes; be permissive for constants.
-		return
-	}
-	w.pass.Reportf(e.Pos(), "%s is //adsm:noalloc: converting %s to interface %s allocates (boxing)",
-		w.fname, src, target)
-}
-
-func isConst(pass *analysis.Pass, e ast.Expr) bool {
-	tv, ok := pass.TypesInfo.Types[e]
-	return ok && tv.Value != nil
-}
-
-func isString(t types.Type) bool {
-	if t == nil {
-		return false
-	}
-	b, ok := t.Underlying().(*types.Basic)
-	return ok && b.Info()&types.IsString != 0
-}
-
-func isByteOrRuneSlice(t types.Type) bool {
-	s, ok := t.Underlying().(*types.Slice)
-	if !ok {
-		return false
-	}
-	b, ok := s.Elem().Underlying().(*types.Basic)
-	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
-}
-
-func chanElem(pass *analysis.Pass, ch ast.Expr) types.Type {
-	t := pass.TypesInfo.TypeOf(ch)
-	if t == nil {
-		return nil
-	}
-	c, ok := t.Underlying().(*types.Chan)
-	if !ok {
-		return nil
-	}
-	return c.Elem()
 }

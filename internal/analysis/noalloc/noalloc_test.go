@@ -14,3 +14,17 @@ func TestBasic(t *testing.T) {
 func TestRequiredAnnotations(t *testing.T) {
 	analysistest.Run(t, noalloc.Analyzer, "noalloc/required")
 }
+
+func TestChain(t *testing.T) {
+	analysistest.Run(t, noalloc.Analyzer, "noalloc/chain")
+}
+
+// TestRecursive doubles as the fixpoint-termination test: the fixture's
+// mutually recursive SCCs must converge for the run to finish at all.
+func TestRecursive(t *testing.T) {
+	analysistest.Run(t, noalloc.Analyzer, "noalloc/recursive")
+}
+
+func TestRequiredGone(t *testing.T) {
+	analysistest.Run(t, noalloc.Analyzer, "noalloc/requiredgone")
+}

@@ -37,11 +37,18 @@ var requiredAnnotations = map[string][]string{
 
 // requiredSet returns the required-annotation set for the package path.
 // Testdata packages can exercise the table through the "noalloc/required"
-// suffix used by the golden tests.
+// suffix used by the golden tests; the "noalloc/requiredgone" suffix
+// additionally lists a function that is never declared, exercising the
+// vanished-entry diagnostic.
 func requiredSet(pkgPath string) map[string]bool {
 	keys, ok := requiredAnnotations[pkgPath]
-	if !ok && strings.HasSuffix(pkgPath, "noalloc/required") {
-		keys = []string{"hotRequired"}
+	if !ok {
+		switch {
+		case strings.HasSuffix(pkgPath, "noalloc/requiredgone"):
+			keys = []string{"hotRequired", "vanishedHelper"}
+		case strings.HasSuffix(pkgPath, "noalloc/required"):
+			keys = []string{"hotRequired"}
+		}
 	}
 	set := make(map[string]bool, len(keys))
 	for _, k := range keys {

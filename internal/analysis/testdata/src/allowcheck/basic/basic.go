@@ -1,0 +1,31 @@
+// Package basic seeds //adsm:allow audit cases for the allowcheck
+// programmatic test (allowcheck diagnostics land on the directive's own
+// line, where a `// want` comment cannot sit): a reasonless suppression,
+// a justified one that must survive untouched, a stale one, and one
+// naming an analyzer outside the running suite.
+package basic
+
+// reasonless suppresses a real finding but omits the mandatory reason.
+//
+//adsm:noalloc
+func reasonless() []int {
+	return make([]int, 4) //adsm:allow noalloc
+}
+
+// justified is the canonical shape: analyzer names, colon, reason.
+//
+//adsm:noalloc
+func justified() []int {
+	return make([]int, 4) //adsm:allow noalloc: fixture exercises the canonical suppression shape
+}
+
+// stale carries a suppression on a line with no finding left to suppress.
+func stale() int {
+	return 42 //adsm:allow noalloc: the violation this excused is long gone
+}
+
+// unjudged names an analyzer that does not run in this suite, so it can
+// never be judged stale.
+func unjudged() int {
+	return 7 //adsm:allow lockorder: lockorder does not run in this suite
+}

@@ -21,6 +21,31 @@ func Async() CallOption { return CallOption{kind: 1} }
 // Writes annotates the shared objects the kernel may write.
 func Writes(ps ...Ptr) CallOption { return CallOption{kind: 2} }
 
+// WriteOnlyHint marks objects the kernel writes without reading.
+func WriteOnlyHint(ps ...Ptr) CallOption { return CallOption{kind: 3} }
+
+// ReadOnlyHint marks objects the kernel only reads.
+func ReadOnlyHint(ps ...Ptr) CallOption { return CallOption{kind: 4} }
+
+// AccessMode declares host-side access intent for a shared object.
+type AccessMode int
+
+// The declared access modes.
+const (
+	ModeDefault AccessMode = iota
+	ModeReadOnly
+	ModeWriteOnly
+)
+
+// The short spellings the real API exports.
+const (
+	ReadOnly  = ModeReadOnly
+	WriteOnly = ModeWriteOnly
+)
+
+// Mode declares the object's access mode at allocation.
+func Mode(m AccessMode) AllocOption { return AllocOption{kind: 2} }
+
 // Context is one host session against one accelerator.
 type Context struct{ last Ptr }
 
@@ -39,8 +64,20 @@ func (c *Context) Safe(p Ptr) (Ptr, error) { return p, nil }
 // HostRead copies shared bytes into host memory.
 func (c *Context) HostRead(p Ptr, n int64) ([]byte, error) { return nil, nil }
 
+// HostWrite copies host memory into a shared object.
+func (c *Context) HostWrite(p Ptr, src []byte) error { return nil }
+
+// Memset fills a shared range with a byte.
+func (c *Context) Memset(p Ptr, b byte, n int64) error { return nil }
+
 // MemcpyFromShared copies out of a shared object.
 func (c *Context) MemcpyFromShared(dst []byte, src Ptr) error { return nil }
+
+// MemcpyToShared copies into a shared object.
+func (c *Context) MemcpyToShared(dst Ptr, src []byte) error { return nil }
+
+// MemcpyShared copies between shared objects (dst written, src read).
+func (c *Context) MemcpyShared(dst, src Ptr, n int64) error { return nil }
 
 // CallSync was removed from the real gmac API; the stub keeps the shape so
 // the analyzer's removed-name check is exercised against call sites.

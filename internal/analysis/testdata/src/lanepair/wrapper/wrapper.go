@@ -1,0 +1,70 @@
+// Package wrapper exercises EnterLane/ExitLane pairing through helper
+// wrappers: an //adsm:lanewrapper helper legitimately leaves its lane
+// open, its callers inherit the obligation to exit, and the analyzer must
+// see the EnterLane through one or two wrapper levels.
+package wrapper
+
+// Clock is a stand-in for sim.Clock.
+type Clock struct{}
+
+func (c *Clock) EnterLane() {}
+func (c *Clock) ExitLane()  {}
+
+// enterHelper opens a lane for its caller: the annotation blesses the
+// unpaired EnterLane in its own body and marks its summary lane-entering.
+//
+//adsm:lanewrapper
+func enterHelper(c *Clock) {
+	c.EnterLane()
+}
+
+// enterDouble wraps the wrapper: still annotated, still blessed.
+//
+//adsm:lanewrapper
+func enterDouble(c *Clock) {
+	enterHelper(c)
+}
+
+// exitHelper closes the caller's lane; its summary is lane-exiting.
+func exitHelper(c *Clock) {
+	c.ExitLane()
+}
+
+// leaky enters through the wrapper and never exits.
+func leaky(c *Clock) {
+	enterHelper(c) // want `call to wrapper\.enterHelper enters a lane \(EnterLane at wrapper\.go:\d+ \(via wrapper\.enterHelper at wrapper\.go:\d+\)\) and is not followed by a dominated ExitLane`
+	work()
+}
+
+// leakyDouble leaks through two wrapper levels: the chain names both.
+func leakyDouble(c *Clock) {
+	enterDouble(c) // want `call to wrapper\.enterDouble enters a lane \(EnterLane at wrapper\.go:\d+ \(via wrapper\.enterDouble at wrapper\.go:\d+ -> wrapper\.enterHelper at wrapper\.go:\d+\)\) and is not followed by a dominated ExitLane`
+	work()
+}
+
+// paired exits with a later direct call in the same block: fine.
+func paired(c *Clock) {
+	enterHelper(c)
+	work()
+	c.ExitLane()
+}
+
+// pairedDefer exits with a deferred direct call: fine on every path.
+func pairedDefer(c *Clock, bail bool) {
+	enterHelper(c)
+	defer c.ExitLane()
+	if bail {
+		return
+	}
+	work()
+}
+
+// pairedViaHelpers enters and exits through helpers on both sides: the
+// exit helper's summary satisfies the domination check.
+func pairedViaHelpers(c *Clock) {
+	enterHelper(c)
+	work()
+	exitHelper(c)
+}
+
+func work() {}

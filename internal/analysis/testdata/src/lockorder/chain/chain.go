@@ -1,0 +1,55 @@
+// Package chain seeds lock-hierarchy and nowait violations that only
+// exist interprocedurally: the offending acquisition or wait lives in the
+// sibling dep package (or behind a local middleman), and the checker must
+// find it through callee summaries.
+package chain
+
+import (
+	"sync"
+
+	"lockorder/chain/dep"
+)
+
+// mgr holds the high-level locks of this package's hierarchy.
+type mgr struct {
+	//adsm:lock treeMu 30
+	treeMu sync.Mutex
+	//adsm:lock statsMu 40 nowait
+	statsMu sync.Mutex
+}
+
+// bad acquires the level-10 device lock while holding the level-30 tree
+// lock — one package boundary away.
+func (m *mgr) bad(d *dep.D) {
+	m.treeMu.Lock()
+	dep.Grab(d) // want `call to dep\.Grab acquires lock devMu \(level 10\) at dep\.go:\d+ while holding treeMu \(level 30\) \(via dep\.Grab at chain\.go:\d+\); the ADSM lock order requires strictly ascending levels`
+	m.treeMu.Unlock()
+}
+
+// worse buries the same inversion one level deeper behind a local
+// middleman: the chain must render both frames.
+func (m *mgr) worse(d *dep.D) {
+	m.treeMu.Lock()
+	grabVia(d) // want `call to chain\.grabVia acquires lock devMu \(level 10\) at dep\.go:\d+ while holding treeMu \(level 30\) \(via chain\.grabVia at chain\.go:\d+ -> dep\.Grab at chain\.go:\d+\); the ADSM lock order requires strictly ascending levels`
+	m.treeMu.Unlock()
+}
+
+func grabVia(d *dep.D) {
+	dep.Grab(d)
+}
+
+// stats blocks — transitively, inside dep.Blocker — while holding a
+// nowait lock.
+func (m *mgr) stats(d *dep.D) {
+	m.statsMu.Lock()
+	dep.Blocker(d) // want `call to dep\.Blocker, which may block \(channel receive at dep\.go:\d+\) \(via dep\.Blocker at chain\.go:\d+\) while holding statsMu, a nowait lock acquired at .*`
+	m.statsMu.Unlock()
+}
+
+// fine grabs the device lock with nothing held, then takes the tree lock
+// after dep.Grab has released: no violation.
+func (m *mgr) fine(d *dep.D) {
+	dep.Grab(d)
+	m.treeMu.Lock()
+	m.treeMu.Unlock()
+}

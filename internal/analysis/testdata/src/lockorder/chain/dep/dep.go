@@ -1,0 +1,25 @@
+// Package dep hides an annotated lock and a blocking wait behind exported
+// helpers, so the sibling chain package can violate the lock hierarchy
+// and the nowait rule across a package boundary.
+package dep
+
+import "sync"
+
+// D is a device-side structure with its own low-level lock.
+type D struct {
+	//adsm:lock devMu 10
+	devMu sync.Mutex
+	ch    chan int
+}
+
+// Grab acquires and releases the device lock: its summary still records
+// the acquisition, which must respect every caller's held set.
+func Grab(d *D) {
+	d.devMu.Lock()
+	d.devMu.Unlock()
+}
+
+// Blocker waits on the device channel: transitively blocking.
+func Blocker(d *D) {
+	<-d.ch
+}

@@ -1,0 +1,11 @@
+// Package helper hosts cross-package gmac helpers for the modecheck
+// fixtures: their host accesses must surface in sibling-package callers
+// through dependency summaries.
+package helper
+
+import "gmac"
+
+// Fill host-writes the whole object.
+func Fill(s *gmac.Context, p gmac.Ptr, b byte) {
+	s.Memset(p, b, 64)
+}

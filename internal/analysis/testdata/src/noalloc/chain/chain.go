@@ -1,0 +1,54 @@
+// Package chain seeds noalloc violations behind one and two levels of
+// calls crossing into the sibling dep package, proving the engine's
+// summaries flow bottom-up across package boundaries and that diagnostics
+// carry the call chain down to the allocating construct.
+package chain
+
+import "noalloc/chain/dep"
+
+// hot reaches dep.Leaf's make through the unannotated local middleman:
+// the violation is two call levels deep and the chain must name both.
+//
+//adsm:noalloc
+func hot() {
+	mid() // want `hot is //adsm:noalloc: call to chain\.mid allocates: make allocates at dep\.go:\d+ \(via dep\.Leaf at chain\.go:\d+\)`
+}
+
+// mid is deliberately unannotated: its summary carries dep.Leaf's
+// allocation up to hot.
+func mid() {
+	dep.Leaf()
+}
+
+// direct violates across the package boundary with no middleman.
+//
+//adsm:noalloc
+func direct() {
+	dep.Leaf() // want `direct is //adsm:noalloc: call to dep\.Leaf allocates: make allocates at dep\.go:\d+`
+}
+
+// degraded hands off to the cold slow path directly: blessed.
+//
+//adsm:noalloc
+func degraded() {
+	dep.Slow()
+}
+
+// hidden reaches the cold function through an unannotated middleman,
+// which hides the hot/cold transition: flagged with the chain.
+//
+//adsm:noalloc
+func hidden() {
+	viaCold() // want `hidden is //adsm:noalloc: call to chain\.viaCold allocates: //adsm:cold function allocates by design at dep\.go:\d+ \(via dep\.Slow at chain\.go:\d+\)`
+}
+
+func viaCold() {
+	dep.Slow()
+}
+
+// fine calls a cross-package helper whose summary is clean.
+//
+//adsm:noalloc
+func fine(x int) int {
+	return dep.Clean(x)
+}

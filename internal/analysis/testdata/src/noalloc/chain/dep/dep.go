@@ -1,0 +1,22 @@
+// Package dep is the dependency side of the cross-package noalloc
+// fixtures: the sibling chain package calls into it directly and through
+// middlemen, and the analyzer must surface these allocations across the
+// package boundary via dependency summaries.
+package dep
+
+// Leaf allocates: the construct the chain fixtures must see from one and
+// two calls away.
+func Leaf() []int {
+	return make([]int, 8)
+}
+
+// Slow is a blessed slow path: deliberately allocating, callable directly
+// from //adsm:noalloc functions but not through an unannotated middleman.
+//
+//adsm:cold
+func Slow() []int {
+	return make([]int, 64)
+}
+
+// Clean is summarized alloc-free without any annotation.
+func Clean(x int) int { return x + 1 }

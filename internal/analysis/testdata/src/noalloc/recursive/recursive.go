@@ -1,0 +1,42 @@
+// Package recursive exercises the engine's fixpoint on mutually recursive
+// helpers: the SCC's summaries must converge — allocating for the pair
+// that allocates, clean for the pair that doesn't — instead of descending
+// unboundedly. The test completing at all is the termination proof.
+package recursive
+
+// hot sees the allocation inside the mutualA<->mutualB cycle.
+//
+//adsm:noalloc
+func hot(n int) {
+	mutualA(n) // want `hot is //adsm:noalloc: call to recursive\.mutualA allocates: make allocates at recursive\.go:\d+ \(via recursive\.mutualB at recursive\.go:\d+\)`
+}
+
+func mutualA(n int) {
+	if n > 0 {
+		mutualB(n - 1)
+	}
+}
+
+func mutualB(n int) {
+	_ = make([]int, n)
+	mutualA(n - 1)
+}
+
+// hotClean calls into a recursive cycle that never allocates: the SCC
+// must settle on clean summaries and report nothing.
+//
+//adsm:noalloc
+func hotClean(n int) int {
+	return pingA(n)
+}
+
+func pingA(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return pingB(n - 1)
+}
+
+func pingB(n int) int {
+	return pingA(n - 1)
+}

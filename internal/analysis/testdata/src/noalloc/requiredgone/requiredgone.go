@@ -1,0 +1,9 @@
+// Package requiredgone proves the required-annotation table cannot rot:
+// the table (see requiredSet in internal/analysis/noalloc/required.go)
+// registers this package as requiring hotRequired AND vanishedHelper, but
+// only the former is declared, so the ghost entry is reported on the
+// package clause instead of silently checking nothing.
+package requiredgone // want `noalloc required-annotation table lists vanishedHelper, but noalloc/requiredgone declares no such function; update internal/analysis/noalloc/required\.go`
+
+//adsm:noalloc
+func hotRequired(x int) int { return x + 1 }

@@ -956,6 +956,8 @@ func (m *Manager) handleFault(f hostmmu.Fault) error {
 // errUnsharedFault formats the unshared-address error off the fault hot
 // path (handleFault is //adsm:noalloc; this can only fire on a stray
 // access, never on the measured path).
+//
+//adsm:cold
 func errUnsharedFault(addr mem.Addr) error {
 	return fmt.Errorf("%w: fault at %#x", ErrNotShared, uint64(addr))
 }
@@ -968,6 +970,11 @@ var faultNotes = [2][3]string{
 	{"write in Invalid", "write in ReadOnly", "write in Dirty"},
 }
 
+// faultNote resolves the note for a fault event: precomputed strings for
+// the in-range states, concatenation (cold, by design) for out-of-range
+// ones that only a corrupted state machine could produce.
+//
+//adsm:cold
 func faultNote(access hostmmu.Access, s State) string {
 	a := 0
 	if access == hostmmu.AccessWrite {
@@ -1157,6 +1164,8 @@ func (m *Manager) flushBlockEager(b *Block) error {
 // single DMA transfer: one engine wait, one recorded transfer of the run's
 // total bytes. Coalesced rolling evictions come through here. The caller
 // holds first.obj.mu.
+//
+//adsm:noalloc
 func (m *Manager) flushRunEager(first *Block, n int) error {
 	sp := m.beginSpan("flush", "eager")
 	defer m.endSpan(sp)
@@ -1381,9 +1390,11 @@ func (m *Manager) flushable(b *Block, checkQueued bool) bool {
 // deferEviction queues a victim run whose object lock the current goroutine
 // does not hold. The entry points drain the queue once their own object
 // lock is released, so no goroutine ever holds two Object.mu at once.
+//
+//adsm:noalloc
 func (m *Manager) deferEviction(first *Block, n int) {
 	m.evictMu.Lock()
-	m.evictQ = append(m.evictQ, evictRun{first, n})
+	m.evictQ = append(m.evictQ, evictRun{first, n}) //adsm:allow noalloc: cross-object victims are rare, and the drainer takes the queue wholesale (evictQ = nil), so the occasional regrow buys lock-free iteration
 	m.evictMu.Unlock()
 }
 
@@ -1445,6 +1456,8 @@ func (m *Manager) setProtRun(first *Block, n int, prot hostmmu.Prot) {
 
 // mprotectFailed raises the mprotect-failure panic; the formatting lives
 // off the //adsm:noalloc protection-change path.
+//
+//adsm:cold
 func mprotectFailed(what string, err error) {
 	panic(fmt.Sprintf("core: mprotect of live %s failed: %v", what, err))
 }

@@ -72,6 +72,8 @@ func (m AccessMode) Valid() bool { return m <= ModeAuto }
 var ErrModeViolation = errors.New("core: access violates the object's declared access mode")
 
 // errModeViolation formats the violation off the //adsm:noalloc fault path.
+//
+//adsm:cold
 func errModeViolation(mode AccessMode, access hostmmu.Access, addr mem.Addr) error {
 	return fmt.Errorf("%w: %v %v at %#x", ErrModeViolation, mode, access, uint64(addr))
 }

@@ -28,6 +28,10 @@ const (
 	StateDirty
 )
 
+// String is called on the traced fault path (emitTransition), so the
+// known states return interned strings; only a corrupted state formats.
+//
+//adsm:noalloc
 func (s State) String() string {
 	switch s {
 	case StateInvalid:
@@ -37,8 +41,15 @@ func (s State) String() string {
 	case StateDirty:
 		return "Dirty"
 	default:
-		return fmt.Sprintf("State(%d)", uint8(s))
+		return stateStringSlow(s)
 	}
+}
+
+// stateStringSlow formats an out-of-range State off the hot path.
+//
+//adsm:cold
+func stateStringSlow(s State) string {
+	return fmt.Sprintf("State(%d)", uint8(s))
 }
 
 // Block is the unit of coherence bookkeeping. Under batch- and lazy-update

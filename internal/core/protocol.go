@@ -493,15 +493,18 @@ func resolveFault(m *Manager, b *Block, access hostmmu.Access) error {
 // The impossible-transition errors below can only fire on a manager bug;
 // their formatting lives off the //adsm:noalloc fault paths.
 
+//adsm:cold
 func errBatchFault(access hostmmu.Access, addr mem.Addr) error {
 	return fmt.Errorf("core: unexpected %v fault at %#x under batch-update",
 		access, uint64(addr))
 }
 
+//adsm:cold
 func errReadFaultOnReadOnly(addr mem.Addr) error {
 	return fmt.Errorf("core: read fault on ReadOnly block %#x", uint64(addr))
 }
 
+//adsm:cold
 func errFaultOnDirty(access hostmmu.Access, addr mem.Addr) error {
 	return fmt.Errorf("core: %v fault on Dirty block %#x", access, uint64(addr))
 }

@@ -81,7 +81,10 @@ func (m *Manager) retry(cat sim.Category, what string, op func() error) error {
 // backoff), or returns the error to propagate (wrapped when the budget is
 // exhausted). The transfer hot paths loop inline with retryStep instead of
 // passing a closure to retry, keeping the per-fault path free of func
-// values.
+// values. Everything it books (charge, counters, record) runs only after
+// an injected fault, so the whole step is //adsm:cold.
+//
+//adsm:cold
 func (m *Manager) retryStep(cat sim.Category, what string, attempt int, err error) (again bool, _ error) {
 	if !errors.Is(err, fault.ErrInjected) || errors.Is(err, fault.ErrDeviceLost) {
 		return false, err
@@ -119,7 +122,10 @@ func (m *Manager) markDeviceLost(cause error) {
 
 // degradeObjectLocked switches o to host-resident batch-update semantics:
 // every block Dirty, pages writable, nothing in the rolling cache. The
-// caller holds o.mu.
+// caller holds o.mu. Degradation happens at most once per object, on
+// device loss.
+//
+//adsm:cold
 func (m *Manager) degradeObjectLocked(o *Object) {
 	if o.dead || o.degraded.Load() {
 		return
@@ -150,7 +156,10 @@ func (m *Manager) degradeAll() {
 
 // degradedLocked reports whether o must take the host-resident path,
 // lazily degrading it when the device has been lost since the last access.
-// The caller holds o.mu.
+// The caller holds o.mu. The common path is two atomic loads; the one-shot
+// degradation is a blessed cold call.
+//
+//adsm:noalloc
 func (m *Manager) degradedLocked(o *Object) bool {
 	if o.degraded.Load() {
 		return true
@@ -166,7 +175,9 @@ func (m *Manager) degradedLocked(o *Object) bool {
 // o: the device is declared lost, o degrades, and the error is returned
 // wrapped so it matches fault.ErrDeviceLost (joining the sentinel when the
 // original fault was merely transient-but-exhausted). The caller holds
-// o.mu.
+// o.mu. Device loss is terminal, so the whole escalation is cold.
+//
+//adsm:cold
 func (m *Manager) escalateLocked(o *Object, what string, err error) error {
 	m.markDeviceLost(err)
 	m.degradeObjectLocked(o)

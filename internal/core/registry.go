@@ -179,7 +179,10 @@ func (r *registry) blockAt(addr mem.Addr) (any, int64) {
 }
 
 // rebuildObj refreshes the shard's object snapshot under its read lock and
-// resolves addr against it.
+// resolves addr against it. The rebuilt snapshot allocation is amortized
+// over a whole registry generation of lock-free lookups.
+//
+//adsm:cold
 func (sh *regShard) rebuildObj(addr mem.Addr) (any, int64) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -187,6 +190,8 @@ func (sh *regShard) rebuildObj(addr mem.Addr) (any, int64) {
 }
 
 // rebuildBlk is rebuildObj for the block index.
+//
+//adsm:cold
 func (sh *regShard) rebuildBlk(addr mem.Addr) (any, int64) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()

@@ -249,6 +249,8 @@ func (m *MMU) Unmap(addr mem.Addr, size int64) {
 // error returned. The common case (every page mapped) walks each same-shard
 // page run under one shard lock, saving old protections on the stack for
 // the cold rollback path.
+//
+//adsm:noalloc
 func (m *MMU) Mprotect(addr mem.Addr, size int64, prot Prot) error {
 	base := m.pageBase(addr)
 	end := addr + mem.Addr(size)
@@ -266,15 +268,23 @@ func (m *MMU) Mprotect(addr mem.Addr, size int64, prot Prot) error {
 			if !ok {
 				sh.mu.Unlock()
 				m.rollbackProt(base, p, old)
-				return fmt.Errorf("%w: mprotect %#x", ErrUnmapped, uint64(p))
+				return errMprotectUnmapped(p)
 			}
-			old = append(old, was)
+			old = append(old, was) //adsm:allow noalloc: backed by the 32-entry stack buffer; block-sized spans fit, and only huge spans (off the fault path) spill
 			sh.pages[p] = prot
 		}
 		sh.mu.Unlock()
 	}
 	m.mprotects.Add(1)
 	return nil
+}
+
+// errMprotectUnmapped formats the rolled-back Mprotect error off the hot
+// path.
+//
+//adsm:cold
+func errMprotectUnmapped(p mem.Addr) error {
+	return fmt.Errorf("%w: mprotect %#x", ErrUnmapped, uint64(p))
 }
 
 // rollbackProt restores the saved protections of [base, stop) after a

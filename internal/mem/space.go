@@ -65,6 +65,7 @@ func (s *Space) Contains(addr Addr, n int64) bool {
 // translation applied to every access.
 func (s *Space) SetTranslator(t Translator) { s.xlate = t }
 
+//adsm:noalloc
 func (s *Space) offset(addr Addr, n int64) int64 {
 	if s.xlate != nil {
 		if phys, ok := s.xlate(addr, n); ok {
@@ -72,10 +73,17 @@ func (s *Space) offset(addr Addr, n int64) int64 {
 		}
 	}
 	if !s.Contains(addr, n) {
-		panic(fmt.Sprintf("mem: access [%#x,+%d) outside space %s [%#x,+%d)",
-			uint64(addr), n, s.name, uint64(s.base), s.Size()))
+		panicOutOfRange(s, addr, n)
 	}
 	return int64(addr) - int64(s.base)
+}
+
+// panicOutOfRange formats the machine-check panic off the hot path.
+//
+//adsm:cold
+func panicOutOfRange(s *Space, addr Addr, n int64) {
+	panic(fmt.Sprintf("mem: access [%#x,+%d) outside space %s [%#x,+%d)",
+		uint64(addr), n, s.name, uint64(s.base), s.Size()))
 }
 
 // Bytes returns the live backing slice for [addr, addr+n). Writes through

@@ -162,6 +162,13 @@ type access struct {
 // Feed consumes one op. Derived protocol ops (faults, transfers,
 // evictions, retries) and unknown kinds are ignored, so any stream —
 // including fuzzed ones — is safe input.
+//
+// Feed allocates shadow state lazily (per first-seen lane, manager and
+// object), which is fine: the online detector is wired up only in
+// race-checking runs, never in the measured configuration, so the whole
+// detector is //adsm:cold by design.
+//
+//adsm:cold
 func (d *Detector) Feed(op oplog.Op) {
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -119,6 +119,8 @@ func (b *Breakdown) Add(cat Category, d Time) {
 // addExtra is the overflow-map path for caller-defined categories; it may
 // allocate, which is why it lives outside the //adsm:noalloc Add (the
 // fault path only ever charges the fixed categories).
+//
+//adsm:cold
 func (b *Breakdown) addExtra(cat Category, d Time) {
 	b.mu.Lock()
 	if b.extra == nil {
@@ -129,6 +131,8 @@ func (b *Breakdown) addExtra(cat Category, d Time) {
 }
 
 // panicNegativeCharge formats the misuse panic off the hot path.
+//
+//adsm:cold
 func panicNegativeCharge(cat Category, d Time) {
 	panic(fmt.Sprintf("sim: negative breakdown charge %d to %s", d, cat))
 }

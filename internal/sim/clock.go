@@ -74,15 +74,24 @@ func (c *Clock) Now() Time {
 // Advance moves the clock forward by d, which must be non-negative.
 // It models serial CPU work of duration d on the calling goroutine's
 // timeline (its lane if one is active, the shared timeline otherwise).
+//
+//adsm:noalloc
 func (c *Clock) Advance(d Time) {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: negative clock advance %d", d))
+		panicNegativeAdvance(d)
 	}
 	if l := c.lanes.current(); l != nil {
 		l.now += int64(d)
 		return
 	}
 	c.now.Add(int64(d))
+}
+
+// panicNegativeAdvance formats the misuse panic off the hot path.
+//
+//adsm:cold
+func panicNegativeAdvance(d Time) {
+	panic(fmt.Sprintf("sim: negative clock advance %d", d))
 }
 
 // AdvanceTo moves the clock forward to t. If t is in the past the clock is

@@ -56,11 +56,12 @@ type laneSet struct {
 	seq atomic.Uint32
 }
 
+//adsm:noalloc
 func (s *laneSet) current() *lane {
 	if s.nactive.Load() == 0 {
 		return nil
 	}
-	if v, ok := s.lanes.Load(goid()); ok {
+	if v, ok := s.lanes.Load(goid()); ok { //adsm:allow noalloc: only reached with lanes active; the hot-path fault benchmarks run laneless and take the nactive fast path above
 		return v.(*lane)
 	}
 	return nil
@@ -72,7 +73,9 @@ func (s *laneSet) current() *lane {
 // the lane and its Now observes the lane, so independent goroutines'
 // charges compose in parallel rather than in series. Each EnterLane must
 // be paired with ExitLane on the same goroutine; lanes do not nest.
-func (c *Clock) EnterLane() { c.EnterLaneAt(Time(c.now.Load())) } //adsm:allow lanepair (the caller owns the ExitLane)
+//
+//adsm:lanewrapper
+func (c *Clock) EnterLane() { c.EnterLaneAt(Time(c.now.Load())) }
 
 // EnterLaneAt is EnterLane with an explicit seed time, for spawners that
 // capture one common base before starting their workers — that makes the

@@ -37,9 +37,11 @@ func (r *Resource) Name() string { return r.name }
 // Submit schedules a work item of duration d at the earliest opportunity
 // not before earliest (use the clock's Now for "now"). It returns the
 // completion of that work item without advancing the CPU clock.
+//
+//adsm:noalloc
 func (r *Resource) Submit(earliest, d Time) Completion {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: negative work duration %d on %s", d, r.name))
+		panicNegativeWork(d, r.name)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -52,6 +54,13 @@ func (r *Resource) Submit(earliest, d Time) Completion {
 	r.busy += d
 	r.jobs++
 	return Completion{At: end}
+}
+
+// panicNegativeWork formats the misuse panic off the hot path.
+//
+//adsm:cold
+func panicNegativeWork(d Time, name string) {
+	panic(fmt.Sprintf("sim: negative work duration %d on %s", d, name))
 }
 
 // SubmitNow is Submit with earliest = clock.Now().

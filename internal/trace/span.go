@@ -62,6 +62,8 @@ func (t *Tracer) Log() *Log { return t.log }
 
 // Begin opens a span at virtual time `at`. Its parent is the innermost
 // span still open, if any.
+//
+//adsm:noalloc
 func (t *Tracer) Begin(name, note string, at sim.Time) SpanID {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -70,13 +72,15 @@ func (t *Tracer) Begin(name, note string, at sim.Time) SpanID {
 	if n := len(t.open); n > 0 {
 		s.Parent = t.open[n-1].ID
 	}
-	t.open = append(t.open, s)
+	t.open = append(t.open, s) //adsm:allow noalloc: amortized; the open-span stack keeps its capacity across spans, so steady state never grows it
 	return s.ID
 }
 
 // End closes the span with the given id at virtual time `at`. Any inner
 // spans left open are closed at the same instant (defensive: an error
 // return path skipped their End).
+//
+//adsm:noalloc
 func (t *Tracer) End(id SpanID, at sim.Time) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -92,9 +96,11 @@ func (t *Tracer) End(id SpanID, at sim.Time) {
 }
 
 // record appends a completed span to the bounded ring. Caller holds t.mu.
+//
+//adsm:noalloc
 func (t *Tracer) record(s Span) {
 	if len(t.spans) < cap(t.spans) {
-		t.spans = append(t.spans, s)
+		t.spans = append(t.spans, s) //adsm:allow noalloc: guarded by len < cap, so the preallocated ring's backing array never grows
 	} else {
 		t.spans[t.next] = s
 		t.next = (t.next + 1) % len(t.spans)
